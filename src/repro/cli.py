@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   write a synthetic examination log to disk (CSV or JSONL)
+``describe``   print the statistical characterisation of a log
+``analyze``    run the full ADA-HEALTH engine and print ranked knowledge
+``table1``     regenerate the paper's Table I on a log
+``partial``    regenerate the §IV-B partial-mining experiment
+``figure1``    print the architecture diagram (paper Figure 1)
+
+Every command that reads a dataset accepts either a JSONL file produced
+by ``generate --format jsonl`` or a directory produced with
+``--format csv``; ``--synthetic N`` generates an N-patient cohort on
+the fly instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import (
+    ADAHealth,
+    HorizontalPartialMiner,
+    KMeansOptimizer,
+    render_text,
+)
+from repro.data import (
+    DiabeticExamLogGenerator,
+    ExamLog,
+    GeneratorConfig,
+    load_csv,
+    load_jsonl,
+    save_csv,
+    save_jsonl,
+)
+from repro.preprocess import (
+    L2Normalizer,
+    VSMBuilder,
+    characterize_log,
+    feature_profiles,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ADA-HEALTH: automated medical data analysis",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic examination log"
+    )
+    generate.add_argument("output", help="output path (file or directory)")
+    generate.add_argument("--patients", type=int, default=6380)
+    generate.add_argument("--exam-types", type=int, default=159)
+    generate.add_argument("--records", type=int, default=95788)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--format", choices=("jsonl", "csv"), default="jsonl"
+    )
+
+    for name, help_text in (
+        ("describe", "characterise a log"),
+        ("analyze", "run the full engine"),
+        ("table1", "regenerate Table I"),
+        ("partial", "regenerate the partial-mining experiment"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument(
+            "dataset",
+            nargs="?",
+            help="JSONL file or CSV directory (omit with --synthetic)",
+        )
+        sub.add_argument(
+            "--synthetic",
+            type=int,
+            metavar="N",
+            help="generate an N-patient cohort instead of reading one",
+        )
+        sub.add_argument("--seed", type=int, default=0)
+        if name == "analyze":
+            sub.add_argument("--user", default="cli-user")
+            sub.add_argument("--top", type=int, default=10)
+            sub.add_argument(
+                "--goal",
+                action="append",
+                dest="goals",
+                help="restrict to an end-goal (repeatable)",
+            )
+        if name == "table1":
+            sub.add_argument(
+                "--k",
+                type=int,
+                nargs="+",
+                default=None,
+                help="K values to sweep (default: the paper's)",
+            )
+            sub.add_argument("--folds", type=int, default=10)
+
+    commands.add_parser("figure1", help="print the architecture diagram")
+    return parser
+
+
+def _load_dataset(args) -> ExamLog:
+    if args.synthetic is not None:
+        config = GeneratorConfig(
+            n_patients=args.synthetic,
+            n_exam_types=max(20, min(159, args.synthetic // 4)),
+            target_records=args.synthetic * 15,
+        )
+        return DiabeticExamLogGenerator(config, seed=args.seed).generate()
+    if not args.dataset:
+        raise SystemExit(
+            "error: provide a dataset path or use --synthetic N"
+        )
+    path = Path(args.dataset)
+    if path.is_dir():
+        return load_csv(path)
+    return load_jsonl(path)
+
+
+def cmd_generate(args) -> int:
+    config = GeneratorConfig(
+        n_patients=args.patients,
+        n_exam_types=args.exam_types,
+        target_records=args.records,
+    )
+    log = DiabeticExamLogGenerator(config, seed=args.seed).generate()
+    if args.format == "csv":
+        save_csv(log, args.output)
+    else:
+        save_jsonl(log, args.output)
+    print(f"wrote {log.n_records} records for {log.n_patients} patients"
+          f" to {args.output}")
+    return 0
+
+
+def cmd_describe(args) -> int:
+    log = _load_dataset(args)
+    profile = characterize_log(log)
+    summary = log.summary()
+    print(f"patients      : {summary['n_patients']}")
+    print(f"records       : {summary['n_records']}")
+    print(f"exam types    : {summary['n_exam_types']}")
+    if summary["age_min"] is not None:
+        print(f"age range     : {summary['age_min']}-{summary['age_max']}")
+    print(f"days spanned  : {summary['days_spanned']}")
+    print(f"sparsity      : {profile.sparsity:.3f}")
+    print(f"frequency gini: {profile.gini:.3f}")
+    print("type coverage : "
+          + ", ".join(
+              f"top {pct}% -> {share:.1%}"
+              for pct, share in profile.top_share.items()
+          ))
+    print("most frequent exams:")
+    for feature in feature_profiles(log)[:8]:
+        print(
+            f"  {feature.name:<40} {feature.frequency:>7} records,"
+            f" {feature.patient_coverage:.1%} of patients"
+        )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    log = _load_dataset(args)
+    engine = ADAHealth(seed=args.seed)
+    result = engine.analyze(
+        log, name=args.dataset or "synthetic", user=args.user,
+        goals=args.goals,
+    )
+    print(result.summary())
+    print()
+    print(f"top {args.top} knowledge items:")
+    for rank, item in enumerate(result.top(args.top), start=1):
+        print(f"{rank:>3}. {item.describe()}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.core.optimizer import PAPER_K_VALUES
+
+    log = _load_dataset(args)
+    miner = HorizontalPartialMiner(seed=args.seed)
+    codes = miner.subset_codes(log, 0.4)
+    matrix = L2Normalizer().transform(
+        VSMBuilder("binary", exam_codes=codes).build(log).matrix
+    )
+    k_values = tuple(args.k) if args.k else PAPER_K_VALUES
+    k_values = tuple(k for k in k_values if k < matrix.shape[0])
+    optimizer = KMeansOptimizer(
+        k_values=k_values, n_folds=args.folds, seed=args.seed
+    )
+    report = optimizer.optimize(matrix)
+    print(report.format_table())
+    return 0
+
+
+def cmd_partial(args) -> int:
+    log = _load_dataset(args)
+    miner = HorizontalPartialMiner(seed=args.seed)
+    result = miner.mine(log)
+    print(result.format_table())
+    return 0
+
+
+def cmd_figure1(args) -> int:
+    print(render_text())
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "describe": cmd_describe,
+    "analyze": cmd_analyze,
+    "table1": cmd_table1,
+    "partial": cmd_partial,
+    "figure1": cmd_figure1,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # e.g. ``repro figure1 | head``
+        try:
+            sys.stdout.close()
+        except Exception:  # noqa: BLE001 - best-effort flush
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

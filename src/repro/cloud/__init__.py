@@ -1,0 +1,23 @@
+"""Execution backends and parameter-sweep service."""
+
+from repro.cloud.executor import (
+    SerialExecutor,
+    SimulatedClusterExecutor,
+    SweepResult,
+    TaskFailure,
+    ThreadPoolExecutorBackend,
+    make_executor,
+)
+from repro.cloud.sweep import ParameterSweep, SweepPoint, expand_grid
+
+__all__ = [
+    "ParameterSweep",
+    "SerialExecutor",
+    "SimulatedClusterExecutor",
+    "SweepPoint",
+    "SweepResult",
+    "TaskFailure",
+    "ThreadPoolExecutorBackend",
+    "expand_grid",
+    "make_executor",
+]

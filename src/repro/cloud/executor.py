@@ -1,0 +1,183 @@
+"""Execution backends for configuration sweeps.
+
+"A set of online cloud-based services for automatic configuration of
+data analytics will exploit the computational advantages of massively
+parallel cloud computing." The reproduction cannot assume a cloud, so
+this module abstracts *where* candidate configurations run:
+
+* :class:`SerialExecutor` — in-process, deterministic ordering;
+* :class:`ThreadPoolExecutorBackend` — local threads (effective because
+  the heavy kernels release the GIL inside numpy);
+* :class:`SimulatedClusterExecutor` — runs tasks locally but models a
+  cluster's scheduling: per-task dispatch latency and a worker count,
+  reporting the *simulated* makespan alongside the real results. This
+  lets benchmarks reason about cloud speed-ups without a cloud.
+
+All backends evaluate ``tasks`` — zero-argument callables — and return
+their results in submission order. A task that raises is reported as a
+:class:`TaskFailure` rather than aborting the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+
+Task = Callable[[], Any]
+
+
+@dataclass
+class TaskFailure:
+    """Marker result for a task that raised; carries the exception."""
+
+    error: Exception
+
+    def __bool__(self) -> bool:  # failures are falsy in result lists
+        return False
+
+
+@dataclass
+class SweepResult:
+    """Results of an executor run plus timing metadata."""
+
+    results: List[Any]
+    wall_seconds: float
+    simulated_seconds: Optional[float] = None
+    n_failures: int = 0
+
+    def successes(self) -> List[Any]:
+        """Results of the tasks that did not fail."""
+        return [r for r in self.results if not isinstance(r, TaskFailure)]
+
+
+class SerialExecutor:
+    """Run tasks one after the other in the calling thread."""
+
+    name = "serial"
+
+    def run(self, tasks: Sequence[Task]) -> SweepResult:
+        start = time.perf_counter()
+        results: List[Any] = []
+        failures = 0
+        for task in tasks:
+            try:
+                results.append(task())
+            except Exception as exc:  # noqa: BLE001 - reported, not lost
+                results.append(TaskFailure(exc))
+                failures += 1
+        return SweepResult(
+            results=results,
+            wall_seconds=time.perf_counter() - start,
+            n_failures=failures,
+        )
+
+
+class ThreadPoolExecutorBackend:
+    """Run tasks on a local thread pool (numpy releases the GIL)."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ReproError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def run(self, tasks: Sequence[Task]) -> SweepResult:
+        start = time.perf_counter()
+        results: List[Any] = [None] * len(tasks)
+        failures = 0
+
+        def wrap(index: int, task: Task):
+            try:
+                return index, task()
+            except Exception as exc:  # noqa: BLE001
+                return index, TaskFailure(exc)
+
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [
+                pool.submit(wrap, index, task)
+                for index, task in enumerate(tasks)
+            ]
+            for future in futures:
+                index, value = future.result()
+                results[index] = value
+                if isinstance(value, TaskFailure):
+                    failures += 1
+        return SweepResult(
+            results=results,
+            wall_seconds=time.perf_counter() - start,
+            n_failures=failures,
+        )
+
+
+class SimulatedClusterExecutor:
+    """Local execution with a simulated cluster cost model.
+
+    Each task is timed locally; the simulator then schedules those
+    durations greedily (longest processing time first is *not* used —
+    submission order, as a real queue would) onto ``n_workers`` workers,
+    adding ``dispatch_latency`` per task, and reports the resulting
+    makespan as ``simulated_seconds``.
+    """
+
+    name = "simulated-cluster"
+
+    def __init__(
+        self, n_workers: int = 8, dispatch_latency: float = 0.05
+    ) -> None:
+        if n_workers < 1:
+            raise ReproError("n_workers must be >= 1")
+        if dispatch_latency < 0:
+            raise ReproError("dispatch_latency must be >= 0")
+        self.n_workers = n_workers
+        self.dispatch_latency = dispatch_latency
+
+    def run(self, tasks: Sequence[Task]) -> SweepResult:
+        start = time.perf_counter()
+        results: List[Any] = []
+        durations: List[float] = []
+        failures = 0
+        for task in tasks:
+            t0 = time.perf_counter()
+            try:
+                results.append(task())
+            except Exception as exc:  # noqa: BLE001
+                results.append(TaskFailure(exc))
+                failures += 1
+            durations.append(time.perf_counter() - t0)
+        return SweepResult(
+            results=results,
+            wall_seconds=time.perf_counter() - start,
+            simulated_seconds=self.simulate_makespan(durations),
+            n_failures=failures,
+        )
+
+    def simulate_makespan(self, durations: Sequence[float]) -> float:
+        """Makespan of scheduling ``durations`` on the modelled cluster."""
+        workers = [0.0] * self.n_workers
+        for duration in durations:
+            soonest = min(range(self.n_workers), key=workers.__getitem__)
+            workers[soonest] += self.dispatch_latency + duration
+        return max(workers) if workers else 0.0
+
+
+_BACKENDS = {
+    "serial": SerialExecutor,
+    "threads": ThreadPoolExecutorBackend,
+    "simulated-cluster": SimulatedClusterExecutor,
+}
+
+
+def make_executor(name: str, **kwargs):
+    """Instantiate an executor backend by name."""
+    try:
+        backend = _BACKENDS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown executor {name!r}; choose from {sorted(_BACKENDS)}"
+        ) from None
+    return backend(**kwargs)

@@ -1,0 +1,86 @@
+"""Parameter-sweep service over an execution backend.
+
+The optimiser explores "large parameter spaces ... at different
+abstraction levels (i.e., end-goal analysis, algorithm and algorithm
+parameters)". :class:`ParameterSweep` is the plumbing: it expands a
+parameter grid, evaluates a function at every grid point through an
+executor backend and collects scored outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.cloud.executor import SerialExecutor, SweepResult, TaskFailure
+from repro.exceptions import ReproError
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated grid point."""
+
+    params: Dict[str, Any]
+    value: Any
+
+    @property
+    def failed(self) -> bool:
+        return isinstance(self.value, TaskFailure)
+
+
+def expand_grid(grid: Dict[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of a ``name -> values`` grid, in stable order."""
+    if not grid:
+        raise ReproError("empty parameter grid")
+    names = list(grid)
+    combos = []
+    for values in product(*(grid[name] for name in names)):
+        combos.append(dict(zip(names, values)))
+    return combos
+
+
+class ParameterSweep:
+    """Evaluate ``function(**params)`` over a parameter grid.
+
+    Parameters
+    ----------
+    function:
+        Callable evaluated at each grid point.
+    executor:
+        Backend from :mod:`repro.cloud.executor`; serial by default.
+    """
+
+    def __init__(
+        self,
+        function: Callable[..., Any],
+        executor=None,
+    ) -> None:
+        self.function = function
+        self.executor = executor or SerialExecutor()
+
+    def run(self, grid: Dict[str, Sequence[Any]]) -> List[SweepPoint]:
+        """Expand the grid and evaluate every point."""
+        combos = expand_grid(grid)
+        tasks = [
+            (lambda params=params: self.function(**params))
+            for params in combos
+        ]
+        outcome: SweepResult = self.executor.run(tasks)
+        return [
+            SweepPoint(params=params, value=value)
+            for params, value in zip(combos, outcome.results)
+        ]
+
+    def best(
+        self,
+        grid: Dict[str, Sequence[Any]],
+        key: Callable[[Any], float],
+        maximize: bool = True,
+    ) -> SweepPoint:
+        """Run the sweep and return the best-scoring successful point."""
+        points = [point for point in self.run(grid) if not point.failed]
+        if not points:
+            raise ReproError("every sweep point failed")
+        chooser = max if maximize else min
+        return chooser(points, key=lambda point: key(point.value))

@@ -1,0 +1,307 @@
+"""Identification of viable analysis end-goals.
+
+"This is the core and one of the most innovative contributions of the
+ADA-HEALTH architecture. ... The key components are (i) a knowledge
+database storing past user feedback ..., (ii) an algorithm to identify
+viable end-goals, and (iii) an algorithm to select end-goals of
+interest."
+
+Three pieces, mirroring the paper:
+
+* :data:`DEFAULT_END_GOALS` — the registry of broadly-defined analyses
+  the paper's introduction motivates (patient segmentation,
+  co-prescription patterns, care-pathway rules, outlier screening,
+  category-level profiles);
+* :class:`ViableEndGoalFinder` — "a set of formal rules able to predict
+  the feasible analysis end-goals on a given dataset": predicates over
+  the dataset's statistical profile;
+* :class:`EndGoalInterestModel` — "addressed again as a classification
+  problem ... trained by previous user interactions": learns which
+  viable goals a given user finds interesting, and, as the paper claims,
+  gets more accurate as interactions accumulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EndGoalError
+from repro.mining.decision_tree import DecisionTreeClassifier
+from repro.preprocess.characterization import DatasetProfile
+
+
+@dataclass(frozen=True)
+class EndGoal:
+    """A broadly-defined analysis end-goal.
+
+    ``feasible`` is the formal viability rule: a predicate over the
+    dataset profile returning ``(viable, reason)``.
+    """
+
+    name: str
+    description: str
+    kind: str  # the knowledge kind the goal produces
+    algorithm_family: str
+    feasible: Callable[[DatasetProfile], Tuple[bool, str]]
+
+
+def _always(profile: DatasetProfile) -> Tuple[bool, str]:
+    return True, "no structural requirement"
+
+
+def _needs_cohort(profile: DatasetProfile) -> Tuple[bool, str]:
+    if profile.n_rows < 50:
+        return False, f"cohort too small ({profile.n_rows} < 50 patients)"
+    return True, f"cohort of {profile.n_rows} patients is sufficient"
+
+
+def _needs_transactions(profile: DatasetProfile) -> Tuple[bool, str]:
+    if profile.mean_row_nonzeros < 2:
+        return False, "patients average fewer than 2 distinct exams"
+    if profile.density > 0.9:
+        return False, "data is dense; itemset mining adds nothing"
+    return True, "sparse transactional structure present"
+
+
+def _needs_skew(profile: DatasetProfile) -> Tuple[bool, str]:
+    if profile.gini < 0.3:
+        return (
+            False,
+            "feature frequencies are near-uniform; no informative tail",
+        )
+    return True, f"frequency skew present (gini={profile.gini:.2f})"
+
+
+def _needs_density_contrast(profile: DatasetProfile) -> Tuple[bool, str]:
+    if profile.n_rows < 100:
+        return False, "too few patients for density estimation"
+    if profile.std_row_nonzeros == 0:
+        return False, "all patients have identical exam breadth"
+    return True, "row-density contrast allows outlier screening"
+
+
+DEFAULT_END_GOALS: Tuple[EndGoal, ...] = (
+    EndGoal(
+        name="patient-segmentation",
+        description=(
+            "Discover groups of patients with similar examination"
+            " history (clustering)."
+        ),
+        kind="cluster_set",
+        algorithm_family="clustering",
+        feasible=_needs_cohort,
+    ),
+    EndGoal(
+        name="co-prescription-patterns",
+        description=(
+            "Identify examinations commonly prescribed together"
+            " (frequent itemsets)."
+        ),
+        kind="itemset",
+        algorithm_family="pattern-mining",
+        feasible=_needs_transactions,
+    ),
+    EndGoal(
+        name="care-pathway-rules",
+        description=(
+            "Derive implication rules between examinations"
+            " (association rules)."
+        ),
+        kind="association_rule",
+        algorithm_family="pattern-mining",
+        feasible=_needs_transactions,
+    ),
+    EndGoal(
+        name="care-sequences",
+        description=(
+            "Discover recurring temporal sequences of visits"
+            " (sequential patterns over dated examinations)."
+        ),
+        kind="sequence",
+        algorithm_family="pattern-mining",
+        feasible=_needs_transactions,
+    ),
+    EndGoal(
+        name="outlier-screening",
+        description=(
+            "Flag patients whose examination history deviates from"
+            " every dense group (density-based outliers)."
+        ),
+        kind="outlier_set",
+        algorithm_family="clustering",
+        feasible=_needs_density_contrast,
+    ),
+    EndGoal(
+        name="guideline-compliance",
+        description=(
+            "Assess adherence of the delivered care to clinical"
+            " guidelines (minimum examination frequencies)."
+        ),
+        kind="profile",
+        algorithm_family="assessment",
+        feasible=_needs_cohort,
+    ),
+    EndGoal(
+        name="exam-category-profiles",
+        description=(
+            "Summarise behaviour at taxonomy level (generalised"
+            " itemsets across abstraction levels)."
+        ),
+        kind="itemset",
+        algorithm_family="pattern-mining",
+        feasible=_needs_skew,
+    ),
+)
+
+
+@dataclass
+class ViableGoal:
+    """A goal judged viable (or not) for a dataset, with the reason."""
+
+    goal: EndGoal
+    viable: bool
+    reason: str
+
+
+class ViableEndGoalFinder:
+    """Apply the formal feasibility rules to a dataset profile."""
+
+    def __init__(
+        self, goals: Sequence[EndGoal] = DEFAULT_END_GOALS
+    ) -> None:
+        if not goals:
+            raise EndGoalError("no end-goals registered")
+        names = [goal.name for goal in goals]
+        if len(set(names)) != len(names):
+            raise EndGoalError("end-goal names must be unique")
+        self.goals = list(goals)
+
+    def assess(self, profile: DatasetProfile) -> List[ViableGoal]:
+        """Evaluate every registered goal against the profile."""
+        results = []
+        for goal in self.goals:
+            viable, reason = goal.feasible(profile)
+            results.append(
+                ViableGoal(goal=goal, viable=viable, reason=reason)
+            )
+        return results
+
+    def viable(self, profile: DatasetProfile) -> List[EndGoal]:
+        """Only the goals whose rules pass."""
+        return [
+            assessment.goal
+            for assessment in self.assess(profile)
+            if assessment.viable
+        ]
+
+    def by_name(self, name: str) -> EndGoal:
+        """Look a goal up by name."""
+        for goal in self.goals:
+            if goal.name == name:
+                return goal
+        raise EndGoalError(f"unknown end-goal: {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Interest prediction
+# ----------------------------------------------------------------------
+def goal_features(
+    goal: EndGoal, profile: DatasetProfile, goal_names: Sequence[str]
+) -> List[float]:
+    """Feature vector for (goal, dataset) interest classification."""
+    onehot = [1.0 if goal.name == name else 0.0 for name in goal_names]
+    return onehot + [
+        float(profile.sparsity),
+        float(profile.gini),
+        float(profile.normalized_entropy),
+        float(np.log1p(profile.n_rows)),
+        float(np.log1p(profile.n_features)),
+        float(profile.mean_row_nonzeros),
+    ]
+
+
+class EndGoalInterestModel:
+    """Learns which viable end-goals interest a user.
+
+    Training examples are past interactions: (goal, dataset profile,
+    interested yes/no). The model is the paper's suggested
+    classification approach; with no training data it falls back to a
+    neutral prior (every goal equally interesting), so the engine works
+    out of the box and improves with feedback.
+    """
+
+    def __init__(
+        self,
+        goal_names: Sequence[str],
+        seed: int = 0,
+    ) -> None:
+        if not goal_names:
+            raise EndGoalError("goal_names must be non-empty")
+        self.goal_names = list(goal_names)
+        self.seed = seed
+        self._rows: List[List[float]] = []
+        self._labels: List[int] = []
+        self._tree: Optional[DecisionTreeClassifier] = None
+
+    @property
+    def n_interactions(self) -> int:
+        """Number of recorded interactions."""
+        return len(self._labels)
+
+    def record_interaction(
+        self, goal: EndGoal, profile: DatasetProfile, interested: bool
+    ) -> None:
+        """Store one user interaction and invalidate the fitted model."""
+        self._rows.append(goal_features(goal, profile, self.goal_names))
+        self._labels.append(1 if interested else 0)
+        self._tree = None
+
+    def _ensure_fitted(self) -> Optional[DecisionTreeClassifier]:
+        if self._tree is None and len(set(self._labels)) >= 2:
+            tree = DecisionTreeClassifier(
+                max_depth=5, min_samples_leaf=2, seed=self.seed
+            )
+            tree.fit(np.array(self._rows), np.array(self._labels))
+            self._tree = tree
+        return self._tree
+
+    def interest_probability(
+        self, goal: EndGoal, profile: DatasetProfile
+    ) -> float:
+        """P(user is interested in this goal on this dataset)."""
+        tree = self._ensure_fitted()
+        if tree is None:
+            return 0.5  # neutral prior until both classes observed
+        row = np.array([goal_features(goal, profile, self.goal_names)])
+        probabilities = tree.predict_proba(row)[0]
+        class_index = {
+            cls: i for i, cls in enumerate(tree.classes_)  # type: ignore
+        }
+        return float(probabilities[class_index.get(1, 0)])
+
+    def rank_goals(
+        self, goals: Sequence[EndGoal], profile: DatasetProfile
+    ) -> List[Tuple[EndGoal, float]]:
+        """Goals with interest probabilities, most interesting first."""
+        scored = [
+            (goal, self.interest_probability(goal, profile))
+            for goal in goals
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0].name))
+        return scored
+
+    def accuracy_on(
+        self,
+        interactions: Sequence[Tuple[EndGoal, DatasetProfile, bool]],
+    ) -> float:
+        """Accuracy of the current model on held-out interactions."""
+        if not interactions:
+            raise EndGoalError("no interactions to evaluate")
+        correct = 0
+        for goal, profile, interested in interactions:
+            predicted = self.interest_probability(goal, profile) >= 0.5
+            correct += int(predicted == interested)
+        return correct / len(interactions)

@@ -1,0 +1,587 @@
+"""The ADA-HEALTH engine: automated analysis with minimal user input.
+
+The facade wiring every component of the architecture together, in the
+order of the paper's Figure 1:
+
+1. **characterise** the dataset and store descriptors in the K-DB;
+2. **identify viable end-goals** with the formal feasibility rules,
+   ranked by the learned interest model;
+3. per goal, **transform** the data, run **adaptive partial mining**
+   and the **algorithm optimiser**, and execute the mining algorithm;
+4. wrap the output in **knowledge items**, score their interestingness
+   (predicting the expert degree when feedback history exists);
+5. **rank** the items and return a navigable result whose feedback
+   flows back into the K-DB, the ranker and the interest model.
+
+A single call does all of it::
+
+    engine = ADAHealth(seed=7)
+    result = engine.analyze(log, name="diabetes-2016")
+    for item in result.top(10):
+        print(item.describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.endgoals import (
+    DEFAULT_END_GOALS,
+    EndGoal,
+    EndGoalInterestModel,
+    ViableEndGoalFinder,
+    ViableGoal,
+)
+from repro.core.extractors import (
+    extract_cluster_items,
+    extract_generalized_items,
+    extract_itemset_items,
+    extract_outlier_item,
+    extract_rule_items,
+    extract_sequence_items,
+)
+from repro.core.interestingness import degree_from_score, score_items
+from repro.core.knowledge import KnowledgeItem
+from repro.core.optimizer import KMeansOptimizer, OptimizationReport
+from repro.core.partial import HorizontalPartialMiner, PartialMiningResult
+from repro.core.ranking import KnowledgeRanker, NavigationSession
+from repro.data.records import ExamLog
+from repro.exceptions import EndGoalError, EngineError
+from repro.mining.dbscan import DBSCAN
+from repro.mining.generalized import mine_generalized_itemsets
+from repro.mining.itemsets import mine_frequent_itemsets
+from repro.mining.rules import generate_rules
+from repro.preprocess.characterization import characterize_log
+from repro.preprocess.transforms import L2Normalizer
+from repro.preprocess.vsm import VSMBuilder
+
+
+@dataclass
+class EngineConfig:
+    """Tunable knobs of the automated pipeline.
+
+    Defaults are sized for interactive use on cohort-scale logs; the
+    full paper-scale sweep (Table I) is available through
+    :class:`repro.core.optimizer.KMeansOptimizer` directly.
+    """
+
+    k_values: Sequence[int] = (4, 6, 8, 10)
+    partial_fractions: Sequence[float] = (0.2, 0.4, 1.0)
+    partial_k_values: Sequence[int] = (6, 8)
+    partial_tolerance: float = 0.05
+    weighting: str = "binary"
+    auto_transform: bool = False
+    min_support: float = 0.15
+    min_confidence: float = 0.7
+    generalized_min_support: float = 0.3
+    sequence_min_support: float = 0.2
+    sequence_max_length: int = 3
+    sequence_sample: int = 1500
+    max_goals: Optional[int] = None
+    items_per_goal: int = 25
+    n_folds: int = 5
+
+
+@dataclass
+class GoalRun:
+    """Everything produced while pursuing one end-goal."""
+
+    goal: EndGoal
+    items: List[KnowledgeItem]
+    optimization: Optional[OptimizationReport] = None
+    partial: Optional[PartialMiningResult] = None
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one automated analysis session."""
+
+    dataset_id: Any
+    profile: Any
+    assessments: List[ViableGoal]
+    runs: List[GoalRun]
+    items: List[KnowledgeItem]  # ranked, best first
+    engine: "ADAHealth"
+    user: str
+
+    def top(self, count: int = 10) -> List[KnowledgeItem]:
+        """The ``count`` best-ranked knowledge items."""
+        return self.items[:count]
+
+    def run_for(self, goal_name: str) -> GoalRun:
+        """The run record of a goal by name."""
+        for run in self.runs:
+            if run.goal.name == goal_name:
+                return run
+        raise EndGoalError(f"goal {goal_name!r} was not run")
+
+    def navigate(self, page_size: int = 10) -> NavigationSession:
+        """Open an interactive navigation session over the items.
+
+        Feedback given through the session adapts the engine's ranker
+        and is persisted in the K-DB.
+        """
+        return NavigationSession(
+            items=self.items,
+            ranker=self.engine.ranker,
+            page_size=page_size,
+            kdb=self.engine.kdb,
+            user=self.user,
+        )
+
+    def summary(self) -> str:
+        """Human-readable session report."""
+        lines = [
+            f"dataset {self.dataset_id}: {self.profile.n_rows} patients x"
+            f" {self.profile.n_features} exam types"
+            f" (sparsity {self.profile.sparsity:.2f})",
+            "end-goals:",
+        ]
+        ran = {run.goal.name for run in self.runs}
+        for assessment in self.assessments:
+            status = (
+                "ran"
+                if assessment.goal.name in ran
+                else ("viable" if assessment.viable else "not viable")
+            )
+            lines.append(
+                f"  - {assessment.goal.name}: {status}"
+                f" ({assessment.reason})"
+            )
+        lines.append(f"knowledge items: {len(self.items)}")
+        for item in self.top(5):
+            lines.append(f"  * {item.describe()}")
+        return "\n".join(lines)
+
+
+class ADAHealth:
+    """The automated medical data-analysis engine.
+
+    Parameters
+    ----------
+    kdb:
+        A :class:`repro.kdb.KnowledgeBase`; a fresh in-memory one by
+        default.
+    goals:
+        End-goal registry (the paper's broad analysis families by
+        default: segmentation, co-prescriptions, rules, sequences,
+        outliers, category profiles).
+    config:
+        Pipeline knobs.
+    seed:
+        Seed for every stochastic step.
+    """
+
+    def __init__(
+        self,
+        kdb=None,
+        goals: Sequence[EndGoal] = DEFAULT_END_GOALS,
+        config: Optional[EngineConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if kdb is None:
+            from repro.kdb.kdb import KnowledgeBase
+
+            kdb = KnowledgeBase()
+        self.kdb = kdb
+        self.finder = ViableEndGoalFinder(goals)
+        self.config = config or EngineConfig()
+        self.seed = seed
+        self.ranker = KnowledgeRanker()
+        self.interest_model = EndGoalInterestModel(
+            goal_names=[goal.name for goal in goals], seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        log: ExamLog,
+        name: str = "dataset",
+        user: str = "anonymous",
+        goals: Optional[Sequence[str]] = None,
+    ) -> AnalysisResult:
+        """Run the full automated pipeline on an examination log.
+
+        Parameters
+        ----------
+        goals:
+            Optional explicit goal names; by default every *viable* goal
+            is pursued, in the interest model's preference order
+            (limited by ``config.max_goals``).
+        """
+        profile = characterize_log(log)
+        dataset_id = self.kdb.register_dataset(log, name)
+        self.kdb.store_profile(dataset_id, profile.to_document())
+
+        assessments = self.finder.assess(profile)
+        selected = self._select_goals(assessments, profile, goals)
+
+        runs: List[GoalRun] = []
+        for goal in selected:
+            runs.append(self._run_goal(goal, log, profile, dataset_id))
+
+        items: List[KnowledgeItem] = []
+        for run in runs:
+            items.extend(run.items)
+        score_items(items)
+        self._attach_degrees(items)
+        self.kdb.store_items(items, dataset_id)
+        ranked = self.ranker.rank(items)
+        for rank, item in enumerate(ranked[: self.config.items_per_goal]):
+            self.kdb.select_item(item, rank)
+
+        return AnalysisResult(
+            dataset_id=dataset_id,
+            profile=profile,
+            assessments=assessments,
+            runs=runs,
+            items=ranked,
+            engine=self,
+            user=user,
+        )
+
+    # ------------------------------------------------------------------
+    def _select_goals(
+        self,
+        assessments: List[ViableGoal],
+        profile,
+        requested: Optional[Sequence[str]],
+    ) -> List[EndGoal]:
+        viable = [a.goal for a in assessments if a.viable]
+        if requested is not None:
+            chosen = []
+            viable_names = {goal.name for goal in viable}
+            for name in requested:
+                goal = self.finder.by_name(name)
+                if name not in viable_names:
+                    raise EndGoalError(
+                        f"goal {name!r} is not viable for this dataset"
+                    )
+                chosen.append(goal)
+            return chosen
+        ranked = self.interest_model.rank_goals(viable, profile)
+        goals = [goal for goal, __ in ranked]
+        if self.config.max_goals is not None:
+            goals = goals[: self.config.max_goals]
+        return goals
+
+    def _attach_degrees(self, items: List[KnowledgeItem]) -> None:
+        """Predict degrees from feedback history when available."""
+        if self.kdb.feedback_count() >= 10:
+            predictor = self.kdb.train_degree_predictor(seed=self.seed)
+            predictor.predict_many(items, attach=True)
+        else:
+            for item in items:
+                item.degree = degree_from_score(item.score)
+
+    # ------------------------------------------------------------------
+    # Per-goal pipelines
+    # ------------------------------------------------------------------
+    def _run_goal(
+        self, goal: EndGoal, log: ExamLog, profile, dataset_id
+    ) -> GoalRun:
+        if goal.name == "patient-segmentation":
+            return self._run_segmentation(goal, log, dataset_id)
+        if goal.name == "co-prescription-patterns":
+            return self._run_itemsets(goal, log, dataset_id)
+        if goal.name == "care-pathway-rules":
+            return self._run_rules(goal, log, dataset_id)
+        if goal.name == "care-sequences":
+            return self._run_sequences(goal, log, dataset_id)
+        if goal.name == "outlier-screening":
+            return self._run_outliers(goal, log, dataset_id)
+        if goal.name == "guideline-compliance":
+            return self._run_compliance(goal, log, dataset_id)
+        if goal.name == "exam-category-profiles":
+            return self._run_generalized(goal, log, dataset_id)
+        raise EndGoalError(
+            f"no pipeline registered for end-goal {goal.name!r}"
+        )
+
+    def _run_segmentation(self, goal, log, dataset_id) -> GoalRun:
+        cfg = self.config
+        weighting = cfg.weighting
+        normalize = True
+        if cfg.auto_transform:
+            # The paper's "totally automatic strategy to select the
+            # optimal data transformation": pilot-cluster the candidate
+            # (weighting, scaling) combinations and keep the winner.
+            from repro.preprocess.autoselect import TransformSelector
+
+            selection = TransformSelector(seed=self.seed).select(log)
+            weighting = selection.best.weighting
+            normalize = selection.best.scaling == "l2"
+        miner = HorizontalPartialMiner(
+            fractions=cfg.partial_fractions,
+            k_values=cfg.partial_k_values,
+            tolerance=cfg.partial_tolerance,
+            weighting=weighting,
+            normalize=normalize,
+            seed=self.seed,
+        )
+        partial = miner.mine(log)
+        codes = partial.selected_codes
+        vsm = VSMBuilder(weighting, exam_codes=codes).build(log)
+        matrix = (
+            L2Normalizer().transform(vsm.matrix)
+            if normalize
+            else vsm.matrix
+        )
+        self.kdb.store_transformation(
+            dataset_id,
+            {
+                "weighting": weighting,
+                "scaling": "l2" if normalize else "identity",
+                "auto_selected": cfg.auto_transform,
+                "n_features": len(codes),
+                "feature_fraction": partial.selected_fraction,
+            },
+        )
+        k_values = [k for k in cfg.k_values if k < matrix.shape[0]]
+        if not k_values:
+            raise EngineError("dataset too small for any configured K")
+        optimizer = KMeansOptimizer(
+            k_values=k_values,
+            n_folds=cfg.n_folds,
+            seed=self.seed,
+        )
+        report = optimizer.optimize(matrix)
+        best = report.best_row
+        items = extract_cluster_items(
+            matrix,
+            best.labels,
+            best.centers,
+            log,
+            codes,
+            end_goal=goal.name,
+            run_quality={
+                "overall_similarity": best.overall_similarity,
+                "accuracy": best.accuracy,
+                "avg_precision": best.avg_precision,
+                "avg_recall": best.avg_recall,
+            },
+            provenance={
+                "algorithm": "kmeans",
+                "k": best.k,
+                "weighting": weighting,
+                "feature_fraction": partial.selected_fraction,
+                "dataset_id": dataset_id,
+            },
+        )
+        return GoalRun(
+            goal=goal, items=items, optimization=report, partial=partial
+        )
+
+    def _transactions(self, log: ExamLog) -> List[List[str]]:
+        return log.transactions(by="patient")
+
+    def _run_itemsets(self, goal, log, dataset_id) -> GoalRun:
+        transactions = self._transactions(log)
+        itemsets = mine_frequent_itemsets(
+            transactions, self.config.min_support, algorithm="fpgrowth"
+        )
+        items = extract_itemset_items(
+            itemsets,
+            end_goal=goal.name,
+            top=self.config.items_per_goal,
+            provenance={
+                "algorithm": "fpgrowth",
+                "min_support": self.config.min_support,
+                "dataset_id": dataset_id,
+            },
+        )
+        return GoalRun(
+            goal=goal, items=items, notes={"n_itemsets": len(itemsets)}
+        )
+
+    def _run_rules(self, goal, log, dataset_id) -> GoalRun:
+        transactions = self._transactions(log)
+        itemsets = mine_frequent_itemsets(
+            transactions, self.config.min_support, algorithm="fpgrowth"
+        )
+        rules = generate_rules(
+            itemsets, min_confidence=self.config.min_confidence
+        )
+        items = extract_rule_items(
+            rules,
+            end_goal=goal.name,
+            top=self.config.items_per_goal,
+            provenance={
+                "algorithm": "fpgrowth+rules",
+                "min_support": self.config.min_support,
+                "min_confidence": self.config.min_confidence,
+                "dataset_id": dataset_id,
+            },
+        )
+        return GoalRun(goal=goal, items=items, notes={"n_rules": len(rules)})
+
+    def _run_sequences(self, goal, log, dataset_id) -> GoalRun:
+        from repro.mining.sequences import (
+            mine_sequences,
+            sequences_from_log,
+        )
+
+        cfg = self.config
+        sequences = sequences_from_log(log)
+        # Vertical partial mining for the expensive temporal miner: a
+        # patient sample bounds the PrefixSpan cost; supports are
+        # estimates over the sample (noted in the provenance).
+        sampled = len(sequences) > cfg.sequence_sample
+        if sampled:
+            rng = np.random.default_rng(self.seed)
+            picks = rng.choice(
+                len(sequences), size=cfg.sequence_sample, replace=False
+            )
+            sequences = [sequences[i] for i in sorted(picks)]
+        patterns = mine_sequences(
+            sequences,
+            cfg.sequence_min_support,
+            max_length=cfg.sequence_max_length,
+        )
+        items = extract_sequence_items(
+            patterns,
+            end_goal=goal.name,
+            top=cfg.items_per_goal,
+            provenance={
+                "algorithm": "prefixspan",
+                "min_support": cfg.sequence_min_support,
+                "sampled": sampled,
+                "n_sequences": len(sequences),
+                "dataset_id": dataset_id,
+            },
+        )
+        return GoalRun(
+            goal=goal, items=items, notes={"n_patterns": len(patterns)}
+        )
+
+    def _run_outliers(self, goal, log, dataset_id) -> GoalRun:
+        vsm = VSMBuilder(self.config.weighting).build(log)
+        matrix = L2Normalizer().transform(vsm.matrix)
+        eps = _eps_heuristic(matrix, seed=self.seed)
+        model = DBSCAN(eps=eps, min_samples=5).fit(matrix)
+        item = extract_outlier_item(
+            model.labels_,
+            vsm.patient_ids,
+            end_goal=goal.name,
+            provenance={
+                "algorithm": "dbscan",
+                "eps": eps,
+                "min_samples": 5,
+                "dataset_id": dataset_id,
+            },
+        )
+        # Attach a ranked most-atypical list (kNN distance scores) so
+        # navigation can show "the N strangest histories", not just a
+        # flat noise set.
+        from repro.mining.outliers import top_outliers
+
+        indexes, scores = top_outliers(
+            matrix, n_outliers=20, n_neighbors=5
+        )
+        item.payload["most_atypical"] = [
+            {
+                "patient_id": int(vsm.patient_ids[index]),
+                "score": float(score),
+            }
+            for index, score in zip(indexes, scores)
+        ]
+        return GoalRun(
+            goal=goal,
+            items=[item],
+            notes={"n_clusters": model.n_clusters()},
+        )
+
+    def _run_compliance(self, goal, log, dataset_id) -> GoalRun:
+        from repro.core.guidelines import (
+            assess_compliance,
+            default_diabetes_guidelines,
+            extract_compliance_items,
+        )
+        from repro.exceptions import DataError
+
+        # Keep only the guidelines resolvable against this taxonomy
+        # (scaled-down logs may lack some named exams).
+        usable = []
+        for guideline in default_diabetes_guidelines():
+            try:
+                if guideline.exam_name is not None:
+                    log.taxonomy.by_name(guideline.exam_name)
+                else:
+                    log.taxonomy.codes_in_category(guideline.category)
+                usable.append(guideline)
+            except DataError:
+                continue
+        if not usable:
+            return GoalRun(
+                goal=goal, items=[], notes={"n_guidelines": 0}
+            )
+        report = assess_compliance(log, usable)
+        items = extract_compliance_items(
+            report,
+            end_goal=goal.name,
+            provenance={
+                "algorithm": "guideline-assessment",
+                "n_guidelines": len(usable),
+                "dataset_id": dataset_id,
+            },
+        )
+        return GoalRun(
+            goal=goal,
+            items=items,
+            notes={
+                "n_guidelines": len(usable),
+                "mean_patient_score": report.mean_patient_score,
+            },
+        )
+
+    def _run_generalized(self, goal, log, dataset_id) -> GoalRun:
+        transactions = self._transactions(log)
+        generalized = mine_generalized_itemsets(
+            transactions,
+            log.taxonomy.parent_map(),
+            self.config.generalized_min_support,
+            max_length=4,
+        )
+        items = extract_generalized_items(
+            generalized,
+            end_goal=goal.name,
+            top=self.config.items_per_goal,
+            provenance={
+                "algorithm": "generalized-fpgrowth",
+                "min_support": self.config.generalized_min_support,
+                "dataset_id": dataset_id,
+            },
+        )
+        return GoalRun(
+            goal=goal,
+            items=items,
+            notes={"n_generalized": len(generalized)},
+        )
+
+    # ------------------------------------------------------------------
+    def record_goal_feedback(
+        self, goal_name: str, profile, interested: bool
+    ) -> None:
+        """Teach the interest model whether a goal was worth running."""
+        goal = self.finder.by_name(goal_name)
+        self.interest_model.record_interaction(goal, profile, interested)
+
+
+def _eps_heuristic(
+    matrix: np.ndarray, quantile: float = 0.15, seed: int = 0
+) -> float:
+    """Pick a DBSCAN radius from a sample of pairwise distances."""
+    rng = np.random.default_rng(seed)
+    n = matrix.shape[0]
+    sample = matrix[rng.choice(n, size=min(n, 400), replace=False)]
+    from repro.mining.distance import squared_euclidean
+
+    distances = np.sqrt(squared_euclidean(sample, sample))
+    positive = distances[distances > 0]
+    if positive.size == 0:
+        return 0.5
+    return float(np.quantile(positive, quantile))

@@ -1,0 +1,301 @@
+"""Turn raw mining output into :class:`KnowledgeItem` envelopes.
+
+Each extractor takes the output of one algorithm family and produces the
+ranked, quality-annotated items the navigation layer presents. The
+quality fields populated here are the ones the interestingness scorers
+(:mod:`repro.core.interestingness`) consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.knowledge import KnowledgeItem
+from repro.data.records import ExamLog
+from repro.exceptions import EngineError
+from repro.mining.dbscan import NOISE
+from repro.mining.generalized import GeneralizedItemset
+from repro.mining.itemsets import Itemset
+from repro.mining.metrics import overall_similarity
+from repro.mining.rules import AssociationRule
+
+
+def _top_feature_names(
+    center: np.ndarray,
+    log: ExamLog,
+    exam_codes: Sequence[int],
+    top: int = 5,
+) -> List[str]:
+    order = np.argsort(-center)[:top]
+    names = []
+    for position in order:
+        if center[position] <= 0:
+            break
+        names.append(log.taxonomy.by_code(int(exam_codes[position])).name)
+    return names
+
+
+def extract_cluster_items(
+    matrix: np.ndarray,
+    labels: np.ndarray,
+    centers: np.ndarray,
+    log: ExamLog,
+    exam_codes: Sequence[int],
+    end_goal: str = "patient-segmentation",
+    run_quality: Optional[Dict[str, float]] = None,
+    provenance: Optional[Dict] = None,
+) -> List[KnowledgeItem]:
+    """One ``cluster_set`` item for the run plus one item per cluster.
+
+    Per-cluster quality: ``cohesion`` (internal cosine similarity),
+    ``size_share`` and ``distinctiveness`` (cosine distance of the
+    centroid from the global centroid, in [0, 1]).
+    """
+    labels = np.asarray(labels)
+    n = matrix.shape[0]
+    if labels.shape[0] != n:
+        raise EngineError("labels must align with the matrix")
+    provenance = dict(provenance or {})
+    global_centroid = matrix.mean(axis=0)
+    global_norm = np.linalg.norm(global_centroid)
+
+    items: List[KnowledgeItem] = []
+    run_quality = dict(run_quality or {})
+    run_quality.setdefault(
+        "overall_similarity", float(overall_similarity(matrix, labels))
+    )
+    items.append(
+        KnowledgeItem(
+            kind="cluster_set",
+            end_goal=end_goal,
+            title=(
+                f"{len(np.unique(labels))}-cluster segmentation of"
+                f" {n} patients"
+            ),
+            payload={"n_clusters": int(len(np.unique(labels)))},
+            quality=run_quality,
+            provenance=provenance,
+        )
+    )
+
+    for cluster in np.unique(labels):
+        mask = labels == cluster
+        members = matrix[mask]
+        size = int(mask.sum())
+        cohesion = float(
+            overall_similarity(members, np.zeros(size, dtype=int))
+        )
+        center = (
+            centers[int(cluster)]
+            if centers is not None
+            else members.mean(axis=0)
+        )
+        center_norm = np.linalg.norm(center)
+        if center_norm > 0 and global_norm > 0:
+            distinctiveness = float(
+                1.0
+                - (center @ global_centroid) / (center_norm * global_norm)
+            )
+        else:
+            distinctiveness = 0.0
+        # Describe the group by what *distinguishes* it from the cohort
+        # (the exams everyone undergoes are not informative).
+        top_exams = _top_feature_names(
+            center - global_centroid, log, exam_codes
+        )
+        if not top_exams:
+            top_exams = _top_feature_names(center, log, exam_codes)
+        items.append(
+            KnowledgeItem(
+                kind="cluster",
+                end_goal=end_goal,
+                title=(
+                    f"patient group {int(cluster)}: {size} patients,"
+                    f" marked by {', '.join(top_exams[:3]) or 'no exams'}"
+                ),
+                payload={
+                    "cluster": int(cluster),
+                    "size": size,
+                    "top_exams": top_exams,
+                },
+                quality={
+                    "cohesion": cohesion,
+                    "size_share": size / n,
+                    "distinctiveness": max(0.0, min(1.0, distinctiveness)),
+                },
+                provenance=provenance,
+            )
+        )
+    return items
+
+
+def extract_itemset_items(
+    itemsets: Sequence[Itemset],
+    end_goal: str = "co-prescription-patterns",
+    min_length: int = 2,
+    top: int = 25,
+    provenance: Optional[Dict] = None,
+) -> List[KnowledgeItem]:
+    """Knowledge items for the strongest frequent co-prescriptions."""
+    provenance = dict(provenance or {})
+    candidates = [s for s in itemsets if len(s.items) >= min_length]
+    candidates.sort(key=lambda s: (-len(s.items), -s.support))
+    items = []
+    for itemset in candidates[:top]:
+        names = ", ".join(itemset.sorted_items())
+        items.append(
+            KnowledgeItem(
+                kind="itemset",
+                end_goal=end_goal,
+                title=f"co-prescribed: {names}",
+                payload={
+                    "items": list(itemset.sorted_items()),
+                    "count": itemset.count,
+                },
+                quality={
+                    "support": itemset.support,
+                    "length": float(len(itemset.items)),
+                },
+                provenance=provenance,
+            )
+        )
+    return items
+
+
+def extract_generalized_items(
+    itemsets: Sequence[GeneralizedItemset],
+    end_goal: str = "exam-category-profiles",
+    top: int = 25,
+    provenance: Optional[Dict] = None,
+) -> List[KnowledgeItem]:
+    """Knowledge items for category-level and mixed-level patterns."""
+    provenance = dict(provenance or {})
+    interesting = [
+        s for s in itemsets if s.level != "leaf" and len(s.items) >= 2
+    ]
+    interesting.sort(key=lambda s: (-len(s.items), -s.support))
+    items = []
+    for itemset in interesting[:top]:
+        names = ", ".join(itemset.sorted_items())
+        items.append(
+            KnowledgeItem(
+                kind="itemset",
+                end_goal=end_goal,
+                title=f"[{itemset.level}] pattern: {names}",
+                payload={
+                    "items": list(itemset.sorted_items()),
+                    "level": itemset.level,
+                    "count": itemset.count,
+                },
+                quality={
+                    "support": itemset.support,
+                    "length": float(len(itemset.items)),
+                },
+                provenance=provenance,
+            )
+        )
+    return items
+
+
+def extract_rule_items(
+    rules: Sequence[AssociationRule],
+    end_goal: str = "care-pathway-rules",
+    top: int = 25,
+    provenance: Optional[Dict] = None,
+) -> List[KnowledgeItem]:
+    """Knowledge items for the strongest association rules."""
+    provenance = dict(provenance or {})
+    ordered = sorted(rules, key=lambda r: (-r.confidence, -r.lift))
+    items = []
+    for rule in ordered[:top]:
+        lhs = ", ".join(sorted(rule.antecedent))
+        rhs = ", ".join(sorted(rule.consequent))
+        items.append(
+            KnowledgeItem(
+                kind="association_rule",
+                end_goal=end_goal,
+                title=f"{lhs} => {rhs}",
+                payload={
+                    "antecedent": sorted(rule.antecedent),
+                    "consequent": sorted(rule.consequent),
+                },
+                quality={
+                    "support": rule.support,
+                    "confidence": rule.confidence,
+                    "lift": rule.lift,
+                    "leverage": rule.leverage,
+                },
+                provenance=provenance,
+            )
+        )
+    return items
+
+
+def extract_sequence_items(
+    patterns,
+    end_goal: str = "care-sequences",
+    min_elements: int = 2,
+    top: int = 25,
+    provenance: Optional[Dict] = None,
+) -> List[KnowledgeItem]:
+    """Knowledge items for frequent care-pathway sequences.
+
+    Only genuinely temporal patterns (>= ``min_elements`` ordered
+    visits) become items; single-visit patterns duplicate what the
+    itemset extractor already covers.
+    """
+    provenance = dict(provenance or {})
+    temporal = [p for p in patterns if len(p.elements) >= min_elements]
+    temporal.sort(key=lambda p: (-len(p.elements), -p.support))
+    items = []
+    for pattern in temporal[:top]:
+        steps = [
+            ", ".join(sorted(element)) for element in pattern.elements
+        ]
+        items.append(
+            KnowledgeItem(
+                kind="sequence",
+                end_goal=end_goal,
+                title=" -> ".join(steps),
+                payload={
+                    "steps": [sorted(element) for element in
+                              pattern.elements],
+                    "count": pattern.count,
+                },
+                quality={
+                    "support": pattern.support,
+                    "n_elements": float(len(pattern.elements)),
+                    "length": float(pattern.n_items),
+                },
+                provenance=provenance,
+            )
+        )
+    return items
+
+
+def extract_outlier_item(
+    labels: np.ndarray,
+    patient_ids: Sequence[int],
+    end_goal: str = "outlier-screening",
+    provenance: Optional[Dict] = None,
+) -> KnowledgeItem:
+    """One ``outlier_set`` item from a DBSCAN labelling."""
+    labels = np.asarray(labels)
+    noise_mask = labels == NOISE
+    outliers = [
+        int(patient_ids[i]) for i in np.nonzero(noise_mask)[0][:200]
+    ]
+    ratio = float(noise_mask.mean())
+    return KnowledgeItem(
+        kind="outlier_set",
+        end_goal=end_goal,
+        title=(
+            f"{int(noise_mask.sum())} patients with atypical"
+            f" examination histories"
+        ),
+        payload={"patient_ids": outliers, "truncated": len(outliers) < int(noise_mask.sum())},
+        quality={"noise_ratio": ratio},
+        provenance=dict(provenance or {}),
+    )

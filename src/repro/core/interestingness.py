@@ -1,0 +1,168 @@
+"""Interestingness metrics over extracted knowledge.
+
+"It is hard to envision a system capable of evaluating and comparing
+hundreds of different data mining technique configurations, without
+being able to effectively and automatically compare and rank their
+output. To this end, a set of interestingness metrics are needed to
+assess the quality of knowledge discovered by different algorithm runs."
+
+Two layers are provided:
+
+* per-item **base scores** in ``[0, 1]`` — kind-specific formulas over
+  the item's quality metrics (cluster cohesion/size balance, rule
+  confidence/lift, pattern support/length...);
+* the mapping of scores to the paper's expert **degrees**
+  ``{high, medium, low}``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List
+
+from repro.core.knowledge import DEGREES, KnowledgeItem
+from repro.exceptions import EngineError
+
+
+def score_cluster_item(quality: Dict[str, float]) -> float:
+    """Score a single-cluster item.
+
+    Combines cohesion (internal similarity, already in [0, 1]), the
+    cluster's share of the population (very small and very large
+    clusters are less actionable — a hump penalty centred on 1/K is
+    approximated by penalising the extremes), and distinctiveness (how
+    far the centroid sits from the global centroid, normalised upstream).
+    """
+    cohesion = _clamp(quality.get("cohesion", 0.0))
+    size_share = _clamp(quality.get("size_share", 0.0))
+    distinctiveness = _clamp(quality.get("distinctiveness", 0.0))
+    # Size sweet spot: full credit between 2% and 60% of the cohort.
+    if size_share < 0.02:
+        size_factor = size_share / 0.02
+    elif size_share > 0.6:
+        size_factor = max(0.0, (1.0 - size_share) / 0.4)
+    else:
+        size_factor = 1.0
+    return _clamp(
+        0.5 * cohesion + 0.3 * distinctiveness + 0.2 * size_factor
+    )
+
+
+def score_cluster_set(quality: Dict[str, float]) -> float:
+    """Score a whole cluster set (the run-level item).
+
+    Uses the paper's own optimisation signals: overall similarity and
+    the robustness classification metrics.
+    """
+    similarity = _clamp(quality.get("overall_similarity", 0.0))
+    accuracy = _clamp(quality.get("accuracy", 0.0))
+    recall = _clamp(quality.get("avg_recall", 0.0))
+    precision = _clamp(quality.get("avg_precision", 0.0))
+    return _clamp(
+        0.4 * similarity + 0.2 * accuracy + 0.2 * precision + 0.2 * recall
+    )
+
+
+def score_itemset(quality: Dict[str, float]) -> float:
+    """Score a frequent pattern: support damped by ubiquity, rewarded
+    for length (longer co-prescription panels are more informative)."""
+    support = _clamp(quality.get("support", 0.0))
+    length = max(1.0, quality.get("length", 1.0))
+    # Support sweet spot: patterns holding for 10-60% of patients.
+    if support < 0.1:
+        support_factor = support / 0.1
+    elif support > 0.6:
+        support_factor = max(0.2, 1.0 - (support - 0.6))
+    else:
+        support_factor = 1.0
+    length_factor = 1.0 - 1.0 / (1.0 + 0.5 * (length - 1.0))
+    return _clamp(0.6 * support_factor + 0.4 * length_factor)
+
+
+def score_rule(quality: Dict[str, float]) -> float:
+    """Score an association rule by confidence and (log-squashed) lift."""
+    confidence = _clamp(quality.get("confidence", 0.0))
+    lift = max(0.0, quality.get("lift", 1.0))
+    # lift 1 -> 0 (independence), lift >= ~4 saturates toward 1.
+    lift_factor = _clamp(math.log(max(lift, 1e-9)) / math.log(4.0))
+    support = _clamp(quality.get("support", 0.0))
+    return _clamp(0.45 * confidence + 0.4 * lift_factor + 0.15 * support)
+
+
+def score_outlier_set(quality: Dict[str, float]) -> float:
+    """Score an outlier set: rarity is the point, but an 'outlier set'
+    holding half the cohort signals a bad eps, not knowledge."""
+    noise_ratio = _clamp(quality.get("noise_ratio", 0.0))
+    if noise_ratio <= 0.0:
+        return 0.0
+    if noise_ratio <= 0.1:
+        return _clamp(0.5 + 5.0 * noise_ratio)
+    return _clamp(1.0 - (noise_ratio - 0.1))
+
+
+def score_sequence(quality: Dict[str, float]) -> float:
+    """Score a sequential care-pathway pattern.
+
+    Like itemsets, support has a sweet spot; temporal *length* (number
+    of ordered visits) is the real information carrier, so it weighs
+    more than it does for plain co-occurrence patterns.
+    """
+    support = _clamp(quality.get("support", 0.0))
+    n_elements = max(1.0, quality.get("n_elements", 1.0))
+    if support < 0.05:
+        support_factor = support / 0.05
+    elif support > 0.7:
+        support_factor = max(0.2, 1.0 - (support - 0.7))
+    else:
+        support_factor = 1.0
+    length_factor = 1.0 - 1.0 / (1.0 + 0.8 * (n_elements - 1.0))
+    return _clamp(0.5 * support_factor + 0.5 * length_factor)
+
+
+_SCORERS = {
+    "cluster": score_cluster_item,
+    "cluster_set": score_cluster_set,
+    "itemset": score_itemset,
+    "association_rule": score_rule,
+    "sequence": score_sequence,
+    "outlier_set": score_outlier_set,
+    "profile": lambda quality: _clamp(quality.get("coverage", 0.5)),
+}
+
+
+def score_item(item: KnowledgeItem) -> float:
+    """Dispatch to the kind-specific scorer."""
+    try:
+        scorer = _SCORERS[item.kind]
+    except KeyError:
+        raise EngineError(f"no scorer for kind {item.kind!r}") from None
+    return scorer(item.quality)
+
+
+def score_items(items: Iterable[KnowledgeItem]) -> List[KnowledgeItem]:
+    """Set ``item.score`` in place for every item; returns the list."""
+    result = list(items)
+    for item in result:
+        item.score = score_item(item)
+    return result
+
+
+def degree_from_score(score: float) -> str:
+    """Map a score to the paper's {high, medium, low} degrees."""
+    if score >= 0.65:
+        return "high"
+    if score >= 0.4:
+        return "medium"
+    return "low"
+
+
+def degree_rank(degree: str) -> int:
+    """0 for high, 1 for medium, 2 for low (sort key)."""
+    try:
+        return DEGREES.index(degree)
+    except ValueError:
+        raise EngineError(f"unknown degree {degree!r}") from None
+
+
+def _clamp(value: float) -> float:
+    return max(0.0, min(1.0, float(value)))

@@ -1,0 +1,147 @@
+"""Knowledge-item model.
+
+A *knowledge item* is ADA-HEALTH's unit of output: "These systems provide
+a manageable set of knowledge items which are characterized and ranked in
+terms of their potential interest to the user". A cluster of patients, a
+frequent co-prescription pattern, an association rule and an outlier set
+are all knowledge items; they share a common envelope (provenance,
+quality metrics, interestingness) so the ranking, navigation and K-DB
+layers can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import EngineError
+
+#: Recognised knowledge kinds.
+KINDS = (
+    "cluster",
+    "cluster_set",
+    "itemset",
+    "association_rule",
+    "sequence",
+    "outlier_set",
+    "profile",
+)
+
+#: The paper's interestingness degrees, best first.
+DEGREES = ("high", "medium", "low")
+
+
+@dataclass
+class KnowledgeItem:
+    """One extracted piece of knowledge.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`KINDS`.
+    end_goal:
+        Name of the analysis end-goal that produced the item.
+    title:
+        Short human-readable headline.
+    payload:
+        Kind-specific JSON-ready content (cluster centroid summary, rule
+        sides, member counts...).
+    quality:
+        ``metric name -> value`` (SSE share, support, confidence...).
+    provenance:
+        How the item was obtained: algorithm, parameters, dataset id.
+    score:
+        Ranking score in ``[0, 1]``; set by the interestingness module
+        and adjusted by user feedback.
+    degree:
+        Expert-style interestingness degree (``high/medium/low``) once
+        labelled or predicted; ``None`` when unknown.
+    item_id:
+        K-DB identifier once stored.
+    """
+
+    kind: str
+    end_goal: str
+    title: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    quality: Dict[str, float] = field(default_factory=dict)
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    score: float = 0.0
+    degree: Optional[str] = None
+    item_id: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise EngineError(
+                f"unknown knowledge kind {self.kind!r};"
+                f" expected one of {KINDS}"
+            )
+        if self.degree is not None and self.degree not in DEGREES:
+            raise EngineError(
+                f"unknown degree {self.degree!r}; expected one of {DEGREES}"
+            )
+
+    # ------------------------------------------------------------------
+    def to_document(self) -> Dict[str, Any]:
+        """JSON-ready dict for K-DB storage (``_id`` only if assigned)."""
+        document: Dict[str, Any] = {
+            "kind": self.kind,
+            "end_goal": self.end_goal,
+            "title": self.title,
+            "payload": self.payload,
+            "quality": self.quality,
+            "provenance": self.provenance,
+            "score": self.score,
+            "degree": self.degree,
+        }
+        if self.item_id is not None:
+            document["_id"] = self.item_id
+        return document
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "KnowledgeItem":
+        """Inverse of :meth:`to_document`."""
+        return cls(
+            kind=document["kind"],
+            end_goal=document["end_goal"],
+            title=document["title"],
+            payload=dict(document.get("payload", {})),
+            quality=dict(document.get("quality", {})),
+            provenance=dict(document.get("provenance", {})),
+            score=float(document.get("score", 0.0)),
+            degree=document.get("degree"),
+            item_id=document.get("_id"),
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = [f"[{self.kind}] {self.title} (score={self.score:.3f}"]
+        if self.degree:
+            parts.append(f", degree={self.degree}")
+        parts.append(")")
+        return "".join(parts)
+
+    def feature_vector_fields(self) -> Dict[str, float]:
+        """Numeric features for interestingness prediction.
+
+        Used by the K-DB degree predictor: one indicator per kind plus
+        the quality metrics (missing metrics default to 0).
+        """
+        features: Dict[str, float] = {
+            f"kind_{kind}": 1.0 if self.kind == kind else 0.0
+            for kind in KINDS
+        }
+        for metric in (
+            "support",
+            "confidence",
+            "lift",
+            "cohesion",
+            "size_share",
+            "sse_share",
+            "coverage",
+            "distinctiveness",
+        ):
+            features[metric] = float(self.quality.get(metric, 0.0))
+        features["score"] = float(self.score)
+        return features

@@ -1,0 +1,179 @@
+"""Knowledge ranking and interactive navigation.
+
+"ADA-HEALTH also includes an interactive knowledge ranking algorithm
+... which will help to select, among a set of knowledge items, which
+ones are most interesting for a user. Based on user feedbacks, the
+algorithm dynamically adjusts the way and order how knowledge items are
+organized and presented to the user."
+
+:class:`KnowledgeRanker` combines the item's intrinsic interestingness
+score with learned per-kind and per-goal preference weights, updated
+multiplicatively (exponentiated-gradient style) from user feedback.
+:class:`NavigationSession` is the interaction surface: paging, filtering
+and feedback, feeding both the ranker and (optionally) the K-DB.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.interestingness import degree_rank
+from repro.core.knowledge import DEGREES, KINDS, KnowledgeItem
+from repro.exceptions import EngineError
+
+#: Feedback degree -> learning signal in [-1, 1].
+_SIGNALS = {"high": 1.0, "medium": 0.0, "low": -1.0}
+
+
+class KnowledgeRanker:
+    """Preference-adaptive ranking of knowledge items.
+
+    The ranking score of an item is::
+
+        score * kind_weight[item.kind] * goal_weight[item.end_goal]
+
+    Weights start at 1 and are nudged multiplicatively by feedback:
+    ``weight *= exp(learning_rate * signal)`` where the signal is +1 for
+    'high', 0 for 'medium' and -1 for 'low' feedback. Weights are kept
+    inside ``[0.25, 4.0]`` so no single kind can drown out the rest.
+    """
+
+    def __init__(self, learning_rate: float = 0.25) -> None:
+        if learning_rate <= 0:
+            raise EngineError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.kind_weights: Dict[str, float] = {kind: 1.0 for kind in KINDS}
+        self.goal_weights: Dict[str, float] = {}
+
+    def ranking_score(self, item: KnowledgeItem) -> float:
+        """Preference-adjusted score of one item."""
+        kind_weight = self.kind_weights.get(item.kind, 1.0)
+        goal_weight = self.goal_weights.get(item.end_goal, 1.0)
+        return item.score * kind_weight * goal_weight
+
+    def rank(self, items: Iterable[KnowledgeItem]) -> List[KnowledgeItem]:
+        """Items sorted by descending preference-adjusted score.
+
+        Ties break on intrinsic score then title for determinism.
+        """
+        return sorted(
+            items,
+            key=lambda item: (
+                -self.ranking_score(item),
+                -item.score,
+                item.title,
+            ),
+        )
+
+    def record_feedback(self, item: KnowledgeItem, degree: str) -> None:
+        """Update preference weights from one feedback event."""
+        if degree not in _SIGNALS:
+            raise EngineError(f"unknown degree {degree!r}")
+        signal = _SIGNALS[degree]
+        if signal == 0.0:
+            return
+        factor = math.exp(self.learning_rate * signal)
+        self.kind_weights[item.kind] = _clip_weight(
+            self.kind_weights.get(item.kind, 1.0) * factor
+        )
+        self.goal_weights[item.end_goal] = _clip_weight(
+            self.goal_weights.get(item.end_goal, 1.0) * factor
+        )
+
+
+def _clip_weight(value: float) -> float:
+    return max(0.25, min(4.0, value))
+
+
+@dataclass
+class NavigationSession:
+    """Interactive walk over a ranked set of knowledge items.
+
+    Parameters
+    ----------
+    items:
+        The knowledge items to present.
+    ranker:
+        The preference model; a fresh neutral ranker by default.
+    page_size:
+        Items per page.
+    kdb:
+        Optional :class:`repro.kdb.KnowledgeBase`; when given, feedback
+        is also persisted there (collection 6 of the paper's model).
+    user:
+        Name recorded with persisted feedback.
+    """
+
+    items: List[KnowledgeItem]
+    ranker: KnowledgeRanker = field(default_factory=KnowledgeRanker)
+    page_size: int = 10
+    kdb: Optional[object] = None
+    user: str = "anonymous"
+
+    def __post_init__(self) -> None:
+        if self.page_size < 1:
+            raise EngineError("page_size must be >= 1")
+        self._kind_filter: Optional[str] = None
+        self._goal_filter: Optional[str] = None
+        self._seen: set = set()
+
+    # ------------------------------------------------------------------
+    def filter_kind(self, kind: Optional[str]) -> "NavigationSession":
+        """Restrict pages to one knowledge kind (None clears)."""
+        if kind is not None and kind not in KINDS:
+            raise EngineError(f"unknown kind {kind!r}")
+        self._kind_filter = kind
+        return self
+
+    def filter_goal(self, goal: Optional[str]) -> "NavigationSession":
+        """Restrict pages to one end-goal (None clears)."""
+        self._goal_filter = goal
+        return self
+
+    def _visible(self) -> List[KnowledgeItem]:
+        visible = self.items
+        if self._kind_filter is not None:
+            visible = [i for i in visible if i.kind == self._kind_filter]
+        if self._goal_filter is not None:
+            visible = [
+                i for i in visible if i.end_goal == self._goal_filter
+            ]
+        return self.ranker.rank(visible)
+
+    def page(self, number: int = 0) -> List[KnowledgeItem]:
+        """The ``number``-th page of the current ranking (0-based)."""
+        if number < 0:
+            raise EngineError("page number must be >= 0")
+        ranked = self._visible()
+        start = number * self.page_size
+        page_items = ranked[start : start + self.page_size]
+        self._seen.update(id(item) for item in page_items)
+        return page_items
+
+    def n_pages(self) -> int:
+        """Number of pages under the current filters."""
+        visible = len(self._visible())
+        return (visible + self.page_size - 1) // self.page_size
+
+    def seen_count(self) -> int:
+        """How many distinct items the user has been shown."""
+        return len(self._seen)
+
+    # ------------------------------------------------------------------
+    def give_feedback(self, item: KnowledgeItem, degree: str) -> None:
+        """Record a degree judgement: adapts the ranker, stores to K-DB."""
+        if degree not in DEGREES:
+            raise EngineError(f"unknown degree {degree!r}")
+        item.degree = degree
+        self.ranker.record_feedback(item, degree)
+        if self.kdb is not None:
+            self.kdb.record_feedback(item, self.user, degree)
+
+    def summary(self) -> str:
+        """One-line session summary."""
+        return (
+            f"{len(self.items)} items, {self.n_pages()} pages,"
+            f" {self.seen_count()} seen"
+        )

@@ -1,0 +1,129 @@
+"""Markdown report generation from an analysis session.
+
+The paper's end users are "medical doctors and clinical researchers, to
+hospital administrators, health insurance companies, and public health
+agencies" — people who receive *documents*, not Python objects. This
+module renders an :class:`~repro.core.engine.AnalysisResult` into a
+self-contained Markdown report: dataset fingerprint, end-goal
+assessment, per-goal findings (including the optimisation table and the
+partial-mining trace for clustering goals) and the ranked knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.engine import AnalysisResult, GoalRun
+from repro.core.knowledge import KnowledgeItem
+
+
+def render_report(
+    result: AnalysisResult,
+    title: str = "ADA-HEALTH analysis report",
+    top_items: int = 15,
+) -> str:
+    """Render a full Markdown report for one analysis session."""
+    sections: List[str] = [f"# {title}", ""]
+    sections.extend(_dataset_section(result))
+    sections.extend(_endgoal_section(result))
+    for run in result.runs:
+        sections.extend(_goal_section(run))
+    sections.extend(_knowledge_section(result, top_items))
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def _dataset_section(result: AnalysisResult) -> List[str]:
+    profile = result.profile
+    lines = [
+        "## Dataset",
+        "",
+        f"| statistic | value |",
+        f"|---|---|",
+        f"| patients | {profile.n_rows} |",
+        f"| examination types | {profile.n_features} |",
+        f"| sparsity | {profile.sparsity:.3f} |",
+        f"| mean distinct exams per patient |"
+        f" {profile.mean_row_nonzeros:.1f} |",
+        f"| frequency skew (gini) | {profile.gini:.3f} |",
+        f"| top-20% type coverage | {profile.top_share['20']:.1%} |",
+        "",
+    ]
+    return lines
+
+
+def _endgoal_section(result: AnalysisResult) -> List[str]:
+    lines = ["## End-goal assessment", ""]
+    ran = {run.goal.name for run in result.runs}
+    for assessment in result.assessments:
+        if assessment.goal.name in ran:
+            status = "**ran**"
+        elif assessment.viable:
+            status = "viable (not selected)"
+        else:
+            status = "not viable"
+        lines.append(
+            f"- `{assessment.goal.name}` — {status}: {assessment.reason}"
+        )
+    lines.append("")
+    return lines
+
+
+def _goal_section(run: GoalRun) -> List[str]:
+    lines = [f"## Goal: {run.goal.name}", "", run.goal.description, ""]
+    if run.partial is not None:
+        lines.append("### Adaptive partial mining")
+        lines.append("")
+        lines.append("```")
+        lines.append(run.partial.format_table())
+        lines.append("```")
+        lines.append("")
+    if run.optimization is not None:
+        lines.append("### Parameter optimisation")
+        lines.append("")
+        lines.append("```")
+        lines.append(run.optimization.format_table())
+        lines.append("```")
+        lines.append("")
+    if run.notes:
+        details = ", ".join(
+            f"{key}={value}" for key, value in sorted(run.notes.items())
+        )
+        lines.append(f"*({details})*")
+        lines.append("")
+    lines.append(f"Extracted {len(run.items)} knowledge item(s).")
+    lines.append("")
+    return lines
+
+
+def _knowledge_section(
+    result: AnalysisResult, top_items: int
+) -> List[str]:
+    lines = [
+        "## Ranked knowledge",
+        "",
+        "| # | kind | degree | score | finding |",
+        "|---|---|---|---|---|",
+    ]
+    for rank, item in enumerate(result.top(top_items), start=1):
+        lines.append(
+            f"| {rank} | {item.kind} | {item.degree or '-'} |"
+            f" {item.score:.3f} | {_escape(item.title)} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _escape(text: str) -> str:
+    return text.replace("|", "\\|")
+
+
+def save_report(
+    result: AnalysisResult,
+    path,
+    title: str = "ADA-HEALTH analysis report",
+    top_items: int = 15,
+) -> None:
+    """Render and write the report to ``path``."""
+    content = render_report(result, title=title, top_items=top_items)
+    with open(path, "w") as handle:
+        handle.write(content)

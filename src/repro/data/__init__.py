@@ -1,0 +1,51 @@
+"""Dataset substrate: examination-log model, taxonomy, synthetic generator.
+
+Public surface::
+
+    from repro.data import (
+        ExamLog, ExamRecord, PatientInfo,          # data model
+        ExamTaxonomy, ExamType, build_default_taxonomy,
+        DiabeticExamLogGenerator, GeneratorConfig,  # synthetic data
+        paper_dataset, small_dataset, profile_labels,
+        load_csv, save_csv, load_jsonl, save_jsonl,  # IO
+    )
+"""
+
+from repro.data.io import load_csv, load_jsonl, save_csv, save_jsonl
+from repro.data.records import ExamLog, ExamRecord, PatientInfo
+from repro.data.synthetic import (
+    DiabeticExamLogGenerator,
+    GeneratorConfig,
+    PatientProfile,
+    default_profiles,
+    paper_dataset,
+    profile_labels,
+    small_dataset,
+)
+from repro.data.taxonomy import (
+    CATEGORIES,
+    ExamTaxonomy,
+    ExamType,
+    build_default_taxonomy,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "DiabeticExamLogGenerator",
+    "ExamLog",
+    "ExamRecord",
+    "ExamTaxonomy",
+    "ExamType",
+    "GeneratorConfig",
+    "PatientInfo",
+    "PatientProfile",
+    "build_default_taxonomy",
+    "default_profiles",
+    "load_csv",
+    "load_jsonl",
+    "paper_dataset",
+    "profile_labels",
+    "save_csv",
+    "save_jsonl",
+    "small_dataset",
+]

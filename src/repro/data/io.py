@@ -1,0 +1,207 @@
+"""Loading and saving examination logs.
+
+Two interchangeable on-disk formats are supported:
+
+* **CSV** — one row per examination event (``patient_id,day,exam_code``)
+  plus side-car CSVs for the taxonomy and patient demographics. This is
+  the shape hospital extracts usually arrive in.
+* **JSON lines** — one self-describing JSON object per record, with a
+  header object carrying the taxonomy; convenient for the document store.
+
+Both round-trip exactly: ``load(save(log)) == log`` record for record.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.data.records import ExamLog, ExamRecord, PatientInfo
+from repro.data.taxonomy import ExamTaxonomy, ExamType
+from repro.exceptions import DataError
+
+PathLike = Union[str, Path]
+
+_RECORD_FIELDS = ("patient_id", "day", "exam_code")
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+def save_csv(log: ExamLog, directory: PathLike) -> None:
+    """Save a log as ``records.csv`` + ``exam_types.csv`` + ``patients.csv``.
+
+    The directory is created if missing; existing files are overwritten.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / "records.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_RECORD_FIELDS)
+        for record in log.records:
+            writer.writerow([record.patient_id, record.day, record.exam_code])
+
+    with open(directory / "exam_types.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["code", "name", "category", "rank"])
+        for exam in log.taxonomy:
+            writer.writerow([exam.code, exam.name, exam.category, exam.rank])
+
+    with open(directory / "patients.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["patient_id", "age", "profile"])
+        for pid in sorted(log.patients):
+            info = log.patients[pid]
+            writer.writerow([info.patient_id, info.age, info.profile or ""])
+
+
+def load_csv(directory: PathLike) -> ExamLog:
+    """Load a log saved by :func:`save_csv`."""
+    directory = Path(directory)
+    records_path = directory / "records.csv"
+    if not records_path.exists():
+        raise DataError(f"missing records file: {records_path}")
+
+    taxonomy = _load_taxonomy_csv(directory / "exam_types.csv")
+    patients = _load_patients_csv(directory / "patients.csv")
+
+    records: List[ExamRecord] = []
+    with open(records_path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_RECORD_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise DataError(f"records.csv missing columns: {sorted(missing)}")
+        for row in reader:
+            records.append(
+                ExamRecord(
+                    patient_id=int(row["patient_id"]),
+                    day=int(row["day"]),
+                    exam_code=int(row["exam_code"]),
+                )
+            )
+    return ExamLog(records, taxonomy=taxonomy, patients=patients)
+
+
+def _load_taxonomy_csv(path: Path) -> Optional[ExamTaxonomy]:
+    if not path.exists():
+        return None
+    exam_types: List[ExamType] = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            exam_types.append(
+                ExamType(
+                    code=int(row["code"]),
+                    name=row["name"],
+                    category=row["category"],
+                    rank=int(row["rank"]),
+                )
+            )
+    exam_types.sort(key=lambda e: e.code)
+    return ExamTaxonomy(exam_types=exam_types)
+
+
+def _load_patients_csv(path: Path) -> List[PatientInfo]:
+    if not path.exists():
+        return []
+    patients: List[PatientInfo] = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            patients.append(
+                PatientInfo(
+                    patient_id=int(row["patient_id"]),
+                    age=int(row["age"]),
+                    profile=row.get("profile") or None,
+                )
+            )
+    return patients
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def save_jsonl(log: ExamLog, path: PathLike) -> None:
+    """Save a log as JSON lines: a header object then one object per row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "kind": "exam_log",
+        "taxonomy": [
+            {
+                "code": e.code,
+                "name": e.name,
+                "category": e.category,
+                "rank": e.rank,
+            }
+            for e in log.taxonomy
+        ],
+        "patients": [
+            {
+                "patient_id": info.patient_id,
+                "age": info.age,
+                "profile": info.profile,
+            }
+            for __, info in sorted(log.patients.items())
+        ],
+    }
+    with open(path, "w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for record in log.records:
+            handle.write(
+                json.dumps(
+                    {
+                        "patient_id": record.patient_id,
+                        "day": record.day,
+                        "exam_code": record.exam_code,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_jsonl(path: PathLike) -> ExamLog:
+    """Load a log saved by :func:`save_jsonl`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no such file: {path}")
+    with open(path) as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise DataError(f"empty log file: {path}")
+        header = json.loads(header_line)
+        if header.get("kind") != "exam_log":
+            raise DataError("not an exam_log JSON-lines file")
+        exam_types = [
+            ExamType(
+                code=entry["code"],
+                name=entry["name"],
+                category=entry["category"],
+                rank=entry["rank"],
+            )
+            for entry in header["taxonomy"]
+        ]
+        exam_types.sort(key=lambda e: e.code)
+        taxonomy = ExamTaxonomy(exam_types=exam_types)
+        patients = [
+            PatientInfo(
+                patient_id=entry["patient_id"],
+                age=entry["age"],
+                profile=entry.get("profile"),
+            )
+            for entry in header.get("patients", [])
+        ]
+        records = []
+        for line in handle:
+            if not line.strip():
+                continue
+            obj = json.loads(line)
+            records.append(
+                ExamRecord(
+                    patient_id=obj["patient_id"],
+                    day=obj["day"],
+                    exam_code=obj["exam_code"],
+                )
+            )
+    return ExamLog(records, taxonomy=taxonomy, patients=patients)

@@ -1,0 +1,292 @@
+"""Examination-log data model.
+
+The paper's dataset is an *examination log*: "Each record contains at least
+a unique patient identifier, and the type and date of every exam." This
+module provides that record model plus :class:`ExamLog`, the in-memory
+dataset the rest of the library consumes.
+
+An :class:`ExamLog` is deliberately simple — an ordered collection of
+:class:`ExamRecord` with the taxonomy describing its examination types —
+but it exposes the derived views every downstream component needs:
+
+* patient-level exam-count matrices (input to the VSM builder),
+* per-exam frequency tables (input to horizontal partial mining),
+* per-patient transactions (input to frequent-itemset mining), and
+* patient demographics (ages, used for dataset characterisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.taxonomy import ExamTaxonomy, build_default_taxonomy
+from repro.exceptions import DataError, ValidationError
+
+
+@dataclass(frozen=True, order=True)
+class ExamRecord:
+    """One row of the examination log.
+
+    Attributes
+    ----------
+    patient_id:
+        Anonymised patient identifier (non-negative integer).
+    exam_code:
+        Examination-type code (index into the taxonomy).
+    day:
+        Day offset within the observation window (0-based). The paper's
+        dataset spans one year, so offsets run 0..364; the model does not
+        enforce the bound so multi-year logs also work.
+    """
+
+    patient_id: int
+    day: int
+    exam_code: int
+
+    def __post_init__(self) -> None:
+        if self.patient_id < 0:
+            raise ValidationError("patient_id must be non-negative")
+        if self.exam_code < 0:
+            raise ValidationError("exam_code must be non-negative")
+        if self.day < 0:
+            raise ValidationError("day must be non-negative")
+
+    def calendar_date(self, origin: date) -> date:
+        """Return the absolute date given the observation-window origin."""
+        return origin + timedelta(days=self.day)
+
+
+@dataclass
+class PatientInfo:
+    """Demographics attached to a patient (only age is used by the paper)."""
+
+    patient_id: int
+    age: int
+    profile: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.age <= 130:
+            raise ValidationError(f"implausible age: {self.age}")
+
+
+class ExamLog:
+    """An in-memory examination-log dataset.
+
+    Parameters
+    ----------
+    records:
+        The examination events. Order is not significant; the log sorts a
+        copy by (patient, day, exam).
+    taxonomy:
+        The examination-type taxonomy. Every record's ``exam_code`` must be
+        a valid code in the taxonomy.
+    patients:
+        Optional demographics. Patients that appear in ``records`` but not
+        here are allowed (their age is simply unknown).
+    """
+
+    def __init__(
+        self,
+        records: Iterable[ExamRecord],
+        taxonomy: Optional[ExamTaxonomy] = None,
+        patients: Optional[Iterable[PatientInfo]] = None,
+    ) -> None:
+        self.taxonomy = taxonomy or build_default_taxonomy()
+        self.records: List[ExamRecord] = sorted(records)
+        n_types = len(self.taxonomy)
+        for record in self.records:
+            if record.exam_code >= n_types:
+                raise DataError(
+                    f"record exam_code {record.exam_code} outside taxonomy"
+                    f" of size {n_types}"
+                )
+        self.patients: Dict[int, PatientInfo] = {}
+        for info in patients or ():
+            if info.patient_id in self.patients:
+                raise DataError(f"duplicate patient info: {info.patient_id}")
+            self.patients[info.patient_id] = info
+        self._patient_ids: Optional[List[int]] = None
+        self._exam_frequency: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ExamRecord]:
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        """Total number of examination events."""
+        return len(self.records)
+
+    @property
+    def n_exam_types(self) -> int:
+        """Number of exam types in the taxonomy (columns of the VSM)."""
+        return len(self.taxonomy)
+
+    def patient_ids(self) -> List[int]:
+        """Sorted ids of patients appearing in the log."""
+        if self._patient_ids is None:
+            self._patient_ids = sorted({r.patient_id for r in self.records})
+        return self._patient_ids
+
+    @property
+    def n_patients(self) -> int:
+        """Number of distinct patients with at least one record."""
+        return len(self.patient_ids())
+
+    def ages(self) -> List[int]:
+        """Known ages of patients appearing in the log."""
+        known = []
+        for pid in self.patient_ids():
+            info = self.patients.get(pid)
+            if info is not None:
+                known.append(info.age)
+        return known
+
+    def exam_frequency(self) -> np.ndarray:
+        """Number of records per exam type, shape ``(n_exam_types,)``."""
+        if self._exam_frequency is None:
+            counts = np.zeros(self.n_exam_types, dtype=np.int64)
+            for record in self.records:
+                counts[record.exam_code] += 1
+            self._exam_frequency = counts
+        return self._exam_frequency
+
+    def exam_codes_by_frequency(self) -> List[int]:
+        """Exam codes ordered by decreasing record count.
+
+        Ties break on the exam code so the ordering is deterministic. This
+        ordering drives the paper's horizontal partial-mining strategy
+        ("examination types were chosen in decreasing order of frequency
+        within the original raw data").
+        """
+        frequency = self.exam_frequency()
+        order = sorted(
+            range(self.n_exam_types), key=lambda code: (-frequency[code], code)
+        )
+        return order
+
+    def count_matrix(self) -> Tuple[np.ndarray, List[int]]:
+        """Return ``(matrix, patient_ids)`` of per-patient exam counts.
+
+        ``matrix[i, j]`` is the number of times patient ``patient_ids[i]``
+        underwent exam type ``j`` — the raw Vector Space Model of the paper
+        ("a unique vector for each patient, representing his/her
+        examination history, i.e. number of times he/she underwent each
+        examination").
+        """
+        ids = self.patient_ids()
+        index = {pid: i for i, pid in enumerate(ids)}
+        matrix = np.zeros((len(ids), self.n_exam_types), dtype=np.float64)
+        for record in self.records:
+            matrix[index[record.patient_id], record.exam_code] += 1.0
+        return matrix, ids
+
+    def transactions(self, by: str = "patient") -> List[List[str]]:
+        """Itemset-mining view of the log.
+
+        Parameters
+        ----------
+        by:
+            ``"patient"`` — one transaction per patient containing the set
+            of exam names the patient underwent during the window (the view
+            used for co-prescription pattern discovery); or
+            ``"visit"`` — one transaction per (patient, day) pair,
+            capturing exams prescribed together on the same day.
+        """
+        if by == "patient":
+            groups: Dict[int, set] = {}
+            for record in self.records:
+                groups.setdefault(record.patient_id, set()).add(
+                    record.exam_code
+                )
+            keys: List = sorted(groups)
+        elif by == "visit":
+            groups = {}
+            for record in self.records:
+                groups.setdefault(
+                    (record.patient_id, record.day), set()
+                ).add(record.exam_code)
+            keys = sorted(groups)
+        else:
+            raise DataError(f"unknown transaction grouping: {by!r}")
+        name_of = {e.code: e.name for e in self.taxonomy}
+        return [
+            sorted(name_of[code] for code in groups[key]) for key in keys
+        ]
+
+    # ------------------------------------------------------------------
+    # Subsetting (substrate for partial mining)
+    # ------------------------------------------------------------------
+    def restrict_exams(self, exam_codes: Sequence[int]) -> "ExamLog":
+        """Return a new log keeping only records of the given exam types.
+
+        The taxonomy is preserved unchanged (columns keep their codes) so
+        VSM matrices built from the restricted log stay comparable; all
+        patients are retained even if they lose every record, matching the
+        paper's horizontal partial mining which reduces the feature space
+        "while retaining the total number of patients".
+        """
+        keep = set(exam_codes)
+        records = [r for r in self.records if r.exam_code in keep]
+        return ExamLog(
+            records, taxonomy=self.taxonomy, patients=self.patients.values()
+        )
+
+    def restrict_patients(self, patient_ids: Sequence[int]) -> "ExamLog":
+        """Return a new log keeping only records of the given patients."""
+        keep = set(patient_ids)
+        records = [r for r in self.records if r.patient_id in keep]
+        patients = [
+            info for pid, info in self.patients.items() if pid in keep
+        ]
+        return ExamLog(records, taxonomy=self.taxonomy, patients=patients)
+
+    def time_window(self, first_day: int, last_day: int) -> "ExamLog":
+        """Return a new log restricted to days in ``[first_day, last_day]``."""
+        if first_day > last_day:
+            raise DataError("first_day must not exceed last_day")
+        records = [
+            r for r in self.records if first_day <= r.day <= last_day
+        ]
+        return ExamLog(
+            records, taxonomy=self.taxonomy, patients=self.patients.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """A small dict of headline statistics (paper §IV wording)."""
+        ages = self.ages()
+        frequency = self.exam_frequency()
+        observed_types = int(np.count_nonzero(frequency))
+        return {
+            "n_patients": self.n_patients,
+            "n_records": self.n_records,
+            "n_exam_types": self.n_exam_types,
+            "n_observed_exam_types": observed_types,
+            "age_min": min(ages) if ages else None,
+            "age_max": max(ages) if ages else None,
+            "days_spanned": (
+                max(r.day for r in self.records) + 1 if self.records else 0
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExamLog(n_patients={self.n_patients},"
+            f" n_records={self.n_records},"
+            f" n_exam_types={self.n_exam_types})"
+        )

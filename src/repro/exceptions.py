@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class. Sub-hierarchies mirror the package
+layout: data handling, the document store / K-DB, preprocessing, mining
+algorithms and the ADA-HEALTH core engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DataError(ReproError):
+    """Problem with an input dataset (malformed records, bad schema...)."""
+
+
+class ValidationError(DataError):
+    """A record or value failed validation against its schema."""
+
+
+class StoreError(ReproError):
+    """Base class for document-store errors."""
+
+
+class DuplicateKeyError(StoreError):
+    """An insert violated a unique index (e.g. a duplicate ``_id``)."""
+
+
+class QueryError(StoreError):
+    """A query document used an unknown or malformed operator."""
+
+
+class CollectionNotFoundError(StoreError):
+    """A named collection does not exist in the database."""
+
+
+class PreprocessError(ReproError):
+    """A preprocessing step (VSM building, normalisation...) failed."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring a prior ``fit`` was called before fitting."""
+
+
+class MiningError(ReproError):
+    """A mining algorithm received invalid parameters or data."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative algorithm stopped before meeting its tolerance."""
+
+
+class EngineError(ReproError):
+    """The ADA-HEALTH engine was driven through an invalid state."""
+
+
+class EndGoalError(EngineError):
+    """No viable end-goal exists or an unknown end-goal was requested."""

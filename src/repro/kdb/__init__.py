@@ -1,0 +1,31 @@
+"""Knowledge Base (K-DB) and its embedded document store."""
+
+from repro.kdb.documentstore import Collection, Cursor, DocumentStore
+from repro.kdb.kdb import (
+    COLLECTIONS,
+    DEGREES,
+    DESCRIPTORS,
+    DISCOVERED_KNOWLEDGE,
+    FEEDBACK,
+    RAW_DATASETS,
+    SELECTED_KNOWLEDGE,
+    TRANSFORMED_DATASETS,
+    DegreePredictor,
+    KnowledgeBase,
+)
+
+__all__ = [
+    "COLLECTIONS",
+    "Collection",
+    "Cursor",
+    "DEGREES",
+    "DESCRIPTORS",
+    "DISCOVERED_KNOWLEDGE",
+    "DegreePredictor",
+    "DocumentStore",
+    "FEEDBACK",
+    "KnowledgeBase",
+    "RAW_DATASETS",
+    "SELECTED_KNOWLEDGE",
+    "TRANSFORMED_DATASETS",
+]

@@ -1,0 +1,794 @@
+"""Embedded document store with a MongoDB-like API.
+
+The paper stores the ADA-HEALTH Knowledge Base "on a cluster of MongoDBs".
+This module is the reproduction's substitute substrate: an embedded,
+dependency-free document database exposing the subset of the MongoDB
+surface the K-DB needs —
+
+* collections of JSON-like documents with automatic ``_id`` assignment,
+* rich query documents (``$eq $ne $gt $gte $lt $lte $in $nin $and $or
+  $nor $not $exists $regex $size $all $elemMatch`` plus implicit equality
+  and dot-path addressing with MongoDB array-traversal semantics),
+* update operators (``$set $unset $inc $push $pull $addToSet``),
+* secondary hash indexes (optionally unique) that accelerate equality
+  queries, and
+* durable persistence as one JSON-lines file per collection.
+
+Documents are stored *by value*: inserts and finds deep-copy, so callers
+can never mutate the store through aliased references.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import re
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import (
+    CollectionNotFoundError,
+    DuplicateKeyError,
+    QueryError,
+    StoreError,
+)
+
+Document = Dict[str, Any]
+Query = Dict[str, Any]
+
+_COMPARISONS: Dict[str, Callable[[Any, Any], bool]] = {
+    "$eq": lambda value, operand: _values_equal(value, operand),
+    "$ne": lambda value, operand: not _values_equal(value, operand),
+    "$gt": lambda value, operand: _ordered(value, operand) and value > operand,
+    "$gte": lambda value, operand: _ordered(value, operand)
+    and value >= operand,
+    "$lt": lambda value, operand: _ordered(value, operand) and value < operand,
+    "$lte": lambda value, operand: _ordered(value, operand)
+    and value <= operand,
+}
+
+
+def _values_equal(value: Any, operand: Any) -> bool:
+    """Equality with bool/int separation (Mongo treats them as equal; we
+    follow Python semantics but avoid ``1 == True`` surprises)."""
+    if isinstance(value, bool) != isinstance(operand, bool):
+        return False
+    return value == operand
+
+
+def _ordered(value: Any, operand: Any) -> bool:
+    """True when the two values are comparable with ``<``/``>``."""
+    if value is None or operand is None:
+        return False
+    if isinstance(value, bool) or isinstance(operand, bool):
+        return False
+    number = (int, float)
+    if isinstance(value, number) and isinstance(operand, number):
+        return True
+    return type(value) is type(operand) and isinstance(value, str)
+
+
+def _walk_path(document: Any, path: Sequence[str]) -> List[Any]:
+    """Resolve a dot path, fanning out over arrays like MongoDB.
+
+    Returns the list of values reachable at the path ( possibly empty).
+    A list encountered mid-path is traversed element-wise; a list at the
+    end of the path is returned whole *and* its elements are candidates
+    for comparison (handled by the matcher).
+    """
+    if not path:
+        return [document]
+    head, *rest = path
+    results: List[Any] = []
+    if isinstance(document, dict):
+        if head in document:
+            results.extend(_walk_path(document[head], rest))
+    elif isinstance(document, list):
+        if head.isdigit():
+            index = int(head)
+            if 0 <= index < len(document):
+                results.extend(_walk_path(document[index], rest))
+        for element in document:
+            if isinstance(element, (dict, list)):
+                results.extend(_walk_path(element, [head] + rest))
+    return results
+
+
+class _Matcher:
+    """Compiles a query document into a predicate over documents."""
+
+    def __init__(self, query: Query) -> None:
+        if not isinstance(query, dict):
+            raise QueryError("query must be a dict")
+        self._query = query
+
+    def __call__(self, document: Document) -> bool:
+        return self._match_query(self._query, document)
+
+    # -- query-level -----------------------------------------------------
+    def _match_query(self, query: Query, document: Document) -> bool:
+        for key, condition in query.items():
+            if key == "$and":
+                self._require_clause_list(key, condition)
+                if not all(
+                    self._match_query(clause, document)
+                    for clause in condition
+                ):
+                    return False
+            elif key == "$or":
+                self._require_clause_list(key, condition)
+                if not any(
+                    self._match_query(clause, document)
+                    for clause in condition
+                ):
+                    return False
+            elif key == "$nor":
+                self._require_clause_list(key, condition)
+                if any(
+                    self._match_query(clause, document)
+                    for clause in condition
+                ):
+                    return False
+            elif key.startswith("$"):
+                raise QueryError(f"unknown top-level operator: {key}")
+            else:
+                if not self._match_field(key, condition, document):
+                    return False
+        return True
+
+    @staticmethod
+    def _require_clause_list(operator: str, condition: Any) -> None:
+        if not isinstance(condition, list) or not condition:
+            raise QueryError(f"{operator} requires a non-empty list")
+
+    # -- field-level -----------------------------------------------------
+    def _match_field(
+        self, path: str, condition: Any, document: Document
+    ) -> bool:
+        values = _walk_path(document, path.split("."))
+        if isinstance(condition, dict) and any(
+            key.startswith("$") for key in condition
+        ):
+            return self._match_operators(path, condition, values)
+        # Implicit equality: match the value itself or any array element.
+        return self._equality_any(values, condition)
+
+    @staticmethod
+    def _equality_any(values: List[Any], operand: Any) -> bool:
+        for value in values:
+            if _values_equal(value, operand):
+                return True
+            if isinstance(value, list) and any(
+                _values_equal(element, operand) for element in value
+            ):
+                return True
+        return False
+
+    def _match_operators(
+        self, path: str, condition: Dict[str, Any], values: List[Any]
+    ) -> bool:
+        candidates = list(values)
+        for value in values:
+            if isinstance(value, list):
+                candidates.extend(value)
+        for operator, operand in condition.items():
+            if not self._apply_operator(
+                path, operator, operand, values, candidates
+            ):
+                return False
+        return True
+
+    def _apply_operator(
+        self,
+        path: str,
+        operator: str,
+        operand: Any,
+        values: List[Any],
+        candidates: List[Any],
+    ) -> bool:
+        if operator in _COMPARISONS:
+            compare = _COMPARISONS[operator]
+            if operator == "$ne":
+                return all(compare(value, operand) for value in candidates)
+            return any(compare(value, operand) for value in candidates)
+        if operator == "$in":
+            if not isinstance(operand, list):
+                raise QueryError("$in requires a list")
+            return any(
+                self._equality_any(values, wanted) for wanted in operand
+            )
+        if operator == "$nin":
+            if not isinstance(operand, list):
+                raise QueryError("$nin requires a list")
+            return not any(
+                self._equality_any(values, unwanted) for unwanted in operand
+            )
+        if operator == "$exists":
+            return bool(values) == bool(operand)
+        if operator == "$not":
+            if not isinstance(operand, dict):
+                raise QueryError("$not requires an operator document")
+            return not self._match_operators(path, operand, values)
+        if operator == "$regex":
+            pattern = re.compile(operand)
+            return any(
+                isinstance(value, str) and pattern.search(value)
+                for value in candidates
+            )
+        if operator == "$size":
+            return any(
+                isinstance(value, list) and len(value) == operand
+                for value in values
+            )
+        if operator == "$all":
+            if not isinstance(operand, list):
+                raise QueryError("$all requires a list")
+            return all(
+                self._equality_any(values, wanted) for wanted in operand
+            )
+        if operator == "$elemMatch":
+            if not isinstance(operand, dict):
+                raise QueryError("$elemMatch requires a query document")
+            inner = _Matcher(operand)
+            for value in values:
+                if isinstance(value, list) and any(
+                    isinstance(element, dict) and inner(element)
+                    for element in value
+                ):
+                    return True
+            return False
+        raise QueryError(f"unknown operator: {operator}")
+
+
+class Cursor:
+    """Lazy result set supporting ``sort``/``skip``/``limit`` chaining."""
+
+    def __init__(self, documents: List[Document]) -> None:
+        self._documents = documents
+        self._sort_spec: List[Tuple[str, int]] = []
+        self._skip = 0
+        self._limit: Optional[int] = None
+
+    def sort(self, key: Union[str, List[Tuple[str, int]]], direction: int = 1):
+        """Sort by a dot-path (or list of ``(path, direction)`` pairs)."""
+        if isinstance(key, str):
+            self._sort_spec = [(key, direction)]
+        else:
+            self._sort_spec = list(key)
+        return self
+
+    def skip(self, count: int) -> "Cursor":
+        """Skip the first ``count`` results."""
+        if count < 0:
+            raise QueryError("skip must be non-negative")
+        self._skip = count
+        return self
+
+    def limit(self, count: int) -> "Cursor":
+        """Return at most ``count`` results."""
+        if count < 0:
+            raise QueryError("limit must be non-negative")
+        self._limit = count
+        return self
+
+    def _resolved(self) -> List[Document]:
+        documents = self._documents
+        for path, direction in reversed(self._sort_spec):
+            parts = path.split(".")
+
+            def sort_key(document: Document, parts=parts) -> Tuple:
+                values = _walk_path(document, parts)
+                value = values[0] if values else None
+                # None sorts first; mixed types sort by type name.
+                return (value is not None, type(value).__name__, value)
+
+            documents = sorted(
+                documents, key=sort_key, reverse=(direction < 0)
+            )
+        end = (
+            None if self._limit is None else self._skip + self._limit
+        )
+        return documents[self._skip : end]
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._resolved())
+
+    def __len__(self) -> int:
+        return len(self._resolved())
+
+    def to_list(self) -> List[Document]:
+        """Materialise the cursor into a list."""
+        return list(self._resolved())
+
+
+class Collection:
+    """A named collection of documents inside a :class:`DocumentStore`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._documents: Dict[Any, Document] = {}
+        self._next_id = 1
+        # index name -> (path, unique, mapping key -> set of _ids)
+        self._indexes: Dict[str, Tuple[str, bool, Dict[Any, set]]] = {}
+
+    # -- insert ----------------------------------------------------------
+    def insert_one(self, document: Document) -> Any:
+        """Insert a document; returns its ``_id`` (assigned if absent)."""
+        if not isinstance(document, dict):
+            raise StoreError("documents must be dicts")
+        document = copy.deepcopy(document)
+        if "_id" not in document:
+            while self._next_id in self._documents:
+                self._next_id += 1
+            document["_id"] = self._next_id
+            self._next_id += 1
+        _reject_unstorable(document)
+        doc_id = document["_id"]
+        if doc_id in self._documents:
+            raise DuplicateKeyError(
+                f"duplicate _id in {self.name!r}: {doc_id!r}"
+            )
+        self._check_unique_indexes(document)
+        self._documents[doc_id] = document
+        self._index_add(document)
+        return doc_id
+
+    def insert_many(self, documents: Iterable[Document]) -> List[Any]:
+        """Insert several documents; returns their ids."""
+        return [self.insert_one(document) for document in documents]
+
+    # -- find --------------------------------------------------------------
+    def find(self, query: Optional[Query] = None) -> Cursor:
+        """Return a cursor over documents matching ``query`` (all if None)."""
+        query = query or {}
+        matcher = _Matcher(query)
+        candidates = self._candidates(query)
+        matched = [
+            copy.deepcopy(document)
+            for document in candidates
+            if matcher(document)
+        ]
+        return Cursor(matched)
+
+    def find_one(self, query: Optional[Query] = None) -> Optional[Document]:
+        """Return one matching document, or None."""
+        for document in self.find(query):
+            return document
+        return None
+
+    def count_documents(self, query: Optional[Query] = None) -> int:
+        """Number of documents matching ``query``."""
+        query = query or {}
+        matcher = _Matcher(query)
+        return sum(
+            1 for document in self._candidates(query) if matcher(document)
+        )
+
+    def distinct(self, path: str, query: Optional[Query] = None) -> List[Any]:
+        """Distinct values reachable at ``path`` among matching documents."""
+        seen: List[Any] = []
+        for document in self.find(query):
+            for value in _walk_path(document, path.split(".")):
+                targets = value if isinstance(value, list) else [value]
+                for target in targets:
+                    if target not in seen:
+                        seen.append(target)
+        return seen
+
+    def _candidates(self, query: Query) -> List[Document]:
+        """Use a hash index when the query has a top-level equality on an
+        indexed path; otherwise scan the collection."""
+        for path, __, mapping in self._indexes.values():
+            condition = query.get(path)
+            if condition is None or isinstance(condition, (dict, list)):
+                continue
+            ids = mapping.get(_index_key(condition), set())
+            return [self._documents[doc_id] for doc_id in ids]
+        return list(self._documents.values())
+
+    # -- update ------------------------------------------------------------
+    def update_one(self, query: Query, update: Document) -> int:
+        """Apply an update document to the first match; returns 0 or 1."""
+        return self._update(query, update, many=False)
+
+    def update_many(self, query: Query, update: Document) -> int:
+        """Apply an update document to all matches; returns match count."""
+        return self._update(query, update, many=True)
+
+    def _update(self, query: Query, update: Document, many: bool) -> int:
+        if not update or not all(k.startswith("$") for k in update):
+            raise StoreError(
+                "update documents must use operators ($set, $inc, ...)"
+            )
+        matcher = _Matcher(query)
+        updated = 0
+        for doc_id, document in list(self._documents.items()):
+            if not matcher(document):
+                continue
+            self._index_remove(document)
+            try:
+                _apply_update(document, update)
+                _reject_unstorable(document)
+                if document["_id"] != doc_id:
+                    raise StoreError("updates may not modify _id")
+            finally:
+                self._index_add(document)
+            updated += 1
+            if not many:
+                break
+        return updated
+
+    # -- delete ------------------------------------------------------------
+    def delete_one(self, query: Query) -> int:
+        """Delete the first matching document; returns 0 or 1."""
+        return self._delete(query, many=False)
+
+    def delete_many(self, query: Optional[Query] = None) -> int:
+        """Delete all matching documents; returns the count deleted."""
+        return self._delete(query or {}, many=True)
+
+    def _delete(self, query: Query, many: bool) -> int:
+        matcher = _Matcher(query)
+        victims = []
+        for doc_id, document in self._documents.items():
+            if matcher(document):
+                victims.append(doc_id)
+                if not many:
+                    break
+        for doc_id in victims:
+            self._index_remove(self._documents[doc_id])
+            del self._documents[doc_id]
+        return len(victims)
+
+    # -- indexes -----------------------------------------------------------
+    def create_index(self, path: str, unique: bool = False) -> str:
+        """Create a hash index on a dot path; returns the index name."""
+        name = f"{path}_1"
+        if name in self._indexes:
+            return name
+        mapping: Dict[Any, set] = {}
+        self._indexes[name] = (path, unique, mapping)
+        try:
+            for document in self._documents.values():
+                self._index_document(name, document)
+        except DuplicateKeyError:
+            del self._indexes[name]
+            raise
+        return name
+
+    def drop_index(self, name: str) -> None:
+        """Drop an index by name."""
+        self._indexes.pop(name, None)
+
+    def index_names(self) -> List[str]:
+        """Names of the existing indexes."""
+        return list(self._indexes)
+
+    def _index_document(self, name: str, document: Document) -> None:
+        path, unique, mapping = self._indexes[name]
+        for value in _walk_path(document, path.split(".")):
+            key = _index_key(value)
+            bucket = mapping.setdefault(key, set())
+            if unique and bucket and document["_id"] not in bucket:
+                raise DuplicateKeyError(
+                    f"unique index {name!r} violated by value {value!r}"
+                )
+            bucket.add(document["_id"])
+
+    def _check_unique_indexes(self, document: Document) -> None:
+        for name, (path, unique, mapping) in self._indexes.items():
+            if not unique:
+                continue
+            for value in _walk_path(document, path.split(".")):
+                if mapping.get(_index_key(value)):
+                    raise DuplicateKeyError(
+                        f"unique index {name!r} violated by value {value!r}"
+                    )
+
+    def _index_add(self, document: Document) -> None:
+        for name in self._indexes:
+            self._index_document(name, document)
+
+    def _index_remove(self, document: Document) -> None:
+        for path, __, mapping in self._indexes.values():
+            for value in _walk_path(document, path.split(".")):
+                bucket = mapping.get(_index_key(value))
+                if bucket is not None:
+                    bucket.discard(document["_id"])
+
+    # -- aggregation -----------------------------------------------------
+    def aggregate(self, pipeline: List[Document]) -> List[Document]:
+        """Run a Mongo-style aggregation pipeline.
+
+        Supported stages: ``$match`` (query document), ``$group`` (by a
+        ``_id`` expression with ``$sum/$avg/$min/$max/$count/$push``
+        accumulators; field references use the ``"$path"`` syntax),
+        ``$sort`` (``{path: 1|-1}``), ``$limit``, ``$skip`` and
+        ``$project`` (1-valued field inclusion).
+        """
+        rows = [copy.deepcopy(d) for d in self._documents.values()]
+        for stage in pipeline:
+            if not isinstance(stage, dict) or len(stage) != 1:
+                raise QueryError("each stage must be a single-key dict")
+            operator, spec = next(iter(stage.items()))
+            if operator == "$match":
+                matcher = _Matcher(spec)
+                rows = [row for row in rows if matcher(row)]
+            elif operator == "$group":
+                rows = _group(rows, spec)
+            elif operator == "$sort":
+                for path, direction in reversed(list(spec.items())):
+                    rows.sort(
+                        key=lambda row, p=path: _sort_key(row, p),
+                        reverse=direction < 0,
+                    )
+            elif operator == "$limit":
+                rows = rows[: int(spec)]
+            elif operator == "$skip":
+                rows = rows[int(spec):]
+            elif operator == "$project":
+                rows = [_project(row, spec) for row in rows]
+            else:
+                raise QueryError(f"unknown pipeline stage: {operator}")
+        return rows
+
+    # -- misc ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def drop(self) -> None:
+        """Remove every document (indexes survive, emptied)."""
+        self._documents.clear()
+        for __, __, mapping in self._indexes.values():
+            mapping.clear()
+
+
+def _resolve_expression(document: Document, expression: Any) -> Any:
+    """Resolve a ``"$path"`` field reference (or return the literal)."""
+    if isinstance(expression, str) and expression.startswith("$"):
+        values = _walk_path(document, expression[1:].split("."))
+        return values[0] if values else None
+    return expression
+
+
+def _sort_key(document: Document, path: str) -> Tuple:
+    values = _walk_path(document, path.split("."))
+    value = values[0] if values else None
+    return (value is not None, type(value).__name__, value)
+
+
+def _project(document: Document, spec: Document) -> Document:
+    projected: Document = {}
+    for path, include in spec.items():
+        if not include:
+            continue
+        values = _walk_path(document, path.split("."))
+        if values:
+            projected[path] = copy.deepcopy(values[0])
+    return projected
+
+
+_ACCUMULATORS = ("$sum", "$avg", "$min", "$max", "$count", "$push")
+
+
+def _group(rows: List[Document], spec: Document) -> List[Document]:
+    if "_id" not in spec:
+        raise QueryError("$group requires an _id expression")
+    buckets: Dict[Any, List[Document]] = {}
+    bucket_keys: Dict[Any, Any] = {}
+    for row in rows:
+        key_value = _resolve_expression(row, spec["_id"])
+        key = _index_key(key_value)
+        buckets.setdefault(key, []).append(row)
+        bucket_keys[key] = key_value
+
+    results: List[Document] = []
+    for key in sorted(buckets, key=lambda k: (str(type(k)), str(k))):
+        members = buckets[key]
+        out: Document = {"_id": bucket_keys[key]}
+        for field_name, accumulator in spec.items():
+            if field_name == "_id":
+                continue
+            if (
+                not isinstance(accumulator, dict)
+                or len(accumulator) != 1
+            ):
+                raise QueryError(
+                    f"accumulator for {field_name!r} must be a"
+                    f" single-operator dict"
+                )
+            operator, operand = next(iter(accumulator.items()))
+            if operator not in _ACCUMULATORS:
+                raise QueryError(f"unknown accumulator: {operator}")
+            if operator == "$count":
+                out[field_name] = len(members)
+                continue
+            values = [
+                _resolve_expression(member, operand)
+                for member in members
+            ]
+            if operator == "$push":
+                out[field_name] = values
+                continue
+            numbers = [
+                value
+                for value in values
+                if isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            ]
+            if operator == "$sum":
+                out[field_name] = sum(numbers)
+            elif operator == "$avg":
+                out[field_name] = (
+                    sum(numbers) / len(numbers) if numbers else None
+                )
+            elif operator == "$min":
+                out[field_name] = min(numbers) if numbers else None
+            elif operator == "$max":
+                out[field_name] = max(numbers) if numbers else None
+        results.append(out)
+    return results
+
+
+def _index_key(value: Any) -> Any:
+    """Hashable key for index buckets (lists/dicts hashed by JSON dump)."""
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True, default=str)
+    return value
+
+
+def _reject_unstorable(document: Document) -> None:
+    """Ensure the document is JSON-serialisable (store contract)."""
+    try:
+        json.dumps(document)
+    except (TypeError, ValueError) as exc:
+        raise StoreError(f"document is not JSON-serialisable: {exc}") from exc
+
+
+def _apply_update(document: Document, update: Document) -> None:
+    for operator, fields in update.items():
+        if not isinstance(fields, dict):
+            raise StoreError(f"{operator} requires a field document")
+        for path, operand in fields.items():
+            parent, leaf = _resolve_parent(document, path, create=True)
+            if operator == "$set":
+                parent[leaf] = copy.deepcopy(operand)
+            elif operator == "$unset":
+                if isinstance(parent, dict):
+                    parent.pop(leaf, None)
+            elif operator == "$inc":
+                current = parent.get(leaf, 0)
+                if not isinstance(current, (int, float)) or isinstance(
+                    current, bool
+                ):
+                    raise StoreError(f"$inc target {path!r} is not numeric")
+                parent[leaf] = current + operand
+            elif operator == "$push":
+                bucket = parent.setdefault(leaf, [])
+                if not isinstance(bucket, list):
+                    raise StoreError(f"$push target {path!r} is not a list")
+                bucket.append(copy.deepcopy(operand))
+            elif operator == "$addToSet":
+                bucket = parent.setdefault(leaf, [])
+                if not isinstance(bucket, list):
+                    raise StoreError(
+                        f"$addToSet target {path!r} is not a list"
+                    )
+                if operand not in bucket:
+                    bucket.append(copy.deepcopy(operand))
+            elif operator == "$pull":
+                bucket = parent.get(leaf)
+                if isinstance(bucket, list):
+                    parent[leaf] = [
+                        element
+                        for element in bucket
+                        if not _values_equal(element, operand)
+                    ]
+            else:
+                raise StoreError(f"unknown update operator: {operator}")
+
+
+def _resolve_parent(
+    document: Document, path: str, create: bool
+) -> Tuple[Dict[str, Any], str]:
+    """Return (parent dict, leaf key) for a dot path, creating dicts."""
+    parts = path.split(".")
+    node: Any = document
+    for part in parts[:-1]:
+        if isinstance(node, dict):
+            if part not in node:
+                if not create:
+                    raise StoreError(f"path does not exist: {path!r}")
+                node[part] = {}
+            node = node[part]
+        else:
+            raise StoreError(f"cannot descend into non-dict at {part!r}")
+    if not isinstance(node, dict):
+        raise StoreError(f"cannot address leaf of non-dict at {path!r}")
+    return node, parts[-1]
+
+
+class DocumentStore:
+    """A database of named collections, persistable to a directory."""
+
+    def __init__(self) -> None:
+        self._collections: Dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Get or create the named collection."""
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def existing(self, name: str) -> Collection:
+        """Get a collection that must already exist."""
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise CollectionNotFoundError(name) from None
+
+    def collection_names(self) -> List[str]:
+        """Names of all collections."""
+        return sorted(self._collections)
+
+    def drop_collection(self, name: str) -> None:
+        """Remove a collection entirely (no-op if absent)."""
+        self._collections.pop(name, None)
+
+    # -- persistence -------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> None:
+        """Persist every collection as ``<name>.jsonl`` under ``directory``.
+
+        Indexes are saved in a side-car manifest and rebuilt on load.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {}
+        for name, collection in self._collections.items():
+            with open(directory / f"{name}.jsonl", "w") as handle:
+                for document in collection._documents.values():
+                    handle.write(json.dumps(document, sort_keys=True) + "\n")
+            manifest[name] = [
+                {"path": path, "unique": unique}
+                for path, unique, __ in collection._indexes.values()
+            ]
+        with open(directory / "_manifest.json", "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "DocumentStore":
+        """Load a store previously written by :meth:`save`."""
+        directory = Path(directory)
+        manifest_path = directory / "_manifest.json"
+        if not manifest_path.exists():
+            raise StoreError(f"no store manifest in {directory}")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        store = cls()
+        for name, indexes in manifest.items():
+            collection = store.collection(name)
+            data_path = directory / f"{name}.jsonl"
+            if data_path.exists():
+                with open(data_path) as handle:
+                    for line in handle:
+                        if line.strip():
+                            collection.insert_one(json.loads(line))
+            for index in indexes:
+                collection.create_index(
+                    index["path"], unique=index["unique"]
+                )
+        return store

@@ -1,0 +1,123 @@
+"""DBSCAN density-based clustering.
+
+The exploratory engine ADA-HEALTH uses for *outlier detection* end-goals
+(the paper notes rarely-prescribed exams "could affect other types of
+analyses such as outlier detection"): points in low-density regions get
+the noise label ``-1`` instead of being forced into a cluster.
+
+Region queries run through the kd-tree for low/medium dimensionality and
+fall back to brute force for very wide data (kd-trees degrade there).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.distance import as_matrix, squared_euclidean
+from repro.mining.kdtree import KDTree
+
+#: Label assigned to noise points.
+NOISE = -1
+
+
+class DBSCAN:
+    """Density-based spatial clustering of applications with noise.
+
+    Parameters
+    ----------
+    eps:
+        Neighbourhood radius.
+    min_samples:
+        Minimum neighbourhood size (the point itself included) for a
+        point to be a core point.
+    brute_force_dims:
+        Use brute-force region queries when the data has at least this
+        many columns (kd-trees lose their advantage in high dimension).
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        min_samples: int = 5,
+        brute_force_dims: int = 25,
+    ) -> None:
+        if eps <= 0:
+            raise MiningError("eps must be positive")
+        if min_samples < 1:
+            raise MiningError("min_samples must be >= 1")
+        self.eps = eps
+        self.min_samples = min_samples
+        self.brute_force_dims = brute_force_dims
+        self.labels_: Optional[np.ndarray] = None
+        self.core_sample_indices_: Optional[np.ndarray] = None
+
+    def fit(self, data) -> "DBSCAN":
+        """Cluster ``data``; returns ``self``."""
+        data = as_matrix(data)
+        n, dims = data.shape
+        if dims >= self.brute_force_dims:
+            neighbour_lists = self._brute_neighbours(data)
+        else:
+            tree = KDTree(data)
+            neighbour_lists = [
+                tree.query_radius(data[i], self.eps) for i in range(n)
+            ]
+
+        is_core = np.array(
+            [len(nbrs) >= self.min_samples for nbrs in neighbour_lists]
+        )
+        labels = np.full(n, NOISE, dtype=int)
+        cluster = 0
+        for start in range(n):
+            if labels[start] != NOISE or not is_core[start]:
+                continue
+            # BFS over density-reachable points.
+            labels[start] = cluster
+            queue = deque([start])
+            while queue:
+                point = queue.popleft()
+                if not is_core[point]:
+                    continue
+                for neighbour in neighbour_lists[point]:
+                    if labels[neighbour] == NOISE:
+                        labels[neighbour] = cluster
+                        queue.append(int(neighbour))
+            cluster += 1
+        self.labels_ = labels
+        self.core_sample_indices_ = np.nonzero(is_core)[0]
+        return self
+
+    def fit_predict(self, data) -> np.ndarray:
+        """Fit and return the labels (noise = -1)."""
+        return self.fit(data).labels_  # type: ignore[return-value]
+
+    def _brute_neighbours(self, data: np.ndarray):
+        """Radius neighbourhoods via a blocked distance computation."""
+        n = data.shape[0]
+        eps2 = self.eps * self.eps
+        neighbour_lists = []
+        block = max(1, 2_000_000 // max(n, 1))
+        for start in range(0, n, block):
+            chunk = data[start : start + block]
+            distances = squared_euclidean(chunk, data)
+            for row in distances:
+                neighbour_lists.append(np.nonzero(row <= eps2)[0])
+        return neighbour_lists
+
+    def n_clusters(self) -> int:
+        """Number of clusters found (noise excluded)."""
+        if self.labels_ is None:
+            raise MiningError("DBSCAN is not fitted")
+        unique = set(self.labels_.tolist())
+        unique.discard(NOISE)
+        return len(unique)
+
+    def noise_ratio(self) -> float:
+        """Fraction of points labelled noise."""
+        if self.labels_ is None:
+            raise MiningError("DBSCAN is not fitted")
+        return float((self.labels_ == NOISE).mean())

@@ -1,0 +1,399 @@
+"""CART decision-tree classifier (plus a majority-class baseline).
+
+The ADA-HEALTH optimiser assesses the robustness of a cluster set by
+training a classifier "using the same input features of the clustering
+algorithm, and the class label assigned by the clustering algorithm
+itself as target. ... In our first implementation, we used decision
+trees as classification model." This module supplies that model: a
+binary CART tree with gini/entropy impurity, the usual pre-pruning
+controls and optional reduced-error post-pruning.
+
+The implementation is vectorised per node: each candidate feature's
+split scan is one sort plus cumulative class counts, so trees over the
+full 6,380 x 159 patient matrix build in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import MiningError, NotFittedError
+from repro.mining.distance import as_matrix
+
+
+def gini_impurity(counts: np.ndarray) -> float:
+    """Gini impurity from a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - (proportions**2).sum())
+
+
+def entropy_impurity(counts: np.ndarray) -> float:
+    """Shannon entropy (nats) from a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    nonzero = proportions[proportions > 0]
+    return float(-(nonzero * np.log(nonzero)).sum())
+
+
+@dataclass
+class TreeNode:
+    """A node of the fitted tree. Leaves carry the class distribution."""
+
+    counts: np.ndarray
+    depth: int
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def prediction(self) -> int:
+        """Majority class index (ties break low)."""
+        return int(np.argmax(self.counts))
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.counts.sum())
+
+
+class DecisionTreeClassifier:
+    """Binary CART classifier.
+
+    Parameters
+    ----------
+    criterion:
+        ``"gini"`` or ``"entropy"``.
+    max_depth:
+        Depth cap (root has depth 0); ``None`` for unbounded.
+    min_samples_split:
+        Minimum node size to attempt a split.
+    min_samples_leaf:
+        Minimum samples on each side of any accepted split.
+    min_impurity_decrease:
+        Minimum weighted impurity decrease to accept a split.
+    max_features:
+        If set, the number of features sampled (without replacement) at
+        every node; ``None`` evaluates all features.
+    seed:
+        Seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        criterion: str = "gini",
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_impurity_decrease: float = 0.0,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if criterion not in ("gini", "entropy"):
+            raise MiningError(f"unknown criterion: {criterion!r}")
+        if max_depth is not None and max_depth < 0:
+            raise MiningError("max_depth must be >= 0")
+        if min_samples_split < 2:
+            raise MiningError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise MiningError("min_samples_leaf must be >= 1")
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_features = max_features
+        self.seed = seed
+        self.root_: Optional[TreeNode] = None
+        self.classes_: Optional[np.ndarray] = None
+        self.n_features_: Optional[int] = None
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, data, labels) -> "DecisionTreeClassifier":
+        """Grow the tree on ``(data, labels)``; returns ``self``."""
+        data = as_matrix(data)
+        labels = np.asarray(labels)
+        if labels.ndim != 1 or labels.shape[0] != data.shape[0]:
+            raise MiningError("labels must be 1-D and aligned with data")
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        self.n_features_ = data.shape[1]
+        self._impurity = (
+            gini_impurity if self.criterion == "gini" else entropy_impurity
+        )
+        self._importance = np.zeros(self.n_features_)
+        self._rng = np.random.default_rng(self.seed)
+        self._n_total = data.shape[0]
+        self.root_ = self._grow(data, encoded, depth=0)
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else self._importance
+        )
+        return self
+
+    def _grow(
+        self, data: np.ndarray, labels: np.ndarray, depth: int
+    ) -> TreeNode:
+        counts = np.bincount(labels, minlength=len(self.classes_)).astype(
+            float
+        )
+        node = TreeNode(counts=counts, depth=depth)
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or data.shape[0] < self.min_samples_split
+            or counts.max() == counts.sum()
+        ):
+            return node
+        split = self._best_split(data, labels, counts)
+        if split is None:
+            return node
+        feature, threshold, decrease = split
+        mask = data[:, feature] <= threshold
+        self._importance[feature] += decrease * data.shape[0] / self._n_total
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(data[mask], labels[mask], depth + 1)
+        node.right = self._grow(data[~mask], labels[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, data: np.ndarray, labels: np.ndarray, counts: np.ndarray
+    ) -> Optional[Tuple[int, float, float]]:
+        """Return ``(feature, threshold, impurity decrease)`` or None."""
+        n, d = data.shape
+        parent_impurity = self._impurity(counts)
+        if parent_impurity == 0.0:
+            return None
+        if self.max_features is not None and self.max_features < d:
+            features = self._rng.choice(
+                d, size=self.max_features, replace=False
+            )
+        else:
+            features = np.arange(d)
+
+        best: Optional[Tuple[int, float, float]] = None
+        n_classes = len(self.classes_)
+        one_hot = np.zeros((n, n_classes))
+        one_hot[np.arange(n), labels] = 1.0
+        min_leaf = self.min_samples_leaf
+        for feature in features:
+            values = data[:, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            if sorted_values[0] == sorted_values[-1]:
+                continue
+            left_counts = np.cumsum(one_hot[order], axis=0)
+            # Candidate cut after position i (1-based left size i+1);
+            # valid only between distinct consecutive values.
+            boundaries = np.nonzero(
+                sorted_values[:-1] < sorted_values[1:]
+            )[0]
+            if min_leaf > 1:
+                boundaries = boundaries[
+                    (boundaries + 1 >= min_leaf)
+                    & (n - boundaries - 1 >= min_leaf)
+                ]
+            if len(boundaries) == 0:
+                continue
+            left = left_counts[boundaries]
+            right = counts[None, :] - left
+            left_sizes = left.sum(axis=1)
+            right_sizes = right.sum(axis=1)
+            if self.criterion == "gini":
+                left_imp = 1.0 - (left**2).sum(axis=1) / left_sizes**2
+                right_imp = 1.0 - (right**2).sum(axis=1) / right_sizes**2
+            else:
+                left_imp = _entropy_rows(left, left_sizes)
+                right_imp = _entropy_rows(right, right_sizes)
+            weighted = (
+                left_sizes * left_imp + right_sizes * right_imp
+            ) / n
+            decreases = parent_impurity - weighted
+            pick = int(np.argmax(decreases))
+            decrease = float(decreases[pick])
+            if decrease <= self.min_impurity_decrease:
+                continue
+            if best is None or decrease > best[2]:
+                cut = boundaries[pick]
+                threshold = float(
+                    (sorted_values[cut] + sorted_values[cut + 1]) / 2.0
+                )
+                best = (int(feature), threshold, decrease)
+        return best
+
+    # ------------------------------------------------------------------
+    def predict(self, data) -> np.ndarray:
+        """Predicted class labels."""
+        probabilities = self.predict_proba(data)
+        picks = np.argmax(probabilities, axis=1)
+        return self.classes_[picks]  # type: ignore[index]
+
+    def predict_proba(self, data) -> np.ndarray:
+        """Per-class probabilities from leaf class frequencies."""
+        if self.root_ is None:
+            raise NotFittedError("DecisionTreeClassifier is not fitted")
+        data = as_matrix(data)
+        if data.shape[1] != self.n_features_:
+            raise MiningError(
+                f"expected {self.n_features_} features, got {data.shape[1]}"
+            )
+        output = np.empty((data.shape[0], len(self.classes_)))
+        for i, row in enumerate(data):
+            node = self.root_
+            while not node.is_leaf:
+                node = (
+                    node.left
+                    if row[node.feature] <= node.threshold
+                    else node.right
+                )
+            total = node.counts.sum()
+            output[i] = node.counts / total if total else node.counts
+        return output
+
+    def score(self, data, labels) -> float:
+        """Mean accuracy on the given data."""
+        labels = np.asarray(labels)
+        return float((self.predict(data) == labels).mean())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Depth of the fitted tree (single leaf = 0)."""
+        if self.root_ is None:
+            raise NotFittedError("tree is not fitted")
+
+        def visit(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(visit(node.left), visit(node.right))
+
+        return visit(self.root_)
+
+    def n_leaves(self) -> int:
+        """Number of leaves."""
+        if self.root_ is None:
+            raise NotFittedError("tree is not fitted")
+
+        def visit(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return visit(node.left) + visit(node.right)
+
+        return visit(self.root_)
+
+    def export_text(
+        self, feature_names: Optional[Sequence[str]] = None
+    ) -> str:
+        """Human-readable rendering of the decision rules."""
+        if self.root_ is None:
+            raise NotFittedError("tree is not fitted")
+        lines: List[str] = []
+
+        def name(feature: int) -> str:
+            if feature_names is not None:
+                return str(feature_names[feature])
+            return f"feature[{feature}]"
+
+        def visit(node: TreeNode, indent: str) -> None:
+            if node.is_leaf:
+                cls = self.classes_[node.prediction]  # type: ignore[index]
+                lines.append(
+                    f"{indent}predict {cls!r} (n={node.n_samples})"
+                )
+                return
+            lines.append(
+                f"{indent}if {name(node.feature)} <= {node.threshold:.4f}:"
+            )
+            visit(node.left, indent + "  ")
+            lines.append(f"{indent}else:")
+            visit(node.right, indent + "  ")
+
+        visit(self.root_, "")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def prune(self, data, labels) -> "DecisionTreeClassifier":
+        """Reduced-error post-pruning against a validation set.
+
+        Bottom-up: replace an internal node by a leaf whenever doing so
+        does not reduce accuracy on ``(data, labels)``.
+        """
+        if self.root_ is None:
+            raise NotFittedError("tree is not fitted")
+        data = as_matrix(data)
+        labels = np.asarray(labels)
+        encoded = np.searchsorted(self.classes_, labels)
+
+        def visit(node: TreeNode, rows: np.ndarray, y: np.ndarray) -> None:
+            if node.is_leaf or len(y) == 0:
+                return
+            mask = rows[:, node.feature] <= node.threshold
+            visit(node.left, rows[mask], y[mask])
+            visit(node.right, rows[~mask], y[~mask])
+            subtree_correct = int(
+                (self._subtree_predict(node, rows) == y).sum()
+            )
+            leaf_correct = int((y == node.prediction).sum())
+            if leaf_correct >= subtree_correct:
+                node.left = None
+                node.right = None
+                node.feature = -1
+
+        visit(self.root_, data, encoded)
+        return self
+
+    def _subtree_predict(
+        self, node: TreeNode, rows: np.ndarray
+    ) -> np.ndarray:
+        out = np.empty(len(rows), dtype=int)
+        for i, row in enumerate(rows):
+            cursor = node
+            while not cursor.is_leaf:
+                cursor = (
+                    cursor.left
+                    if row[cursor.feature] <= cursor.threshold
+                    else cursor.right
+                )
+            out[i] = cursor.prediction
+        return out
+
+
+def _entropy_rows(counts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Row-wise entropy of count matrices (sizes = row sums)."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        proportions = counts / sizes[:, None]
+        logs = np.where(proportions > 0, np.log(proportions), 0.0)
+    return -(proportions * logs).sum(axis=1)
+
+
+class MajorityClassifier:
+    """Baseline that always predicts the most frequent training class."""
+
+    def __init__(self) -> None:
+        self.prediction_: Optional[object] = None
+
+    def fit(self, data, labels) -> "MajorityClassifier":
+        labels = np.asarray(labels)
+        if labels.size == 0:
+            raise MiningError("cannot fit on empty labels")
+        values, counts = np.unique(labels, return_counts=True)
+        self.prediction_ = values[int(np.argmax(counts))]
+        return self
+
+    def predict(self, data) -> np.ndarray:
+        if self.prediction_ is None:
+            raise NotFittedError("MajorityClassifier is not fitted")
+        data = np.asarray(data)
+        return np.full(data.shape[0], self.prediction_)

@@ -1,0 +1,183 @@
+"""Agglomerative hierarchical clustering (Lance-Williams update).
+
+Bottom-up merging with single / complete / average / Ward linkage.
+Included as the third exploratory clustering engine ADA-HEALTH can
+select: unlike K-means it requires no K up front — the dendrogram is cut
+wherever the end-goal demands — and it handles non-globular groups.
+
+The implementation keeps the full distance matrix in memory (O(n^2)),
+fine for the cohort sizes clustering is applied to after partial mining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import MiningError, NotFittedError
+from repro.mining.distance import as_matrix, squared_euclidean
+
+_LINKAGES = ("single", "complete", "average", "ward")
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One dendrogram merge: clusters ``a`` and ``b`` joined at ``height``.
+
+    Cluster ids follow scipy convention: leaves are 0..n-1; the i-th
+    merge creates cluster ``n + i``.
+    """
+
+    a: int
+    b: int
+    height: float
+    size: int
+
+
+class AgglomerativeClustering:
+    """Bottom-up hierarchical clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of flat clusters to cut the dendrogram into.
+    linkage:
+        ``"single"``, ``"complete"``, ``"average"`` or ``"ward"``.
+        Ward operates on squared Euclidean distances (variance merging);
+        the others on Euclidean distances.
+    """
+
+    def __init__(self, n_clusters: int = 2, linkage: str = "average"):
+        if n_clusters < 1:
+            raise MiningError("n_clusters must be >= 1")
+        if linkage not in _LINKAGES:
+            raise MiningError(
+                f"unknown linkage {linkage!r}; choose from {_LINKAGES}"
+            )
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+        self.labels_: Optional[np.ndarray] = None
+        self.merges_: Optional[List[Merge]] = None
+
+    def fit(self, data) -> "AgglomerativeClustering":
+        """Build the dendrogram and cut it at ``n_clusters``."""
+        data = as_matrix(data)
+        n = data.shape[0]
+        if n < self.n_clusters:
+            raise MiningError(
+                f"need at least {self.n_clusters} points, got {n}"
+            )
+        distances = squared_euclidean(data, data)
+        if self.linkage != "ward":
+            distances = np.sqrt(distances)
+        np.fill_diagonal(distances, np.inf)
+
+        sizes = np.ones(n)
+        active = np.ones(n, dtype=bool)
+        # member id -> current dendrogram cluster id
+        cluster_ids = np.arange(n)
+        merges: List[Merge] = []
+        working = distances.copy()
+
+        for step in range(n - 1):
+            flat = np.argmin(working)
+            i, j = np.unravel_index(flat, working.shape)
+            if i > j:
+                i, j = j, i
+            height = float(working[i, j])
+            if self.linkage == "ward":
+                height = float(np.sqrt(height))
+            merges.append(
+                Merge(
+                    a=int(cluster_ids[i]),
+                    b=int(cluster_ids[j]),
+                    height=height,
+                    size=int(sizes[i] + sizes[j]),
+                )
+            )
+            # Lance-Williams update of row/column i; deactivate j.
+            updated = self._lance_williams(
+                working, sizes, i, j, np.nonzero(active)[0]
+            )
+            working[i, :] = updated
+            working[:, i] = updated
+            working[i, i] = np.inf
+            working[j, :] = np.inf
+            working[:, j] = np.inf
+            sizes[i] += sizes[j]
+            active[j] = False
+            cluster_ids[i] = n + step
+
+        self.merges_ = merges
+        self.labels_ = self._cut(n, merges, self.n_clusters)
+        return self
+
+    def fit_predict(self, data) -> np.ndarray:
+        """Fit and return the flat labels."""
+        return self.fit(data).labels_  # type: ignore[return-value]
+
+    def _lance_williams(
+        self,
+        working: np.ndarray,
+        sizes: np.ndarray,
+        i: int,
+        j: int,
+        active_indexes: np.ndarray,
+    ) -> np.ndarray:
+        """Distances from the merged cluster (i U j) to every other."""
+        di = working[i, :]
+        dj = working[j, :]
+        ni, nj = sizes[i], sizes[j]
+        if self.linkage == "single":
+            merged = np.minimum(di, dj)
+        elif self.linkage == "complete":
+            merged = np.where(
+                np.isinf(di) | np.isinf(dj),
+                np.minimum(di, dj),
+                np.maximum(di, dj),
+            )
+        elif self.linkage == "average":
+            merged = (ni * di + nj * dj) / (ni + nj)
+        else:  # ward on squared distances
+            nk = sizes
+            total = ni + nj + nk
+            merged = (
+                (ni + nk) * di + (nj + nk) * dj - nk * working[i, j]
+            ) / total
+        merged = merged.copy()
+        merged[i] = np.inf
+        merged[j] = np.inf
+        return merged
+
+    @staticmethod
+    def _cut(n: int, merges: List[Merge], n_clusters: int) -> np.ndarray:
+        """Flat labels from the first ``n - n_clusters`` merges."""
+        parent = list(range(2 * n - 1))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for step, merge in enumerate(merges[: n - n_clusters]):
+            new_id = n + step
+            parent[find(merge.a)] = new_id
+            parent[find(merge.b)] = new_id
+
+        roots = {}
+        labels = np.empty(n, dtype=int)
+        for leaf in range(n):
+            root = find(leaf)
+            if root not in roots:
+                roots[root] = len(roots)
+            labels[leaf] = roots[root]
+        return labels
+
+    def dendrogram_heights(self) -> np.ndarray:
+        """Merge heights in order (useful to pick a cut automatically)."""
+        if self.merges_ is None:
+            raise NotFittedError("AgglomerativeClustering is not fitted")
+        return np.array([merge.height for merge in self.merges_])

@@ -1,0 +1,208 @@
+"""kd-tree over data points, built for the *filtering* K-means algorithm.
+
+The paper cites Kanungo et al., "An efficient k-means clustering
+algorithm: Analysis and implementation" (IEEE TPAMI 2002) as its K-means
+engine. That algorithm stores the data points in a kd-tree whose internal
+nodes carry, for the cell they represent,
+
+* the axis-aligned bounding box of the points inside,
+* the vector sum of those points (the *weighted centroid*), and
+* the point count,
+
+so that during a Lloyd iteration whole subtrees can be assigned to a
+centre at once ("filtering" candidate centres as the traversal descends).
+This module provides that tree plus exact nearest-neighbour queries used
+elsewhere (e.g. DBSCAN region queries fall back to it for wide data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.distance import as_matrix
+
+
+@dataclass
+class KDNode:
+    """A node of the kd-tree.
+
+    Leaves hold explicit point indexes; internal nodes hold the split
+    definition and the per-cell aggregates used by the filtering search.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    count: int
+    vector_sum: np.ndarray
+    sq_sum: float
+    indexes: np.ndarray
+    split_dim: int = -1
+    split_value: float = 0.0
+    left: Optional["KDNode"] = None
+    right: Optional["KDNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Mean of the points in the cell."""
+        return self.vector_sum / self.count
+
+
+class KDTree:
+    """Bulk-built kd-tree with cell aggregates.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` matrix of points.
+    leaf_size:
+        Maximum number of points in a leaf. Smaller leaves mean deeper
+        trees: better filtering but more overhead.
+    """
+
+    def __init__(self, data, leaf_size: int = 16) -> None:
+        if leaf_size < 1:
+            raise MiningError("leaf_size must be >= 1")
+        self.data = as_matrix(data)
+        self.leaf_size = leaf_size
+        indexes = np.arange(self.data.shape[0])
+        self.root = self._build(indexes)
+
+    # ------------------------------------------------------------------
+    def _build(self, indexes: np.ndarray) -> KDNode:
+        points = self.data[indexes]
+        lower = points.min(axis=0)
+        upper = points.max(axis=0)
+        vector_sum = points.sum(axis=0)
+        sq_sum = float(np.einsum("ij,ij->", points, points))
+        node = KDNode(
+            lower=lower,
+            upper=upper,
+            count=len(indexes),
+            vector_sum=vector_sum,
+            sq_sum=sq_sum,
+            indexes=indexes,
+        )
+        if len(indexes) <= self.leaf_size or np.all(lower == upper):
+            return node
+        spread = upper - lower
+        split_dim = int(np.argmax(spread))
+        values = points[:, split_dim]
+        split_value = float(np.median(values))
+        left_mask = values <= split_value
+        # A median equal to the max would send everything left; force a
+        # non-degenerate split on the strict side.
+        if left_mask.all():
+            left_mask = values < split_value
+        if not left_mask.any() or left_mask.all():
+            return node
+        node.split_dim = split_dim
+        node.split_value = split_value
+        node.left = self._build(indexes[left_mask])
+        node.right = self._build(indexes[~left_mask])
+        return node
+
+    # ------------------------------------------------------------------
+    # Nearest-neighbour queries
+    # ------------------------------------------------------------------
+    def query(self, point, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(distances, indexes)`` of the ``k`` nearest points."""
+        point = np.asarray(point, dtype=np.float64).ravel()
+        if point.shape[0] != self.data.shape[1]:
+            raise MiningError("query point has wrong dimensionality")
+        if not 1 <= k <= self.data.shape[0]:
+            raise MiningError("k must be in [1, n_points]")
+        # Max-heap emulation with a sorted list of (distance, index); k is
+        # small in practice so insertion cost is negligible.
+        best: List[Tuple[float, int]] = []
+
+        def visit(node: KDNode) -> None:
+            if len(best) == k and self._min_dist2(node, point) >= best[-1][0]:
+                return
+            if node.is_leaf:
+                diffs = self.data[node.indexes] - point
+                dist2 = np.einsum("ij,ij->i", diffs, diffs)
+                for distance, index in zip(dist2, node.indexes):
+                    if len(best) < k:
+                        best.append((float(distance), int(index)))
+                        best.sort()
+                    elif distance < best[-1][0]:
+                        best[-1] = (float(distance), int(index))
+                        best.sort()
+                return
+            near, far = node.left, node.right
+            if point[node.split_dim] > node.split_value:
+                near, far = far, near
+            visit(near)  # type: ignore[arg-type]
+            visit(far)  # type: ignore[arg-type]
+
+        visit(self.root)
+        distances = np.sqrt(np.array([distance for distance, __ in best]))
+        indexes = np.array([index for __, index in best])
+        return distances, indexes
+
+    def query_radius(self, point, radius: float) -> np.ndarray:
+        """Indexes of all points within ``radius`` of ``point``."""
+        point = np.asarray(point, dtype=np.float64).ravel()
+        radius2 = radius * radius
+        hits: List[int] = []
+
+        def visit(node: KDNode) -> None:
+            if self._min_dist2(node, point) > radius2:
+                return
+            if node.is_leaf:
+                diffs = self.data[node.indexes] - point
+                dist2 = np.einsum("ij,ij->i", diffs, diffs)
+                hits.extend(
+                    int(index)
+                    for index, d2 in zip(node.indexes, dist2)
+                    if d2 <= radius2
+                )
+                return
+            visit(node.left)  # type: ignore[arg-type]
+            visit(node.right)  # type: ignore[arg-type]
+
+        visit(self.root)
+        return np.array(sorted(hits), dtype=int)
+
+    @staticmethod
+    def _min_dist2(node: KDNode, point: np.ndarray) -> float:
+        """Squared distance from ``point`` to the node's bounding box."""
+        below = np.maximum(node.lower - point, 0.0)
+        above = np.maximum(point - node.upper, 0.0)
+        gap = below + above
+        return float(gap @ gap)
+
+    # ------------------------------------------------------------------
+    def leaves(self) -> List[KDNode]:
+        """All leaf nodes (left-to-right)."""
+        result: List[KDNode] = []
+
+        def visit(node: KDNode) -> None:
+            if node.is_leaf:
+                result.append(node)
+            else:
+                visit(node.left)  # type: ignore[arg-type]
+                visit(node.right)  # type: ignore[arg-type]
+
+        visit(self.root)
+        return result
+
+    def depth(self) -> int:
+        """Height of the tree (a single leaf has depth 1)."""
+
+        def visit(node: KDNode) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(
+                visit(node.left), visit(node.right)  # type: ignore[arg-type]
+            )
+
+        return visit(self.root)

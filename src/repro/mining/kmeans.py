@@ -1,0 +1,367 @@
+"""K-means clustering: Lloyd's algorithm and the kd-tree *filtering* engine.
+
+The paper's preliminary ADA-HEALTH implementation clusters patients with
+"a center-based algorithm such as K-Means" and cites Kanungo et al. (IEEE
+TPAMI 2002) for the implementation. This module provides both:
+
+* ``algorithm="lloyd"`` — the textbook alternating assignment/update
+  iteration, fully vectorised; and
+* ``algorithm="filtering"`` — Kanungo's kd-tree filtering algorithm,
+  which assigns whole tree cells to a centre when every competing centre
+  is provably farther from the cell, avoiding per-point distance
+  computations on the dense head of the data.
+
+Both engines produce identical assignments given identical centres; the
+ablation benchmark ``benchmarks/test_kmeans_filtering_ablation.py``
+verifies equivalence and compares runtimes.
+
+Initialisation is ``k-means++`` (default) or uniform random sampling;
+``n_init`` restarts keep the best inertia. All randomness flows through
+an explicit seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import MiningError, NotFittedError
+from repro.mining.distance import as_matrix, squared_euclidean
+from repro.mining.kdtree import KDNode, KDTree
+
+
+def kmeans_plus_plus(
+    data: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii 2007).
+
+    The first centre is uniform; each subsequent centre is drawn with
+    probability proportional to the squared distance from the nearest
+    centre chosen so far.
+    """
+    n = data.shape[0]
+    centers = np.empty((n_clusters, data.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = data[first]
+    closest = squared_euclidean(data, centers[:1]).ravel()
+    for i in range(1, n_clusters):
+        total = closest.sum()
+        if total <= 0.0:
+            # All remaining mass at distance zero: duplicate points; pick
+            # uniformly to stay well-defined.
+            choice = int(rng.integers(n))
+        else:
+            choice = int(rng.choice(n, p=closest / total))
+        centers[i] = data[choice]
+        distance = squared_euclidean(data, centers[i : i + 1]).ravel()
+        np.minimum(closest, distance, out=closest)
+    return centers
+
+
+def _random_init(
+    data: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``n_clusters`` distinct rows as initial centres."""
+    choice = rng.choice(data.shape[0], size=n_clusters, replace=False)
+    return data[choice].copy()
+
+
+class KMeans:
+    """Center-based clustering with SSE (inertia) objective.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``K``.
+    init:
+        ``"k-means++"`` or ``"random"``.
+    algorithm:
+        ``"lloyd"`` or ``"filtering"`` (Kanungo kd-tree engine).
+    n_init:
+        Number of random restarts; the run with the lowest SSE wins.
+    max_iter:
+        Iteration cap per restart.
+    tol:
+        Convergence threshold on the squared movement of centres.
+    seed:
+        Seed for all randomness.
+
+    Attributes (after ``fit``)
+    --------------------------
+    cluster_centers_ : ``(K, d)`` centroids.
+    labels_ : per-point cluster index.
+    inertia_ : SSE — "the total sum of squared errors over all the
+        objects in the collection, where for each object the error is
+        computed as the squared distance from the closest centroid".
+    n_iter_ : iterations of the winning restart.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        init: str = "k-means++",
+        algorithm: str = "lloyd",
+        n_init: int = 5,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise MiningError("n_clusters must be >= 1")
+        if init not in ("k-means++", "random"):
+            raise MiningError(f"unknown init: {init!r}")
+        if algorithm not in ("lloyd", "filtering"):
+            raise MiningError(f"unknown algorithm: {algorithm!r}")
+        if n_init < 1 or max_iter < 1:
+            raise MiningError("n_init and max_iter must be >= 1")
+        self.n_clusters = n_clusters
+        self.init = init
+        self.algorithm = algorithm
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+        self.n_iter_: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, data) -> "KMeans":
+        """Cluster ``data``; returns ``self``."""
+        data = as_matrix(data)
+        if data.shape[0] < self.n_clusters:
+            raise MiningError(
+                f"need at least n_clusters={self.n_clusters} points,"
+                f" got {data.shape[0]}"
+            )
+        rng = np.random.default_rng(self.seed)
+        tree = KDTree(data) if self.algorithm == "filtering" else None
+
+        best: Optional[Tuple[float, np.ndarray, np.ndarray, int]] = None
+        for __ in range(self.n_init):
+            if self.init == "k-means++":
+                centers = kmeans_plus_plus(data, self.n_clusters, rng)
+            else:
+                centers = _random_init(data, self.n_clusters, rng)
+            centers, labels, inertia, n_iter = self._run(
+                data, centers, rng, tree
+            )
+            if best is None or inertia < best[0]:
+                best = (inertia, centers, labels, n_iter)
+
+        assert best is not None
+        self.inertia_, self.cluster_centers_, self.labels_, self.n_iter_ = (
+            best[0],
+            best[1],
+            best[2],
+            best[3],
+        )
+        return self
+
+    def fit_predict(self, data) -> np.ndarray:
+        """Fit and return the labels."""
+        return self.fit(data).labels_  # type: ignore[return-value]
+
+    def predict(self, data) -> np.ndarray:
+        """Assign new points to the nearest fitted centre."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError("KMeans.predict called before fit")
+        data = as_matrix(data)
+        return np.argmin(
+            squared_euclidean(data, self.cluster_centers_), axis=1
+        )
+
+    def transform(self, data) -> np.ndarray:
+        """Distances from each point to each fitted centre."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError("KMeans.transform called before fit")
+        data = as_matrix(data)
+        return np.sqrt(squared_euclidean(data, self.cluster_centers_))
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        data: np.ndarray,
+        centers: np.ndarray,
+        rng: np.random.Generator,
+        tree: Optional[KDTree],
+    ) -> Tuple[np.ndarray, np.ndarray, float, int]:
+        """One restart: iterate until convergence or ``max_iter``."""
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            if tree is not None:
+                labels, sums, counts, inertia = _filtering_step(
+                    tree, centers
+                )
+            else:
+                labels, sums, counts, inertia = _lloyd_step(data, centers)
+            new_centers = centers.copy()
+            occupied = counts > 0
+            new_centers[occupied] = (
+                sums[occupied] / counts[occupied, None]
+            )
+            # Re-seed empty clusters on the farthest points: keeps K
+            # clusters alive, matching common practice.
+            for j in np.nonzero(~occupied)[0]:
+                distances = squared_euclidean(data, centers[j : j + 1])
+                new_centers[j] = data[int(np.argmax(distances))]
+            shift = float(((new_centers - centers) ** 2).sum())
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        if tree is not None:
+            labels, __, __, inertia = _filtering_step(tree, centers)
+        else:
+            labels, __, __, inertia = _lloyd_step(data, centers)
+        return centers, labels, float(inertia), n_iter
+
+
+def _lloyd_step(
+    data: np.ndarray, centers: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """One assignment pass: labels, per-cluster sums/counts, SSE."""
+    distances = squared_euclidean(data, centers)
+    labels = np.argmin(distances, axis=1)
+    inertia = float(distances[np.arange(len(labels)), labels].sum())
+    k = centers.shape[0]
+    counts = np.bincount(labels, minlength=k).astype(np.float64)
+    sums = np.zeros_like(centers)
+    np.add.at(sums, labels, data)
+    return labels, sums, counts, inertia
+
+
+def _filtering_step(
+    tree: KDTree, centers: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """One assignment pass using Kanungo's filtering traversal.
+
+    Whole cells whose candidate set prunes down to a single centre are
+    assigned in O(1) using the cell aggregates (point count, vector sum,
+    sum of squared norms).
+    """
+    k, dims = centers.shape
+    labels = np.empty(tree.data.shape[0], dtype=int)
+    sums = np.zeros((k, dims))
+    counts = np.zeros(k)
+    inertia = 0.0
+
+    def visit(node: KDNode, candidates: np.ndarray) -> None:
+        nonlocal inertia
+        if len(candidates) > 1:
+            candidates = _filter_candidates(node, centers, candidates)
+        if len(candidates) == 1 and not node.is_leaf:
+            winner = int(candidates[0])
+            labels[node.indexes] = winner
+            sums[winner] += node.vector_sum
+            counts[winner] += node.count
+            center = centers[winner]
+            inertia += (
+                node.sq_sum
+                - 2.0 * float(center @ node.vector_sum)
+                + node.count * float(center @ center)
+            )
+            return
+        if node.is_leaf:
+            points = tree.data[node.indexes]
+            distances = squared_euclidean(points, centers[candidates])
+            nearest = np.argmin(distances, axis=1)
+            chosen = candidates[nearest]
+            labels[node.indexes] = chosen
+            np.add.at(sums, chosen, points)
+            counts[:] = counts + np.bincount(chosen, minlength=k)
+            inertia += float(
+                distances[np.arange(len(nearest)), nearest].sum()
+            )
+            return
+        visit(node.left, candidates)  # type: ignore[arg-type]
+        visit(node.right, candidates)  # type: ignore[arg-type]
+
+    visit(tree.root, np.arange(k))
+    return labels, sums, counts, float(inertia)
+
+
+def filtering_stats(data, centers) -> dict:
+    """Instrumentation for the filtering traversal.
+
+    Returns how effectively one filtering pass prunes work for the given
+    centres: the fraction of points assigned in bulk at internal nodes
+    (without any per-point distance computation) and the number of
+    point-centre distance evaluations performed, versus the ``n * k``
+    a Lloyd pass always needs.
+    """
+    data = as_matrix(data)
+    centers = np.asarray(centers, dtype=np.float64)
+    tree = KDTree(data)
+    k = centers.shape[0]
+    stats = {
+        "bulk_points": 0,
+        "leaf_points": 0,
+        "distance_evaluations": 0,
+        "nodes_visited": 0,
+    }
+
+    def visit(node: KDNode, candidates: np.ndarray) -> None:
+        stats["nodes_visited"] += 1
+        if len(candidates) > 1:
+            candidates = _filter_candidates(node, centers, candidates)
+        if len(candidates) == 1 and not node.is_leaf:
+            stats["bulk_points"] += node.count
+            return
+        if node.is_leaf:
+            stats["leaf_points"] += node.count
+            stats["distance_evaluations"] += node.count * len(candidates)
+            return
+        visit(node.left, candidates)  # type: ignore[arg-type]
+        visit(node.right, candidates)  # type: ignore[arg-type]
+
+    visit(tree.root, np.arange(k))
+    stats["lloyd_distance_evaluations"] = data.shape[0] * k
+    stats["bulk_fraction"] = stats["bulk_points"] / data.shape[0]
+    return stats
+
+
+def _filter_candidates(
+    node: KDNode, centers: np.ndarray, candidates: np.ndarray
+) -> np.ndarray:
+    """Prune candidate centres that cannot own any point of the cell.
+
+    The closest candidate to the cell midpoint is kept; any other
+    candidate ``z`` is pruned when the cell corner farthest in the
+    direction ``z - z*`` is still closer to ``z*`` (Kanungo et al.,
+    Lemma "is_farther").
+    """
+    subset = centers[candidates]
+    midpoint = (node.lower + node.upper) / 2.0
+    closest_pos = int(
+        np.argmin(squared_euclidean(midpoint[None, :], subset).ravel())
+    )
+    star = subset[closest_pos]
+    keep = np.zeros(len(candidates), dtype=bool)
+    keep[closest_pos] = True
+    for position, center in enumerate(subset):
+        if position == closest_pos:
+            continue
+        direction = center - star
+        corner = np.where(direction > 0.0, node.upper, node.lower)
+        to_star = corner - star
+        to_center = corner - center
+        if float(to_center @ to_center) < float(to_star @ to_star):
+            keep[position] = True
+    return candidates[keep]
+
+
+def kmeans(
+    data,
+    n_clusters: int,
+    seed: int = 0,
+    **kwargs,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Functional one-shot API: returns ``(labels, centers, sse)``."""
+    model = KMeans(n_clusters=n_clusters, seed=seed, **kwargs).fit(data)
+    return (
+        model.labels_,  # type: ignore[return-value]
+        model.cluster_centers_,
+        model.inertia_,
+    )

@@ -1,0 +1,140 @@
+"""Naive Bayes classifiers (Gaussian and multinomial).
+
+The paper's optimiser used decision trees "in our first implementation"
+— explicitly leaving the classifier pluggable. These two Bayes variants
+are the natural alternatives for the robustness assessment: Gaussian NB
+for scaled/normalised VSMs, multinomial NB for raw examination counts
+(patient vectors are term-frequency-like, exactly multinomial NB's home
+turf). The optimiser accepts either through its ``classifier_factory``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import MiningError, NotFittedError
+from repro.mining.distance import as_matrix
+
+
+class GaussianNaiveBayes:
+    """Gaussian NB with per-class feature means and variances.
+
+    Variances are smoothed by ``var_smoothing`` times the largest
+    feature variance, so constant features do not break the likelihood.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing <= 0:
+            raise MiningError("var_smoothing must be positive")
+        self.var_smoothing = var_smoothing
+        self.classes_: Optional[np.ndarray] = None
+        self.theta_: Optional[np.ndarray] = None  # (k, d) means
+        self.var_: Optional[np.ndarray] = None  # (k, d) variances
+        self.class_log_prior_: Optional[np.ndarray] = None
+
+    def fit(self, data, labels) -> "GaussianNaiveBayes":
+        data = as_matrix(data)
+        labels = np.asarray(labels)
+        if labels.shape[0] != data.shape[0]:
+            raise MiningError("labels must align with data")
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        k = len(self.classes_)
+        d = data.shape[1]
+        self.theta_ = np.zeros((k, d))
+        self.var_ = np.zeros((k, d))
+        priors = np.zeros(k)
+        epsilon = self.var_smoothing * max(data.var(axis=0).max(), 1e-12)
+        for j in range(k):
+            members = data[encoded == j]
+            priors[j] = members.shape[0] / data.shape[0]
+            self.theta_[j] = members.mean(axis=0)
+            self.var_[j] = members.var(axis=0) + epsilon
+        self.class_log_prior_ = np.log(priors)
+        return self
+
+    def _joint_log_likelihood(self, data: np.ndarray) -> np.ndarray:
+        assert self.theta_ is not None and self.var_ is not None
+        outputs = []
+        for j in range(len(self.classes_)):  # type: ignore[arg-type]
+            log_det = -0.5 * np.log(2.0 * np.pi * self.var_[j]).sum()
+            gaps = data - self.theta_[j]
+            quad = -0.5 * (gaps**2 / self.var_[j]).sum(axis=1)
+            outputs.append(
+                self.class_log_prior_[j] + log_det + quad
+            )
+        return np.vstack(outputs).T
+
+    def predict(self, data) -> np.ndarray:
+        """Most probable class per row."""
+        if self.classes_ is None:
+            raise NotFittedError("GaussianNaiveBayes is not fitted")
+        data = as_matrix(data)
+        joint = self._joint_log_likelihood(data)
+        return self.classes_[np.argmax(joint, axis=1)]
+
+    def predict_proba(self, data) -> np.ndarray:
+        """Posterior class probabilities (softmax of the joint)."""
+        if self.classes_ is None:
+            raise NotFittedError("GaussianNaiveBayes is not fitted")
+        data = as_matrix(data)
+        joint = self._joint_log_likelihood(data)
+        joint -= joint.max(axis=1, keepdims=True)
+        exp = np.exp(joint)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def score(self, data, labels) -> float:
+        """Mean accuracy."""
+        labels = np.asarray(labels)
+        return float((self.predict(data) == labels).mean())
+
+
+class MultinomialNaiveBayes:
+    """Multinomial NB for non-negative count data.
+
+    ``alpha`` is the Laplace/Lidstone smoothing on feature counts.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise MiningError("alpha must be positive")
+        self.alpha = alpha
+        self.classes_: Optional[np.ndarray] = None
+        self.feature_log_prob_: Optional[np.ndarray] = None
+        self.class_log_prior_: Optional[np.ndarray] = None
+
+    def fit(self, data, labels) -> "MultinomialNaiveBayes":
+        data = as_matrix(data)
+        if (data < 0).any():
+            raise MiningError("multinomial NB requires non-negative data")
+        labels = np.asarray(labels)
+        if labels.shape[0] != data.shape[0]:
+            raise MiningError("labels must align with data")
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        k = len(self.classes_)
+        d = data.shape[1]
+        counts = np.zeros((k, d))
+        priors = np.zeros(k)
+        for j in range(k):
+            members = data[encoded == j]
+            counts[j] = members.sum(axis=0) + self.alpha
+            priors[j] = members.shape[0] / data.shape[0]
+        self.feature_log_prob_ = np.log(
+            counts / counts.sum(axis=1, keepdims=True)
+        )
+        self.class_log_prior_ = np.log(priors)
+        return self
+
+    def predict(self, data) -> np.ndarray:
+        """Most probable class per row."""
+        if self.classes_ is None:
+            raise NotFittedError("MultinomialNaiveBayes is not fitted")
+        data = as_matrix(data)
+        joint = data @ self.feature_log_prob_.T + self.class_log_prior_
+        return self.classes_[np.argmax(joint, axis=1)]
+
+    def score(self, data, labels) -> float:
+        """Mean accuracy."""
+        labels = np.asarray(labels)
+        return float((self.predict(data) == labels).mean())

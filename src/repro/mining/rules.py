@@ -1,0 +1,159 @@
+"""Association-rule generation from frequent itemsets.
+
+Produces ``antecedent => consequent`` rules with the classical quality
+measures (support, confidence, lift, leverage, conviction). In the
+medical setting a rule such as ``{HbA1c, fundus oculi} => {retinal
+photography}`` surfaces examinations "prescribed in conjunction or
+needed to monitor/diagnose the same condition" — the correlation the
+paper offers as the reason partial mining loses so little information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.exceptions import MiningError
+from repro.mining.itemsets import Itemset, itemset_index
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An association rule with its quality measures.
+
+    ``support`` is the relative support of the union; ``confidence`` is
+    ``P(consequent | antecedent)``; ``lift`` compares the confidence
+    with the consequent's base rate; ``leverage`` is the difference
+    between observed and independent joint support; ``conviction``
+    measures implication strength (``inf`` for exact rules).
+    """
+
+    antecedent: FrozenSet[str]
+    consequent: FrozenSet[str]
+    support: float
+    confidence: float
+    lift: float
+    leverage: float
+    conviction: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lhs = ", ".join(sorted(self.antecedent))
+        rhs = ", ".join(sorted(self.consequent))
+        return (
+            f"{{{lhs}}} => {{{rhs}}}"
+            f" (sup={self.support:.3f}, conf={self.confidence:.3f},"
+            f" lift={self.lift:.2f})"
+        )
+
+
+def generate_rules(
+    itemsets: Sequence[Itemset],
+    min_confidence: float = 0.5,
+    min_lift: Optional[float] = None,
+    max_consequent: Optional[int] = None,
+) -> List[AssociationRule]:
+    """Derive rules from every frequent itemset of size >= 2.
+
+    Parameters
+    ----------
+    itemsets:
+        Output of :func:`repro.mining.itemsets.mine_frequent_itemsets`.
+        Must be closed under subsets (both miners guarantee this) so all
+        needed supports are available.
+    min_confidence:
+        Keep rules whose confidence meets this threshold.
+    min_lift:
+        Optionally also require a minimum lift.
+    max_consequent:
+        Cap on the consequent size (None = no cap).
+
+    Returns
+    -------
+    list of AssociationRule, sorted by (confidence, lift) descending.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise MiningError("min_confidence must be in (0, 1]")
+    index = itemset_index(itemsets)
+    rules: List[AssociationRule] = []
+    for itemset in itemsets:
+        if len(itemset.items) < 2:
+            continue
+        items = sorted(itemset.items)
+        for size in range(1, len(items)):
+            consequent_size = len(items) - size
+            if (
+                max_consequent is not None
+                and consequent_size > max_consequent
+            ):
+                continue
+            for antecedent_items in combinations(items, size):
+                antecedent = frozenset(antecedent_items)
+                consequent = itemset.items - antecedent
+                rule = _build_rule(itemset, antecedent, consequent, index)
+                if rule is None:
+                    continue
+                if rule.confidence < min_confidence:
+                    continue
+                if min_lift is not None and rule.lift < min_lift:
+                    continue
+                rules.append(rule)
+    rules.sort(key=lambda r: (-r.confidence, -r.lift, sorted(r.antecedent)))
+    return rules
+
+
+def _build_rule(
+    itemset: Itemset,
+    antecedent: FrozenSet[str],
+    consequent: FrozenSet[str],
+    index: Dict[FrozenSet[str], Itemset],
+) -> Optional[AssociationRule]:
+    antecedent_set = index.get(antecedent)
+    consequent_set = index.get(consequent)
+    if antecedent_set is None or consequent_set is None:
+        # Support below threshold for a subset can only happen if the
+        # caller passed a truncated itemset list; skip such rules.
+        return None
+    support = itemset.support
+    confidence = support / antecedent_set.support
+    lift = confidence / consequent_set.support
+    leverage = support - antecedent_set.support * consequent_set.support
+    if confidence >= 1.0:
+        conviction = float("inf")
+    else:
+        conviction = (1.0 - consequent_set.support) / (1.0 - confidence)
+    return AssociationRule(
+        antecedent=antecedent,
+        consequent=consequent,
+        support=support,
+        confidence=min(confidence, 1.0),
+        lift=lift,
+        leverage=leverage,
+        conviction=conviction,
+    )
+
+
+def filter_rules(
+    rules: Iterable[AssociationRule],
+    contains: Optional[str] = None,
+    antecedent_contains: Optional[str] = None,
+    consequent_contains: Optional[str] = None,
+) -> List[AssociationRule]:
+    """Select rules mentioning given items (navigation helper)."""
+    selected = []
+    for rule in rules:
+        everything = rule.antecedent | rule.consequent
+        if contains is not None and contains not in everything:
+            continue
+        if (
+            antecedent_contains is not None
+            and antecedent_contains not in rule.antecedent
+        ):
+            continue
+        if (
+            consequent_contains is not None
+            and consequent_contains not in rule.consequent
+        ):
+            continue
+        selected.append(rule)
+    return selected

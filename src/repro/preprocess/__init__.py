@@ -1,0 +1,53 @@
+"""Preprocessing: VSM building, transforms, characterisation, selection."""
+
+from repro.preprocess.autoselect import (
+    DEFAULT_CANDIDATES,
+    TransformCandidate,
+    TransformSelection,
+    TransformSelector,
+)
+from repro.preprocess.characterization import (
+    DatasetProfile,
+    FeatureProfile,
+    characterize_log,
+    characterize_matrix,
+    feature_profiles,
+)
+from repro.preprocess.transforms import (
+    IdentityTransform,
+    L1Normalizer,
+    L2Normalizer,
+    MinMaxScaler,
+    StandardScaler,
+    TransformPipeline,
+    make_transform,
+)
+from repro.preprocess.vsm import (
+    WEIGHTINGS,
+    VSMatrix,
+    VSMBuilder,
+    apply_weighting,
+)
+
+__all__ = [
+    "DEFAULT_CANDIDATES",
+    "DatasetProfile",
+    "FeatureProfile",
+    "IdentityTransform",
+    "L1Normalizer",
+    "L2Normalizer",
+    "MinMaxScaler",
+    "StandardScaler",
+    "TransformCandidate",
+    "TransformPipeline",
+    "TransformSelection",
+    "TransformSelector",
+    "VSMBuilder",
+    "VSMatrix",
+    "WEIGHTINGS",
+    "apply_weighting",
+    "characterize_log",
+    "characterize_matrix",
+    "feature_profiles",
+    "make_transform",
+]

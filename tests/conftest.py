@@ -1,0 +1,76 @@
+"""Shared fixtures: small synthetic datasets and toy matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ExamLog, ExamRecord, PatientInfo, small_dataset
+from repro.data.taxonomy import build_default_taxonomy
+
+
+@pytest.fixture(scope="session")
+def small_log() -> ExamLog:
+    """A 300-patient, 40-exam synthetic log (session-cached)."""
+    return small_dataset(seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_log() -> ExamLog:
+    """A very small log for fast structural tests."""
+    return small_dataset(
+        n_patients=60, n_exam_types=20, target_records=800, seed=3
+    )
+
+
+@pytest.fixture()
+def handmade_log() -> ExamLog:
+    """A tiny hand-written log with known counts.
+
+    Patient 1: exam 0 twice (days 1, 2), exam 1 once (day 1).
+    Patient 2: exam 1 once (day 5).
+    Patient 3: exam 2 three times (days 0, 10, 20).
+    """
+    taxonomy = build_default_taxonomy(8)
+    records = [
+        ExamRecord(patient_id=1, day=1, exam_code=0),
+        ExamRecord(patient_id=1, day=2, exam_code=0),
+        ExamRecord(patient_id=1, day=1, exam_code=1),
+        ExamRecord(patient_id=2, day=5, exam_code=1),
+        ExamRecord(patient_id=3, day=0, exam_code=2),
+        ExamRecord(patient_id=3, day=10, exam_code=2),
+        ExamRecord(patient_id=3, day=20, exam_code=2),
+    ]
+    patients = [
+        PatientInfo(patient_id=1, age=60),
+        PatientInfo(patient_id=2, age=45),
+        PatientInfo(patient_id=3, age=70),
+    ]
+    return ExamLog(records, taxonomy=taxonomy, patients=patients)
+
+
+@pytest.fixture(scope="session")
+def blobs():
+    """Three well-separated Gaussian blobs: (data, true labels)."""
+    rng = np.random.default_rng(0)
+    data = np.vstack(
+        [rng.normal(center, 0.4, size=(60, 5)) for center in (0.0, 4.0, 8.0)]
+    )
+    labels = np.repeat([0, 1, 2], 60)
+    return data, labels
+
+
+@pytest.fixture(scope="session")
+def transactions():
+    """Small transaction database with known supports (9 baskets)."""
+    return [
+        ["a", "b", "c"],
+        ["a", "b"],
+        ["a", "c"],
+        ["b", "c"],
+        ["a", "b", "c", "d"],
+        ["b", "d"],
+        ["a"],
+        ["c", "d"],
+        ["a", "b", "c"],
+    ]

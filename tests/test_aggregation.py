@@ -1,0 +1,185 @@
+"""Tests for the document-store aggregation pipeline."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.kdb.documentstore import DocumentStore
+
+
+@pytest.fixture()
+def sales():
+    store = DocumentStore()
+    collection = store["sales"]
+    collection.insert_many(
+        [
+            {"region": "north", "amount": 10, "units": 1},
+            {"region": "north", "amount": 30, "units": 2},
+            {"region": "south", "amount": 5, "units": 1},
+            {"region": "south", "amount": 15, "units": 3},
+            {"region": "south", "amount": 25, "units": 1},
+            {"region": "west", "amount": 100, "units": 10},
+        ]
+    )
+    return collection
+
+
+def test_group_sum_avg(sales):
+    result = sales.aggregate(
+        [
+            {
+                "$group": {
+                    "_id": "$region",
+                    "total": {"$sum": "$amount"},
+                    "mean": {"$avg": "$amount"},
+                }
+            },
+            {"$sort": {"_id": 1}},
+        ]
+    )
+    assert [row["_id"] for row in result] == ["north", "south", "west"]
+    by_region = {row["_id"]: row for row in result}
+    assert by_region["north"]["total"] == 40
+    assert by_region["south"]["total"] == 45
+    assert by_region["south"]["mean"] == pytest.approx(15.0)
+
+
+def test_group_min_max_count(sales):
+    result = sales.aggregate(
+        [
+            {
+                "$group": {
+                    "_id": "$region",
+                    "n": {"$count": True},
+                    "low": {"$min": "$amount"},
+                    "high": {"$max": "$amount"},
+                }
+            }
+        ]
+    )
+    by_region = {row["_id"]: row for row in result}
+    assert by_region["south"]["n"] == 3
+    assert by_region["south"]["low"] == 5
+    assert by_region["south"]["high"] == 25
+
+
+def test_group_push(sales):
+    result = sales.aggregate(
+        [
+            {"$group": {"_id": "$region", "amounts": {"$push": "$amount"}}},
+            {"$sort": {"_id": 1}},
+        ]
+    )
+    assert sorted(result[0]["amounts"]) == [10, 30]
+
+
+def test_match_then_group(sales):
+    result = sales.aggregate(
+        [
+            {"$match": {"amount": {"$gte": 15}}},
+            {"$group": {"_id": "$region", "n": {"$count": True}}},
+            {"$sort": {"_id": 1}},
+        ]
+    )
+    by_region = {row["_id"]: row["n"] for row in result}
+    assert by_region == {"north": 1, "south": 2, "west": 1}
+
+
+def test_group_constant_id_totals(sales):
+    result = sales.aggregate(
+        [
+            {
+                "$group": {
+                    "_id": None,
+                    "grand_total": {"$sum": "$amount"},
+                }
+            }
+        ]
+    )
+    assert len(result) == 1
+    assert result[0]["grand_total"] == 185
+
+
+def test_sort_limit_skip(sales):
+    result = sales.aggregate(
+        [
+            {"$sort": {"amount": -1}},
+            {"$skip": 1},
+            {"$limit": 2},
+        ]
+    )
+    assert [row["amount"] for row in result] == [30, 25]
+
+
+def test_project(sales):
+    result = sales.aggregate(
+        [
+            {"$match": {"region": "west"}},
+            {"$project": {"amount": 1}},
+        ]
+    )
+    assert result == [{"amount": 100}]
+
+
+def test_group_ignores_non_numeric_in_sum():
+    store = DocumentStore()
+    collection = store["c"]
+    collection.insert_many(
+        [{"g": 1, "v": 5}, {"g": 1, "v": "oops"}, {"g": 1}]
+    )
+    result = collection.aggregate(
+        [{"$group": {"_id": "$g", "total": {"$sum": "$v"},
+                     "mean": {"$avg": "$v"}}}]
+    )
+    assert result[0]["total"] == 5
+    assert result[0]["mean"] == pytest.approx(5.0)
+
+
+def test_avg_of_empty_group_is_none():
+    store = DocumentStore()
+    collection = store["c"]
+    collection.insert_one({"g": 1})
+    result = collection.aggregate(
+        [{"$group": {"_id": "$g", "mean": {"$avg": "$missing"}}}]
+    )
+    assert result[0]["mean"] is None
+
+
+def test_invalid_stages_raise(sales):
+    with pytest.raises(QueryError):
+        sales.aggregate([{"$teleport": {}}])
+    with pytest.raises(QueryError):
+        sales.aggregate([{"$group": {"total": {"$sum": "$amount"}}}])
+    with pytest.raises(QueryError):
+        sales.aggregate(
+            [{"$group": {"_id": None, "x": {"$median": "$amount"}}}]
+        )
+    with pytest.raises(QueryError):
+        sales.aggregate([{"$match": {}, "$limit": 1}])
+
+
+def test_aggregate_does_not_mutate_store(sales):
+    sales.aggregate([{"$project": {"region": 1}}])
+    assert sales.find_one({"region": "west"})["amount"] == 100
+
+
+def test_kdb_statistics():
+    from repro.core import KnowledgeItem
+    from repro.kdb import KnowledgeBase
+
+    kdb = KnowledgeBase()
+    for i in range(4):
+        item = KnowledgeItem(
+            kind="cluster" if i % 2 else "itemset",
+            end_goal="g",
+            title=f"i{i}",
+        )
+        item.score = i / 4
+        kdb.store_item(item)
+        kdb.record_feedback(item, "u", "high" if i >= 2 else "low")
+    stats = kdb.statistics()
+    kinds = {row["_id"]: row for row in stats["items_by_kind"]}
+    assert kinds["cluster"]["count"] == 2
+    assert kinds["itemset"]["count"] == 2
+    degrees = {row["_id"]: row["count"] for row in
+               stats["feedback_by_degree"]}
+    assert degrees == {"high": 2, "low": 2}

@@ -1,0 +1,69 @@
+"""Tests for the architecture graph (paper Figure 1)."""
+
+import pytest
+
+from repro.core import COMPONENTS, INTERACTIONS, adjacency, render_text
+from repro.core.architecture import component_by_key, validate
+from repro.exceptions import EngineError
+
+
+def test_validate_passes():
+    validate()
+
+
+def test_all_paper_blocks_present():
+    keys = {component.key for component in COMPONENTS}
+    assert {
+        "user",
+        "characterization",
+        "optimization",
+        "endgoals",
+        "mining",
+        "kdb",
+        "navigation",
+    } <= keys
+
+
+def test_component_lookup():
+    assert component_by_key("kdb").title.startswith("Knowledge Base")
+    with pytest.raises(EngineError):
+        component_by_key("blockchain")
+
+
+def test_modules_exist():
+    """Every block's implementing module actually imports."""
+    import importlib
+
+    for component in COMPONENTS:
+        if component.module.startswith("("):
+            continue  # human actor, not a module
+        for module in component.module.split(","):
+            importlib.import_module(module.strip())
+
+
+def test_interactions_reference_known_components():
+    keys = {component.key for component in COMPONENTS}
+    for source, target, label in INTERACTIONS:
+        assert source in keys
+        assert target in keys
+        assert label
+
+
+def test_self_learning_loop_closed():
+    """The feedback loop user -> kdb -> endgoals exists (paper SSIII)."""
+    graph = adjacency()
+    assert "kdb" in graph["user"]
+    assert "endgoals" in graph["kdb"]
+    assert "user" in graph["navigation"]
+
+
+def test_render_mentions_every_component():
+    text = render_text()
+    for component in COMPONENTS:
+        assert component.key in text
+    assert "Figure 1" in text
+
+
+def test_adjacency_covers_all_nodes():
+    graph = adjacency()
+    assert set(graph) == {component.key for component in COMPONENTS}

@@ -1,0 +1,82 @@
+"""Tests for automatic transform selection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PreprocessError
+from repro.preprocess import TransformSelector
+from repro.preprocess.autoselect import DEFAULT_CANDIDATES
+
+
+def test_selects_best_scoring_candidate(small_log):
+    selector = TransformSelector(pilot_size=150, pilot_clusters=4, seed=0)
+    selection = selector.select(small_log)
+    best_score = max(c.score for c in selection.candidates)
+    assert selection.best.score == best_score
+    assert len(selection.candidates) == len(DEFAULT_CANDIDATES)
+
+
+def test_output_matrix_matches_selection(small_log):
+    selector = TransformSelector(
+        candidates=[("count", "l2")], pilot_size=100, pilot_clusters=3
+    )
+    selection = selector.select(small_log)
+    assert selection.best.weighting == "count"
+    norms = np.linalg.norm(selection.transformed, axis=1)
+    nonzero = norms > 0
+    assert np.allclose(norms[nonzero], 1.0)
+    assert selection.vsm.weighting == "count"
+
+
+def test_report_lists_all_candidates(small_log):
+    selector = TransformSelector(pilot_size=100, pilot_clusters=3, seed=1)
+    selection = selector.select(small_log)
+    report = selection.report()
+    assert "<- selected" in report
+    for candidate in selection.candidates:
+        assert candidate.name in report
+
+
+def test_deterministic_given_seed(small_log):
+    a = TransformSelector(pilot_size=100, pilot_clusters=3, seed=5).select(
+        small_log
+    )
+    b = TransformSelector(pilot_size=100, pilot_clusters=3, seed=5).select(
+        small_log
+    )
+    assert a.best.name == b.best.name
+    assert [c.score for c in a.candidates] == [
+        c.score for c in b.candidates
+    ]
+
+
+def test_custom_metric_callable(small_log):
+    # A metric preferring many small clusters: constant -> first wins.
+    selector = TransformSelector(
+        candidates=[("count", "identity"), ("binary", "identity")],
+        pilot_size=80,
+        pilot_clusters=3,
+        metric=lambda matrix, labels: 1.0,
+    )
+    selection = selector.select(small_log)
+    assert selection.best.weighting == "count"
+
+
+def test_silhouette_metric(small_log):
+    selector = TransformSelector(
+        candidates=[("count", "l2"), ("binary", "l2")],
+        pilot_size=80,
+        pilot_clusters=3,
+        metric="silhouette",
+    )
+    selection = selector.select(small_log)
+    assert selection.best is not None
+
+
+def test_validation_errors():
+    with pytest.raises(PreprocessError):
+        TransformSelector(candidates=[])
+    with pytest.raises(PreprocessError):
+        TransformSelector(candidates=[("bm25", "l2")])
+    with pytest.raises(PreprocessError):
+        TransformSelector(metric="mystery")

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import load_jsonl, save_jsonl, small_dataset
+
+
+@pytest.fixture()
+def dataset_path(tiny_log, tmp_path):
+    path = tmp_path / "cohort.jsonl"
+    save_jsonl(tiny_log, path)
+    return str(path)
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    output = capsys.readouterr().out
+    return code, output
+
+
+def test_figure1(capsys):
+    code, output = run(capsys, "figure1")
+    assert code == 0
+    assert "ADA-HEALTH architecture" in output
+    assert "kdb" in output
+
+
+def test_generate_jsonl(capsys, tmp_path):
+    target = tmp_path / "out.jsonl"
+    code, output = run(
+        capsys,
+        "generate",
+        str(target),
+        "--patients", "80",
+        "--exam-types", "20",
+        "--records", "1200",
+        "--seed", "2",
+    )
+    assert code == 0
+    assert "80 patients" in output
+    log = load_jsonl(target)
+    assert log.n_patients == 80
+    assert log.n_exam_types == 20
+
+
+def test_generate_csv(capsys, tmp_path):
+    target = tmp_path / "csvdir"
+    code, __ = run(
+        capsys,
+        "generate",
+        str(target),
+        "--patients", "60",
+        "--exam-types", "20",
+        "--records", "900",
+        "--format", "csv",
+    )
+    assert code == 0
+    assert (target / "records.csv").exists()
+    assert (target / "exam_types.csv").exists()
+
+
+def test_describe_file(capsys, dataset_path):
+    code, output = run(capsys, "describe", dataset_path)
+    assert code == 0
+    assert "patients      : 60" in output
+    assert "sparsity" in output
+    assert "most frequent exams:" in output
+
+
+def test_describe_synthetic(capsys):
+    code, output = run(capsys, "describe", "--synthetic", "100")
+    assert code == 0
+    assert "patients      : 100" in output
+
+
+def test_describe_without_dataset_errors(capsys):
+    with pytest.raises(SystemExit):
+        main(["describe"])
+
+
+def test_analyze(capsys):
+    code, output = run(
+        capsys, "analyze", "--synthetic", "200", "--top", "4",
+    )
+    assert code == 0
+    assert "end-goals:" in output
+    assert "top 4 knowledge items:" in output
+    assert "  1. [" in output
+
+
+def test_analyze_restricted_goal(capsys):
+    code, output = run(
+        capsys,
+        "analyze",
+        "--synthetic", "200",
+        "--goal", "co-prescription-patterns",
+        "--top", "2",
+    )
+    assert code == 0
+    assert "[itemset]" in output
+    assert "[cluster" not in output
+
+
+def test_table1_small(capsys, dataset_path):
+    code, output = run(
+        capsys, "table1", dataset_path, "--k", "3", "4", "--folds", "3",
+    )
+    assert code == 0
+    assert "SSE" in output
+    assert "selected K =" in output
+
+
+def test_partial(capsys, dataset_path):
+    code, output = run(capsys, "partial", dataset_path)
+    assert code == 0
+    assert "selected subset" in output

@@ -1,0 +1,149 @@
+"""Tests for execution backends and the parameter sweep service."""
+
+import time
+
+import pytest
+
+from repro.cloud import (
+    ParameterSweep,
+    SerialExecutor,
+    SimulatedClusterExecutor,
+    TaskFailure,
+    ThreadPoolExecutorBackend,
+    expand_grid,
+    make_executor,
+)
+from repro.exceptions import ReproError
+
+
+def test_serial_preserves_order():
+    result = SerialExecutor().run([lambda i=i: i * i for i in range(6)])
+    assert result.results == [0, 1, 4, 9, 16, 25]
+    assert result.n_failures == 0
+    assert result.wall_seconds >= 0
+
+
+def test_serial_captures_failures():
+    def boom():
+        raise ValueError("no")
+
+    result = SerialExecutor().run([lambda: 1, boom, lambda: 3])
+    assert result.n_failures == 1
+    assert isinstance(result.results[1], TaskFailure)
+    assert result.successes() == [1, 3]
+    assert isinstance(result.results[1].error, ValueError)
+
+
+def test_threadpool_preserves_order():
+    backend = ThreadPoolExecutorBackend(max_workers=4)
+    result = backend.run([lambda i=i: i for i in range(20)])
+    assert result.results == list(range(20))
+
+
+def test_threadpool_captures_failures():
+    def boom():
+        raise RuntimeError("x")
+
+    backend = ThreadPoolExecutorBackend(max_workers=2)
+    result = backend.run([boom, lambda: "ok"])
+    assert result.n_failures == 1
+    assert result.successes() == ["ok"]
+
+
+def test_threadpool_validation():
+    with pytest.raises(ReproError):
+        ThreadPoolExecutorBackend(max_workers=0)
+
+
+def test_simulated_cluster_reports_makespan():
+    executor = SimulatedClusterExecutor(n_workers=2, dispatch_latency=0.0)
+    result = executor.run([lambda: time.sleep(0.01) for __ in range(4)])
+    assert result.simulated_seconds is not None
+    # 4 tasks of ~10ms on 2 workers -> makespan ~20ms < serial ~40ms.
+    assert result.simulated_seconds < result.wall_seconds
+
+
+def test_simulate_makespan_exact():
+    executor = SimulatedClusterExecutor(n_workers=2, dispatch_latency=0.0)
+    # Greedy in submission order: w0 gets 3, w1 gets 2 then 1 (earliest
+    # available), final 2 goes to w0 -> makespan 5.
+    assert executor.simulate_makespan([3, 2, 1, 2]) == pytest.approx(5.0)
+
+
+def test_simulated_cluster_latency_added():
+    executor = SimulatedClusterExecutor(n_workers=1, dispatch_latency=0.5)
+    assert executor.simulate_makespan([1.0, 1.0]) == pytest.approx(3.0)
+
+
+def test_simulated_cluster_validation():
+    with pytest.raises(ReproError):
+        SimulatedClusterExecutor(n_workers=0)
+    with pytest.raises(ReproError):
+        SimulatedClusterExecutor(dispatch_latency=-1)
+
+
+def test_make_executor_dispatch():
+    assert isinstance(make_executor("serial"), SerialExecutor)
+    assert isinstance(
+        make_executor("threads", max_workers=2), ThreadPoolExecutorBackend
+    )
+    with pytest.raises(ReproError):
+        make_executor("quantum")
+
+
+# ----------------------------------------------------------------------
+# parameter sweep
+# ----------------------------------------------------------------------
+def test_expand_grid_cartesian():
+    combos = expand_grid({"a": [1, 2], "b": ["x", "y", "z"]})
+    assert len(combos) == 6
+    assert {"a": 1, "b": "x"} in combos
+    assert {"a": 2, "b": "z"} in combos
+
+
+def test_expand_grid_empty_raises():
+    with pytest.raises(ReproError):
+        expand_grid({})
+
+
+def test_sweep_evaluates_every_point():
+    sweep = ParameterSweep(lambda a, b: a * b)
+    points = sweep.run({"a": [1, 2, 3], "b": [10, 100]})
+    assert len(points) == 6
+    values = {(p.params["a"], p.params["b"]): p.value for p in points}
+    assert values[(3, 100)] == 300
+
+
+def test_sweep_best_maximize_and_minimize():
+    sweep = ParameterSweep(lambda x: (x - 3) ** 2)
+    best = sweep.best({"x": [0, 1, 2, 3, 4]}, key=float, maximize=False)
+    assert best.params["x"] == 3
+    worst = sweep.best({"x": [0, 1, 2, 3, 4]}, key=float, maximize=True)
+    assert worst.params["x"] == 0
+
+
+def test_sweep_best_skips_failures():
+    def sometimes(x):
+        if x == 2:
+            raise ValueError("bad point")
+        return x
+
+    sweep = ParameterSweep(sometimes)
+    best = sweep.best({"x": [1, 2]}, key=float)
+    assert best.params["x"] == 1
+
+
+def test_sweep_all_failed_raises():
+    def always(x):
+        raise ValueError()
+
+    with pytest.raises(ReproError):
+        ParameterSweep(always).best({"x": [1]}, key=float)
+
+
+def test_sweep_with_thread_backend():
+    sweep = ParameterSweep(
+        lambda x: x + 1, executor=ThreadPoolExecutorBackend(2)
+    )
+    points = sweep.run({"x": list(range(10))})
+    assert [p.value for p in points] == list(range(1, 11))

@@ -1,0 +1,163 @@
+"""Tests for bisecting K-means, agglomerative clustering and DBSCAN."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MiningError, NotFittedError
+from repro.mining import (
+    DBSCAN,
+    NOISE,
+    AgglomerativeClustering,
+    BisectingKMeans,
+    adjusted_rand_index,
+)
+
+
+# ----------------------------------------------------------------------
+# Bisecting K-means
+# ----------------------------------------------------------------------
+def test_bisecting_recovers_blobs(blobs):
+    data, truth = blobs
+    model = BisectingKMeans(3, seed=0).fit(data)
+    assert adjusted_rand_index(truth, model.labels_) == pytest.approx(1.0)
+
+
+def test_bisecting_label_range(blobs):
+    data, __ = blobs
+    labels = BisectingKMeans(5, seed=0).fit_predict(data)
+    assert set(np.unique(labels)) == set(range(5))
+
+
+def test_bisecting_single_cluster(blobs):
+    data, __ = blobs
+    model = BisectingKMeans(1, seed=0).fit(data)
+    assert len(np.unique(model.labels_)) == 1
+
+
+def test_bisecting_inertia_positive(blobs):
+    data, __ = blobs
+    model = BisectingKMeans(3, seed=0).fit(data)
+    assert model.inertia_ > 0
+
+
+def test_bisecting_predict(blobs):
+    data, __ = blobs
+    model = BisectingKMeans(3, seed=0).fit(data)
+    assert np.array_equal(model.predict(data), model.labels_)
+
+
+def test_bisecting_validation(blobs):
+    data, __ = blobs
+    with pytest.raises(MiningError):
+        BisectingKMeans(0)
+    with pytest.raises(MiningError):
+        BisectingKMeans(500).fit(data)
+    with pytest.raises(NotFittedError):
+        BisectingKMeans(2).predict(data)
+
+
+# ----------------------------------------------------------------------
+# Agglomerative
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("linkage", ["single", "complete", "average", "ward"])
+def test_agglomerative_recovers_blobs(blobs, linkage):
+    data, truth = blobs
+    model = AgglomerativeClustering(3, linkage=linkage).fit(data)
+    assert adjusted_rand_index(truth, model.labels_) == pytest.approx(1.0)
+
+
+def test_agglomerative_merge_count(blobs):
+    data, __ = blobs
+    model = AgglomerativeClustering(3, linkage="average").fit(data)
+    assert len(model.merges_) == data.shape[0] - 1
+
+
+def test_agglomerative_n_clusters_labels(blobs):
+    data, __ = blobs
+    for k in (1, 2, 6):
+        labels = AgglomerativeClustering(k, linkage="ward").fit_predict(
+            data
+        )
+        assert len(np.unique(labels)) == k
+
+
+def test_single_linkage_heights_monotone():
+    """Single-linkage merge heights are non-decreasing."""
+    rng = np.random.default_rng(5)
+    data = rng.normal(size=(40, 2))
+    model = AgglomerativeClustering(1, linkage="single").fit(data)
+    heights = model.dendrogram_heights()
+    assert (np.diff(heights) >= -1e-9).all()
+
+
+def test_agglomerative_validation():
+    with pytest.raises(MiningError):
+        AgglomerativeClustering(0)
+    with pytest.raises(MiningError):
+        AgglomerativeClustering(2, linkage="centroid-ish")
+    with pytest.raises(MiningError):
+        AgglomerativeClustering(10).fit(np.zeros((3, 2)))
+    with pytest.raises(NotFittedError):
+        AgglomerativeClustering(2).dendrogram_heights()
+
+
+def test_agglomerative_two_points():
+    data = np.array([[0.0, 0.0], [1.0, 1.0]])
+    model = AgglomerativeClustering(2, linkage="average").fit(data)
+    assert len(np.unique(model.labels_)) == 2
+
+
+# ----------------------------------------------------------------------
+# DBSCAN
+# ----------------------------------------------------------------------
+def test_dbscan_recovers_blobs(blobs):
+    data, truth = blobs
+    model = DBSCAN(eps=1.0, min_samples=4).fit(data)
+    assert model.n_clusters() == 3
+    core = model.labels_ != NOISE
+    assert adjusted_rand_index(truth[core], model.labels_[core]) > 0.99
+
+
+def test_dbscan_flags_isolated_point(blobs):
+    data, __ = blobs
+    spiked = np.vstack([data, [[100.0] * data.shape[1]]])
+    model = DBSCAN(eps=1.0, min_samples=4).fit(spiked)
+    assert model.labels_[-1] == NOISE
+
+
+def test_dbscan_all_noise_when_eps_tiny(blobs):
+    data, __ = blobs
+    model = DBSCAN(eps=1e-6, min_samples=3).fit(data)
+    assert model.noise_ratio() == pytest.approx(1.0)
+    assert model.n_clusters() == 0
+
+
+def test_dbscan_one_cluster_when_eps_huge(blobs):
+    data, __ = blobs
+    model = DBSCAN(eps=100.0, min_samples=3).fit(data)
+    assert model.n_clusters() == 1
+    assert model.noise_ratio() == 0.0
+
+
+def test_dbscan_brute_force_matches_tree(blobs):
+    data, __ = blobs
+    tree_based = DBSCAN(eps=1.0, min_samples=4, brute_force_dims=999).fit(
+        data
+    )
+    brute = DBSCAN(eps=1.0, min_samples=4, brute_force_dims=1).fit(data)
+    assert adjusted_rand_index(
+        tree_based.labels_, brute.labels_
+    ) == pytest.approx(1.0)
+    assert np.array_equal(
+        tree_based.core_sample_indices_, brute.core_sample_indices_
+    )
+
+
+def test_dbscan_validation(blobs):
+    data, __ = blobs
+    with pytest.raises(MiningError):
+        DBSCAN(eps=0.0)
+    with pytest.raises(MiningError):
+        DBSCAN(eps=1.0, min_samples=0)
+    with pytest.raises(MiningError):
+        DBSCAN(eps=1.0).n_clusters()

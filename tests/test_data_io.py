@@ -1,0 +1,81 @@
+"""Tests for CSV / JSON-lines dataset IO."""
+
+import pytest
+
+from repro.data import load_csv, load_jsonl, save_csv, save_jsonl
+from repro.exceptions import DataError
+
+
+def test_csv_roundtrip(tiny_log, tmp_path):
+    save_csv(tiny_log, tmp_path / "ds")
+    loaded = load_csv(tmp_path / "ds")
+    assert loaded.records == tiny_log.records
+    assert len(loaded.taxonomy) == len(tiny_log.taxonomy)
+    assert loaded.patients.keys() == tiny_log.patients.keys()
+
+
+def test_csv_preserves_taxonomy_metadata(tiny_log, tmp_path):
+    save_csv(tiny_log, tmp_path / "ds")
+    loaded = load_csv(tmp_path / "ds")
+    for exam in tiny_log.taxonomy:
+        twin = loaded.taxonomy.by_code(exam.code)
+        assert twin.name == exam.name
+        assert twin.category == exam.category
+        assert twin.rank == exam.rank
+
+
+def test_csv_missing_records_raises(tmp_path):
+    with pytest.raises(DataError):
+        load_csv(tmp_path / "nowhere")
+
+
+def test_csv_missing_columns_raises(tiny_log, tmp_path):
+    directory = tmp_path / "ds"
+    save_csv(tiny_log, directory)
+    (directory / "records.csv").write_text("foo,bar\n1,2\n")
+    with pytest.raises(DataError):
+        load_csv(directory)
+
+
+def test_jsonl_roundtrip(tiny_log, tmp_path):
+    path = tmp_path / "log.jsonl"
+    save_jsonl(tiny_log, path)
+    loaded = load_jsonl(path)
+    assert loaded.records == tiny_log.records
+    assert loaded.summary() == tiny_log.summary()
+
+
+def test_jsonl_preserves_profiles(tiny_log, tmp_path):
+    path = tmp_path / "log.jsonl"
+    save_jsonl(tiny_log, path)
+    loaded = load_jsonl(path)
+    for pid, info in tiny_log.patients.items():
+        assert loaded.patients[pid].profile == info.profile
+        assert loaded.patients[pid].age == info.age
+
+
+def test_jsonl_missing_file_raises(tmp_path):
+    with pytest.raises(DataError):
+        load_jsonl(tmp_path / "absent.jsonl")
+
+
+def test_jsonl_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(DataError):
+        load_jsonl(path)
+
+
+def test_jsonl_wrong_kind_raises(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind": "other"}\n')
+    with pytest.raises(DataError):
+        load_jsonl(path)
+
+
+def test_csv_then_jsonl_equivalence(tiny_log, tmp_path):
+    save_csv(tiny_log, tmp_path / "csv")
+    from_csv = load_csv(tmp_path / "csv")
+    save_jsonl(from_csv, tmp_path / "log.jsonl")
+    from_jsonl = load_jsonl(tmp_path / "log.jsonl")
+    assert from_jsonl.records == tiny_log.records

@@ -1,0 +1,362 @@
+"""Tests for the embedded document store: CRUD, cursors, persistence."""
+
+import pytest
+
+from repro.exceptions import (
+    CollectionNotFoundError,
+    DuplicateKeyError,
+    QueryError,
+    StoreError,
+)
+from repro.kdb.documentstore import DocumentStore
+
+
+@pytest.fixture()
+def store():
+    return DocumentStore()
+
+
+@pytest.fixture()
+def people(store):
+    collection = store["people"]
+    collection.insert_many(
+        [
+            {"name": "ada", "age": 36, "tags": ["math", "code"]},
+            {"name": "grace", "age": 85, "tags": ["code", "navy"]},
+            {"name": "alan", "age": 41, "tags": ["math"]},
+            {"name": "edsger", "age": 72, "tags": []},
+        ]
+    )
+    return collection
+
+
+# ----------------------------------------------------------------------
+# insert
+# ----------------------------------------------------------------------
+def test_insert_assigns_sequential_ids(store):
+    collection = store["c"]
+    ids = collection.insert_many([{"x": 1}, {"x": 2}, {"x": 3}])
+    assert ids == [1, 2, 3]
+
+
+def test_insert_respects_explicit_id(store):
+    collection = store["c"]
+    assert collection.insert_one({"_id": "custom", "x": 1}) == "custom"
+    assert collection.find_one({"_id": "custom"})["x"] == 1
+
+
+def test_insert_duplicate_id_raises(store):
+    collection = store["c"]
+    collection.insert_one({"_id": 7})
+    with pytest.raises(DuplicateKeyError):
+        collection.insert_one({"_id": 7})
+
+
+def test_insert_skips_taken_auto_id(store):
+    collection = store["c"]
+    collection.insert_one({"_id": 1})
+    new_id = collection.insert_one({"x": 2})
+    assert new_id != 1
+    assert len(collection) == 2
+
+
+def test_insert_non_dict_raises(store):
+    with pytest.raises(StoreError):
+        store["c"].insert_one(["not", "a", "dict"])
+
+
+def test_insert_unserialisable_raises(store):
+    with pytest.raises(StoreError):
+        store["c"].insert_one({"bad": object()})
+
+
+def test_insert_copies_document(store):
+    collection = store["c"]
+    original = {"nested": {"x": 1}}
+    collection.insert_one(original)
+    original["nested"]["x"] = 999
+    stored = collection.find_one({})
+    assert stored["nested"]["x"] == 1
+
+
+def test_find_returns_copies(store):
+    collection = store["c"]
+    collection.insert_one({"nested": {"x": 1}})
+    fetched = collection.find_one({})
+    fetched["nested"]["x"] = 999
+    assert collection.find_one({})["nested"]["x"] == 1
+
+
+# ----------------------------------------------------------------------
+# find / count / distinct
+# ----------------------------------------------------------------------
+def test_find_all(people):
+    assert len(people.find()) == 4
+
+
+def test_find_implicit_equality(people):
+    assert people.find_one({"name": "ada"})["age"] == 36
+
+
+def test_equality_matches_array_element(people):
+    names = sorted(d["name"] for d in people.find({"tags": "math"}))
+    assert names == ["ada", "alan"]
+
+
+def test_count_documents(people):
+    assert people.count_documents({"age": {"$gt": 40}}) == 3
+    assert people.count_documents() == 4
+
+
+def test_distinct_scalar(people):
+    assert sorted(people.distinct("name")) == [
+        "ada",
+        "alan",
+        "edsger",
+        "grace",
+    ]
+
+
+def test_distinct_unrolls_arrays(people):
+    assert sorted(people.distinct("tags")) == ["code", "math", "navy"]
+
+
+def test_find_missing_field_no_match(people):
+    assert people.count_documents({"height": 180}) == 0
+
+
+def test_bool_int_equality_separated(store):
+    collection = store["c"]
+    collection.insert_many([{"flag": True}, {"flag": 1}])
+    assert collection.count_documents({"flag": True}) == 1
+    assert collection.count_documents({"flag": 1}) == 1
+
+
+# ----------------------------------------------------------------------
+# cursors
+# ----------------------------------------------------------------------
+def test_sort_ascending_descending(people):
+    ascending = [d["age"] for d in people.find().sort("age")]
+    assert ascending == sorted(ascending)
+    descending = [d["age"] for d in people.find().sort("age", -1)]
+    assert descending == sorted(descending, reverse=True)
+
+
+def test_sort_multiple_keys(store):
+    collection = store["c"]
+    collection.insert_many(
+        [
+            {"a": 1, "b": 2},
+            {"a": 1, "b": 1},
+            {"a": 0, "b": 9},
+        ]
+    )
+    result = [
+        (d["a"], d["b"])
+        for d in collection.find().sort([("a", 1), ("b", 1)])
+    ]
+    assert result == [(0, 9), (1, 1), (1, 2)]
+
+
+def test_skip_and_limit(people):
+    page = people.find().sort("age").skip(1).limit(2).to_list()
+    assert [d["age"] for d in page] == [41, 72]
+
+
+def test_negative_skip_limit_raise(people):
+    with pytest.raises(QueryError):
+        people.find().skip(-1)
+    with pytest.raises(QueryError):
+        people.find().limit(-5)
+
+
+def test_missing_sort_key_sorts_first(store):
+    collection = store["c"]
+    collection.insert_many([{"v": 2}, {}, {"v": 1}])
+    values = [d.get("v") for d in collection.find().sort("v")]
+    assert values == [None, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# update
+# ----------------------------------------------------------------------
+def test_update_one_set(people):
+    updated = people.update_one({"name": "ada"}, {"$set": {"age": 37}})
+    assert updated == 1
+    assert people.find_one({"name": "ada"})["age"] == 37
+
+
+def test_update_many_inc(people):
+    updated = people.update_many({}, {"$inc": {"age": 1}})
+    assert updated == 4
+    assert people.find_one({"name": "ada"})["age"] == 37
+
+
+def test_update_set_deep_path_creates_dicts(store):
+    collection = store["c"]
+    collection.insert_one({"x": 1})
+    collection.update_one({"x": 1}, {"$set": {"a.b.c": 5}})
+    assert collection.find_one({})["a"]["b"]["c"] == 5
+
+
+def test_update_unset(people):
+    people.update_one({"name": "ada"}, {"$unset": {"age": ""}})
+    assert "age" not in people.find_one({"name": "ada"})
+
+
+def test_update_push_and_add_to_set(people):
+    people.update_one({"name": "alan"}, {"$push": {"tags": "logic"}})
+    people.update_one({"name": "alan"}, {"$addToSet": {"tags": "logic"}})
+    tags = people.find_one({"name": "alan"})["tags"]
+    assert tags.count("logic") == 1
+    people.update_one({"name": "alan"}, {"$push": {"tags": "logic"}})
+    assert people.find_one({"name": "alan"})["tags"].count("logic") == 2
+
+
+def test_update_pull(people):
+    people.update_one({"name": "ada"}, {"$pull": {"tags": "math"}})
+    assert people.find_one({"name": "ada"})["tags"] == ["code"]
+
+
+def test_update_inc_non_numeric_raises(people):
+    with pytest.raises(StoreError):
+        people.update_one({"name": "ada"}, {"$inc": {"name": 1}})
+
+
+def test_update_requires_operators(people):
+    with pytest.raises(StoreError):
+        people.update_one({"name": "ada"}, {"age": 1})
+
+
+def test_update_unknown_operator_raises(people):
+    with pytest.raises(StoreError):
+        people.update_one({"name": "ada"}, {"$flip": {"age": 1}})
+
+
+def test_update_cannot_change_id(people):
+    with pytest.raises(StoreError):
+        people.update_one({"name": "ada"}, {"$set": {"_id": 99}})
+
+
+def test_update_zero_matches(people):
+    assert people.update_one({"name": "x"}, {"$set": {"age": 1}}) == 0
+
+
+# ----------------------------------------------------------------------
+# delete
+# ----------------------------------------------------------------------
+def test_delete_one(people):
+    assert people.delete_one({"name": "ada"}) == 1
+    assert people.count_documents() == 3
+
+
+def test_delete_many_with_query(people):
+    assert people.delete_many({"age": {"$gt": 40}}) == 3
+    assert people.count_documents() == 1
+
+
+def test_delete_many_all(people):
+    assert people.delete_many() == 4
+    assert len(people) == 0
+
+
+# ----------------------------------------------------------------------
+# indexes
+# ----------------------------------------------------------------------
+def test_index_accelerated_find_equivalent(people):
+    before = sorted(d["name"] for d in people.find({"name": "ada"}))
+    people.create_index("name")
+    after = sorted(d["name"] for d in people.find({"name": "ada"}))
+    assert before == after
+    assert "name_1" in people.index_names()
+
+
+def test_index_stays_consistent_after_updates(people):
+    people.create_index("name")
+    people.update_one({"name": "ada"}, {"$set": {"name": "ada lovelace"}})
+    assert people.find_one({"name": "ada"}) is None
+    assert people.find_one({"name": "ada lovelace"}) is not None
+
+
+def test_index_stays_consistent_after_delete(people):
+    people.create_index("name")
+    people.delete_one({"name": "ada"})
+    assert people.find_one({"name": "ada"}) is None
+
+
+def test_unique_index_blocks_duplicates(store):
+    collection = store["c"]
+    collection.create_index("email", unique=True)
+    collection.insert_one({"email": "x@y.z"})
+    with pytest.raises(DuplicateKeyError):
+        collection.insert_one({"email": "x@y.z"})
+
+
+def test_unique_index_on_existing_duplicates_fails(store):
+    collection = store["c"]
+    collection.insert_many([{"v": 1}, {"v": 1}])
+    with pytest.raises(DuplicateKeyError):
+        collection.create_index("v", unique=True)
+    assert "v_1" not in collection.index_names()
+
+
+def test_drop_index(people):
+    name = people.create_index("name")
+    people.drop_index(name)
+    assert name not in people.index_names()
+
+
+# ----------------------------------------------------------------------
+# store-level operations
+# ----------------------------------------------------------------------
+def test_existing_collection_raises_when_absent(store):
+    with pytest.raises(CollectionNotFoundError):
+        store.existing("ghost")
+
+
+def test_collection_names_sorted(store):
+    store["b"]
+    store["a"]
+    assert store.collection_names() == ["a", "b"]
+
+
+def test_drop_collection(store):
+    store["temp"].insert_one({"x": 1})
+    store.drop_collection("temp")
+    assert "temp" not in store.collection_names()
+
+
+def test_collection_drop_empties_but_keeps_indexes(people):
+    people.create_index("name")
+    people.drop()
+    assert len(people) == 0
+    assert "name_1" in people.index_names()
+    people.insert_one({"name": "new"})
+    assert people.find_one({"name": "new"}) is not None
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+def test_save_load_roundtrip(people, store, tmp_path):
+    people.create_index("name")
+    store.save(tmp_path / "db")
+    loaded = DocumentStore.load(tmp_path / "db")
+    assert len(loaded["people"]) == 4
+    assert loaded["people"].find_one({"name": "ada"})["age"] == 36
+    assert "name_1" in loaded["people"].index_names()
+
+
+def test_load_missing_manifest_raises(tmp_path):
+    with pytest.raises(StoreError):
+        DocumentStore.load(tmp_path / "absent")
+
+
+def test_save_load_preserves_unique_flag(store, tmp_path):
+    collection = store["c"]
+    collection.create_index("email", unique=True)
+    collection.insert_one({"email": "a@b.c"})
+    store.save(tmp_path / "db")
+    loaded = DocumentStore.load(tmp_path / "db")
+    with pytest.raises(DuplicateKeyError):
+        loaded["c"].insert_one({"email": "a@b.c"})

@@ -1,0 +1,173 @@
+"""Tests for the document-store query operators."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.kdb.documentstore import DocumentStore
+
+
+@pytest.fixture()
+def items():
+    store = DocumentStore()
+    collection = store["items"]
+    collection.insert_many(
+        [
+            {"k": "a", "v": 1, "tags": ["x", "y"], "meta": {"q": 3}},
+            {"k": "b", "v": 5, "tags": ["y"], "meta": {"q": 7}},
+            {"k": "c", "v": 10, "tags": [], "meta": {}},
+            {"k": "d", "v": None, "tags": ["x"], "note": "rare item"},
+            {"k": "e", "events": [{"t": 1, "ok": True}, {"t": 2, "ok": False}]},
+        ]
+    )
+    return collection
+
+
+def count(collection, query):
+    return collection.count_documents(query)
+
+
+def test_eq_ne(items):
+    assert count(items, {"v": {"$eq": 5}}) == 1
+    assert count(items, {"k": {"$ne": "a"}}) == 4
+
+
+def test_comparison_operators(items):
+    assert count(items, {"v": {"$gt": 1}}) == 2
+    assert count(items, {"v": {"$gte": 1}}) == 3
+    assert count(items, {"v": {"$lt": 5}}) == 1
+    assert count(items, {"v": {"$lte": 5}}) == 2
+
+
+def test_comparisons_ignore_none(items):
+    # Document d has v = None: never matches an ordered comparison.
+    assert count(items, {"v": {"$gt": -100}}) == 3
+    assert count(items, {"v": {"$lt": 100}}) == 3
+
+
+def test_range_combination(items):
+    assert count(items, {"v": {"$gt": 1, "$lt": 10}}) == 1
+
+
+def test_in_nin(items):
+    assert count(items, {"k": {"$in": ["a", "c", "zzz"]}}) == 2
+    assert count(items, {"k": {"$nin": ["a", "c"]}}) == 3
+
+
+def test_in_requires_list(items):
+    with pytest.raises(QueryError):
+        count(items, {"k": {"$in": "a"}})
+
+
+def test_in_matches_array_membership(items):
+    assert count(items, {"tags": {"$in": ["x"]}}) == 2
+
+
+def test_exists(items):
+    assert count(items, {"note": {"$exists": True}}) == 1
+    assert count(items, {"note": {"$exists": False}}) == 4
+    assert count(items, {"v": {"$exists": True}}) == 4
+
+
+def test_not(items):
+    assert count(items, {"v": {"$not": {"$gt": 1}}}) == 3
+
+
+def test_not_requires_document(items):
+    with pytest.raises(QueryError):
+        count(items, {"v": {"$not": 5}})
+
+
+def test_regex(items):
+    assert count(items, {"note": {"$regex": "^rare"}}) == 1
+    assert count(items, {"k": {"$regex": "[ab]"}}) == 2
+
+
+def test_size(items):
+    assert count(items, {"tags": {"$size": 2}}) == 1
+    assert count(items, {"tags": {"$size": 0}}) == 1
+
+
+def test_all(items):
+    assert count(items, {"tags": {"$all": ["x", "y"]}}) == 1
+    assert count(items, {"tags": {"$all": ["y"]}}) == 2
+
+
+def test_elem_match(items):
+    assert (
+        count(items, {"events": {"$elemMatch": {"t": {"$gt": 1}, "ok": False}}})
+        == 1
+    )
+    assert (
+        count(items, {"events": {"$elemMatch": {"t": {"$gt": 1}, "ok": True}}})
+        == 0
+    )
+
+
+def test_elem_match_requires_document(items):
+    with pytest.raises(QueryError):
+        count(items, {"events": {"$elemMatch": 5}})
+
+
+def test_dot_path_into_dict(items):
+    assert count(items, {"meta.q": {"$gte": 5}}) == 1
+    assert count(items, {"meta.q": 3}) == 1
+
+
+def test_dot_path_into_array_of_dicts(items):
+    assert count(items, {"events.t": 2}) == 1
+    assert count(items, {"events.ok": True}) == 1
+
+
+def test_dot_path_numeric_index(items):
+    assert count(items, {"tags.0": "x"}) == 2
+
+
+def test_and(items):
+    query = {"$and": [{"v": {"$gt": 0}}, {"tags": "y"}]}
+    assert count(items, query) == 2
+
+
+def test_or(items):
+    query = {"$or": [{"k": "a"}, {"k": "c"}]}
+    assert count(items, query) == 2
+
+
+def test_nor(items):
+    query = {"$nor": [{"k": "a"}, {"v": {"$gt": 1}}]}
+    assert count(items, query) == 2  # d and e
+
+
+def test_nested_logical_operators(items):
+    query = {
+        "$or": [
+            {"$and": [{"v": {"$gte": 5}}, {"tags": "y"}]},
+            {"note": {"$exists": True}},
+        ]
+    }
+    assert count(items, query) == 2  # b and d
+
+
+def test_logical_operator_requires_list(items):
+    with pytest.raises(QueryError):
+        count(items, {"$and": {}})
+    with pytest.raises(QueryError):
+        count(items, {"$or": []})
+
+
+def test_unknown_top_level_operator(items):
+    with pytest.raises(QueryError):
+        count(items, {"$frobnicate": []})
+
+
+def test_unknown_field_operator(items):
+    with pytest.raises(QueryError):
+        count(items, {"v": {"$near": 3}})
+
+
+def test_query_must_be_dict(items):
+    with pytest.raises(QueryError):
+        items.find(["not", "a", "query"])
+
+
+def test_empty_query_matches_all(items):
+    assert count(items, {}) == 5

@@ -1,0 +1,171 @@
+"""Tests for viable end-goal identification and interest prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_END_GOALS,
+    EndGoal,
+    EndGoalInterestModel,
+    ViableEndGoalFinder,
+)
+from repro.exceptions import EndGoalError
+from repro.preprocess import characterize_log, characterize_matrix
+
+
+@pytest.fixture(scope="module")
+def profile(small_log):
+    return characterize_log(small_log)
+
+
+def test_default_registry_names_unique():
+    names = [goal.name for goal in DEFAULT_END_GOALS]
+    assert len(set(names)) == len(names)
+    assert "patient-segmentation" in names
+
+
+def test_all_goals_viable_on_paper_like_data(profile):
+    finder = ViableEndGoalFinder()
+    viable = finder.viable(profile)
+    assert {goal.name for goal in viable} == {
+        goal.name for goal in DEFAULT_END_GOALS
+    }
+
+
+def test_assess_gives_reasons(profile):
+    finder = ViableEndGoalFinder()
+    for assessment in finder.assess(profile):
+        assert assessment.reason
+
+
+def test_tiny_cohort_blocks_clustering():
+    matrix = np.ones((10, 5))
+    profile = characterize_matrix(matrix)
+    finder = ViableEndGoalFinder()
+    names = {goal.name for goal in finder.viable(profile)}
+    assert "patient-segmentation" not in names
+    assert "outlier-screening" not in names
+
+
+def test_dense_data_blocks_pattern_mining():
+    rng = np.random.default_rng(0)
+    matrix = rng.uniform(1, 2, size=(100, 10))  # fully dense
+    profile = characterize_matrix(matrix)
+    finder = ViableEndGoalFinder()
+    names = {goal.name for goal in finder.viable(profile)}
+    assert "co-prescription-patterns" not in names
+    assert "care-pathway-rules" not in names
+
+
+def test_uniform_frequencies_block_category_profiles():
+    matrix = np.eye(100)  # sparse but perfectly uniform frequencies
+    profile = characterize_matrix(matrix)
+    finder = ViableEndGoalFinder()
+    names = {goal.name for goal in finder.viable(profile)}
+    assert "exam-category-profiles" not in names
+
+
+def test_by_name_lookup():
+    finder = ViableEndGoalFinder()
+    assert finder.by_name("outlier-screening").kind == "outlier_set"
+    with pytest.raises(EndGoalError):
+        finder.by_name("world-domination")
+
+
+def test_empty_registry_raises():
+    with pytest.raises(EndGoalError):
+        ViableEndGoalFinder(goals=[])
+
+
+def test_duplicate_goal_names_raise():
+    goal = DEFAULT_END_GOALS[0]
+    with pytest.raises(EndGoalError):
+        ViableEndGoalFinder(goals=[goal, goal])
+
+
+# ----------------------------------------------------------------------
+# interest model
+# ----------------------------------------------------------------------
+def goal_by_name(name):
+    return ViableEndGoalFinder().by_name(name)
+
+
+def test_neutral_prior_without_data(profile):
+    model = EndGoalInterestModel([g.name for g in DEFAULT_END_GOALS])
+    probability = model.interest_probability(
+        goal_by_name("patient-segmentation"), profile
+    )
+    assert probability == pytest.approx(0.5)
+
+
+def test_needs_both_classes_to_fit(profile):
+    model = EndGoalInterestModel([g.name for g in DEFAULT_END_GOALS])
+    goal = goal_by_name("patient-segmentation")
+    for __ in range(5):
+        model.record_interaction(goal, profile, True)
+    # Only positive examples: still the neutral prior.
+    assert model.interest_probability(goal, profile) == pytest.approx(0.5)
+
+
+def test_learns_simple_preference(profile):
+    model = EndGoalInterestModel([g.name for g in DEFAULT_END_GOALS])
+    liked = goal_by_name("patient-segmentation")
+    disliked = goal_by_name("outlier-screening")
+    for __ in range(10):
+        model.record_interaction(liked, profile, True)
+        model.record_interaction(disliked, profile, False)
+    assert model.interest_probability(liked, profile) > 0.8
+    assert model.interest_probability(disliked, profile) < 0.2
+
+
+def test_rank_goals_orders_by_interest(profile):
+    model = EndGoalInterestModel([g.name for g in DEFAULT_END_GOALS])
+    liked = goal_by_name("care-pathway-rules")
+    disliked = goal_by_name("outlier-screening")
+    for __ in range(8):
+        model.record_interaction(liked, profile, True)
+        model.record_interaction(disliked, profile, False)
+    ranked = model.rank_goals([disliked, liked], profile)
+    assert ranked[0][0].name == "care-pathway-rules"
+    assert ranked[0][1] >= ranked[1][1]
+
+
+def test_accuracy_improves_with_interactions(profile):
+    """The paper's claim: more interactions -> better predictions."""
+    rng = np.random.default_rng(0)
+    goals = [goal_by_name(g.name) for g in DEFAULT_END_GOALS]
+    preferred = {"patient-segmentation", "care-pathway-rules"}
+
+    def truth(goal):
+        return goal.name in preferred
+
+    holdout = [(g, profile, truth(g)) for g in goals]
+
+    few = EndGoalInterestModel([g.name for g in DEFAULT_END_GOALS])
+    many = EndGoalInterestModel([g.name for g in DEFAULT_END_GOALS])
+    for i in range(40):
+        goal = goals[int(rng.integers(len(goals)))]
+        if i < 2:
+            few.record_interaction(goal, profile, truth(goal))
+        many.record_interaction(goal, profile, truth(goal))
+    assert many.accuracy_on(holdout) >= few.accuracy_on(holdout)
+    assert many.accuracy_on(holdout) == pytest.approx(1.0)
+
+
+def test_n_interactions_counter(profile):
+    model = EndGoalInterestModel(["a-goal"])
+    assert model.n_interactions == 0
+    goal = goal_by_name("patient-segmentation")
+    model.record_interaction(goal, profile, True)
+    assert model.n_interactions == 1
+
+
+def test_empty_goal_names_raises():
+    with pytest.raises(EndGoalError):
+        EndGoalInterestModel([])
+
+
+def test_accuracy_on_empty_raises(profile):
+    model = EndGoalInterestModel(["x"])
+    with pytest.raises(EndGoalError):
+        model.accuracy_on([])

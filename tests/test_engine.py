@@ -1,0 +1,219 @@
+"""Tests for the ADA-HEALTH engine facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADAHealth, EngineConfig, SimulatedExpert
+from repro.exceptions import EndGoalError
+from repro.kdb import KnowledgeBase
+
+
+@pytest.fixture(scope="module")
+def engine_and_result(small_log):
+    engine = ADAHealth(
+        config=EngineConfig(
+            k_values=(4, 6),
+            partial_fractions=(0.5, 1.0),
+            partial_k_values=(4,),
+            n_folds=3,
+        ),
+        seed=0,
+    )
+    result = engine.analyze(small_log, name="unit-test", user="dr-u")
+    return engine, result
+
+
+def test_all_viable_goals_run(engine_and_result):
+    __, result = engine_and_result
+    ran = {run.goal.name for run in result.runs}
+    viable = {a.goal.name for a in result.assessments if a.viable}
+    assert ran == viable
+
+
+def test_items_ranked_descending(engine_and_result):
+    engine, result = engine_and_result
+    scores = [engine.ranker.ranking_score(item) for item in result.items]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_items_have_scores_and_degrees(engine_and_result):
+    __, result = engine_and_result
+    assert result.items
+    for item in result.items:
+        assert 0.0 <= item.score <= 1.0
+        assert item.degree in ("high", "medium", "low")
+        assert item.item_id is not None
+
+
+def test_segmentation_run_artifacts(engine_and_result):
+    __, result = engine_and_result
+    run = result.run_for("patient-segmentation")
+    assert run.optimization is not None
+    assert run.partial is not None
+    assert run.optimization.best_k in (4, 6)
+    cluster_items = [i for i in run.items if i.kind == "cluster"]
+    assert len(cluster_items) == run.optimization.best_k
+
+
+def test_kdb_populated(engine_and_result):
+    engine, result = engine_and_result
+    counts = engine.kdb.counts()
+    assert counts["raw_datasets"] == 1
+    assert counts["descriptors"] == 1
+    assert counts["transformed_datasets"] == 1
+    assert counts["discovered_knowledge"] == len(result.items)
+    assert counts["selected_knowledge"] > 0
+
+
+def test_run_for_unknown_goal_raises(engine_and_result):
+    __, result = engine_and_result
+    with pytest.raises(EndGoalError):
+        result.run_for("astrology")
+
+
+def test_top_limits(engine_and_result):
+    __, result = engine_and_result
+    assert len(result.top(3)) == 3
+    assert result.top(3) == result.items[:3]
+
+
+def test_summary_text(engine_and_result):
+    __, result = engine_and_result
+    text = result.summary()
+    assert "patients" in text
+    assert "knowledge items" in text
+    assert "patient-segmentation" in text
+
+
+def test_explicit_goal_selection(small_log):
+    engine = ADAHealth(
+        config=EngineConfig(min_support=0.2), seed=1
+    )
+    result = engine.analyze(
+        small_log, goals=["co-prescription-patterns"]
+    )
+    assert {run.goal.name for run in result.runs} == {
+        "co-prescription-patterns"
+    }
+    assert all(item.kind == "itemset" for item in result.items)
+
+
+def test_unknown_goal_request_raises(small_log):
+    engine = ADAHealth(seed=0)
+    with pytest.raises(EndGoalError):
+        engine.analyze(small_log, goals=["astrology"])
+
+
+def test_max_goals_cap(small_log):
+    engine = ADAHealth(
+        config=EngineConfig(
+            max_goals=2,
+            k_values=(4,),
+            partial_fractions=(1.0,),
+            partial_k_values=(4,),
+            n_folds=3,
+        ),
+        seed=0,
+    )
+    result = engine.analyze(small_log)
+    assert len(result.runs) == 2
+
+
+def test_feedback_loop_updates_everything(small_log):
+    engine = ADAHealth(
+        config=EngineConfig(
+            k_values=(4,),
+            partial_fractions=(1.0,),
+            partial_k_values=(4,),
+            n_folds=3,
+            max_goals=2,
+        ),
+        seed=0,
+    )
+    result = engine.analyze(small_log, user="dr-f")
+    session = result.navigate(page_size=5)
+    expert = SimulatedExpert(seed=2)
+    for item in session.page(0):
+        session.give_feedback(item, expert.label(item))
+    assert engine.kdb.feedback_count("dr-f") == 5
+    # Interest model learns from goal-level feedback.
+    engine.record_goal_feedback(
+        "patient-segmentation", result.profile, True
+    )
+    assert engine.interest_model.n_interactions == 1
+
+
+def test_degree_prediction_kicks_in_after_feedback(small_log):
+    """With >= 10 feedback entries, degrees come from the K-DB model."""
+    engine = ADAHealth(
+        config=EngineConfig(
+            k_values=(4,),
+            partial_fractions=(1.0,),
+            partial_k_values=(4,),
+            n_folds=3,
+        ),
+        seed=0,
+    )
+    first = engine.analyze(small_log, user="dr-g")
+    expert = SimulatedExpert(seed=3)
+    session = first.navigate(page_size=15)
+    for item in session.page(0):
+        session.give_feedback(item, expert.label(item))
+    assert engine.kdb.feedback_count() >= 10
+    second = engine.analyze(small_log, name="again", user="dr-g")
+    assert all(item.degree is not None for item in second.items)
+
+
+def test_engine_with_external_kdb(small_log, tmp_path):
+    kdb = KnowledgeBase()
+    engine = ADAHealth(
+        kdb=kdb,
+        config=EngineConfig(
+            k_values=(4,),
+            partial_fractions=(1.0,),
+            partial_k_values=(4,),
+            n_folds=3,
+            max_goals=1,
+        ),
+        seed=0,
+    )
+    engine.analyze(small_log)
+    kdb.save(tmp_path / "kdb")
+    reloaded = KnowledgeBase.load(tmp_path / "kdb")
+    assert reloaded.counts()["discovered_knowledge"] > 0
+
+
+def test_deterministic_given_seed(small_log):
+    config = EngineConfig(
+        k_values=(4,),
+        partial_fractions=(1.0,),
+        partial_k_values=(4,),
+        n_folds=3,
+        max_goals=3,
+    )
+    a = ADAHealth(config=config, seed=9).analyze(small_log)
+    b = ADAHealth(config=config, seed=9).analyze(small_log)
+    assert [i.title for i in a.items] == [i.title for i in b.items]
+    assert [i.score for i in a.items] == [i.score for i in b.items]
+
+
+def test_auto_transform_selection(small_log):
+    """With auto_transform the engine picks the transformation itself
+    and records the choice in the K-DB transformation collection."""
+    engine = ADAHealth(
+        config=EngineConfig(
+            k_values=(4,),
+            partial_fractions=(1.0,),
+            partial_k_values=(4,),
+            n_folds=3,
+            auto_transform=True,
+        ),
+        seed=0,
+    )
+    result = engine.analyze(small_log, goals=["patient-segmentation"])
+    stored = engine.kdb.store["transformed_datasets"].find_one({})
+    assert stored["auto_selected"] is True
+    assert stored["weighting"] in ("count", "binary", "log", "tfidf")
+    run = result.run_for("patient-segmentation")
+    assert run.items
+    assert run.items[1].provenance["weighting"] == stored["weighting"]

@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions as exc
+
+
+def test_everything_derives_from_repro_error():
+    for name in (
+        "DataError",
+        "ValidationError",
+        "StoreError",
+        "DuplicateKeyError",
+        "QueryError",
+        "CollectionNotFoundError",
+        "PreprocessError",
+        "NotFittedError",
+        "MiningError",
+        "EngineError",
+        "EndGoalError",
+    ):
+        assert issubclass(getattr(exc, name), exc.ReproError), name
+
+
+def test_sub_hierarchies():
+    assert issubclass(exc.ValidationError, exc.DataError)
+    assert issubclass(exc.DuplicateKeyError, exc.StoreError)
+    assert issubclass(exc.QueryError, exc.StoreError)
+    assert issubclass(exc.CollectionNotFoundError, exc.StoreError)
+    assert issubclass(exc.EndGoalError, exc.EngineError)
+
+
+def test_catching_the_base_class():
+    with pytest.raises(exc.ReproError):
+        raise exc.MiningError("boom")
+
+
+def test_convergence_warning_is_a_warning():
+    assert issubclass(exc.ConvergenceWarning, UserWarning)

@@ -1,0 +1,146 @@
+"""Tests for knowledge-item extractors."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    extract_cluster_items,
+    extract_generalized_items,
+    extract_itemset_items,
+    extract_outlier_item,
+    extract_rule_items,
+)
+from repro.exceptions import EngineError
+from repro.mining import (
+    KMeans,
+    fpgrowth,
+    generate_rules,
+    mine_generalized_itemsets,
+)
+from repro.preprocess import VSMBuilder
+
+
+@pytest.fixture(scope="module")
+def clustered(small_log):
+    vsm = VSMBuilder("binary").build(small_log)
+    model = KMeans(4, seed=0).fit(vsm.matrix)
+    return vsm, model
+
+
+def test_cluster_items_structure(clustered, small_log):
+    vsm, model = clustered
+    items = extract_cluster_items(
+        vsm.matrix,
+        model.labels_,
+        model.cluster_centers_,
+        small_log,
+        vsm.exam_codes,
+    )
+    assert items[0].kind == "cluster_set"
+    cluster_items = items[1:]
+    assert len(cluster_items) == 4
+    total_size = sum(item.payload["size"] for item in cluster_items)
+    assert total_size == vsm.matrix.shape[0]
+    for item in cluster_items:
+        assert 0.0 <= item.quality["cohesion"] <= 1.0
+        assert 0.0 <= item.quality["size_share"] <= 1.0
+        assert 0.0 <= item.quality["distinctiveness"] <= 1.0
+        assert item.payload["top_exams"]
+
+
+def test_cluster_items_top_exams_are_real_names(clustered, small_log):
+    vsm, model = clustered
+    items = extract_cluster_items(
+        vsm.matrix, model.labels_, model.cluster_centers_, small_log,
+        vsm.exam_codes,
+    )
+    names = {exam.name for exam in small_log.taxonomy}
+    for item in items[1:]:
+        assert set(item.payload["top_exams"]) <= names
+
+
+def test_cluster_items_misaligned_labels_raise(clustered, small_log):
+    vsm, model = clustered
+    with pytest.raises(EngineError):
+        extract_cluster_items(
+            vsm.matrix, model.labels_[:-1], model.cluster_centers_,
+            small_log, vsm.exam_codes,
+        )
+
+
+def test_cluster_set_quality_passthrough(clustered, small_log):
+    vsm, model = clustered
+    items = extract_cluster_items(
+        vsm.matrix, model.labels_, model.cluster_centers_, small_log,
+        vsm.exam_codes, run_quality={"accuracy": 0.9},
+    )
+    assert items[0].quality["accuracy"] == 0.9
+    assert "overall_similarity" in items[0].quality
+
+
+def test_itemset_items(transactions):
+    itemsets = fpgrowth(transactions, 2 / 9)
+    items = extract_itemset_items(itemsets, top=5)
+    assert 0 < len(items) <= 5
+    for item in items:
+        assert item.kind == "itemset"
+        assert len(item.payload["items"]) >= 2
+        assert item.quality["length"] >= 2
+
+
+def test_itemset_items_respect_min_length(transactions):
+    itemsets = fpgrowth(transactions, 2 / 9)
+    items = extract_itemset_items(itemsets, min_length=3)
+    assert all(item.quality["length"] >= 3 for item in items)
+
+
+def test_rule_items(transactions):
+    itemsets = fpgrowth(transactions, 2 / 9)
+    rules = generate_rules(itemsets, min_confidence=0.5)
+    items = extract_rule_items(rules, top=10)
+    assert items
+    for item in items:
+        assert item.kind == "association_rule"
+        assert "=>" in item.title
+        assert 0.0 < item.quality["confidence"] <= 1.0
+        assert item.payload["antecedent"]
+        assert item.payload["consequent"]
+
+
+def test_generalized_items(small_log):
+    generalized = mine_generalized_itemsets(
+        small_log.transactions(),
+        small_log.taxonomy.parent_map(),
+        0.4,
+        max_length=3,
+    )
+    items = extract_generalized_items(generalized, top=10)
+    for item in items:
+        assert item.payload["level"] in ("category", "mixed")
+        assert item.title.startswith("[")
+
+
+def test_outlier_item():
+    labels = np.array([0, 0, 1, -1, -1, 1])
+    item = extract_outlier_item(labels, [10, 11, 12, 13, 14, 15])
+    assert item.kind == "outlier_set"
+    assert item.payload["patient_ids"] == [13, 14]
+    assert item.quality["noise_ratio"] == pytest.approx(2 / 6)
+    assert "2 patients" in item.title
+
+
+def test_outlier_item_truncates_long_lists():
+    labels = np.full(500, -1)
+    item = extract_outlier_item(labels, list(range(500)))
+    assert len(item.payload["patient_ids"]) == 200
+    assert item.payload["truncated"]
+
+
+def test_provenance_propagates(transactions):
+    itemsets = fpgrowth(transactions, 2 / 9)
+    items = extract_itemset_items(
+        itemsets, provenance={"algorithm": "fpgrowth"}
+    )
+    assert all(
+        item.provenance["algorithm"] == "fpgrowth" for item in items
+    )

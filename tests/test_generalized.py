@@ -1,0 +1,102 @@
+"""Tests for taxonomy-generalised (multi-level) itemset mining."""
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.mining import (
+    extend_transactions,
+    level_summary,
+    mine_generalized_itemsets,
+)
+
+PARENT = {
+    "ecg": "cardio",
+    "echo": "cardio",
+    "fundus": "eye",
+    "oct": "eye",
+    "hba1c": "lab",
+}
+
+
+def test_extend_transactions_adds_ancestors():
+    extended = extend_transactions([["ecg", "echo", "hba1c"]], PARENT)
+    assert set(extended[0]) == {"ecg", "echo", "hba1c", "cardio", "lab"}
+
+
+def test_extend_keeps_unknown_items():
+    extended = extend_transactions([["mystery", "ecg"]], PARENT)
+    assert "mystery" in extended[0]
+    assert "cardio" in extended[0]
+
+
+def test_category_pattern_surfaces_when_leaves_are_rare():
+    """Individually-rare sibling exams become frequent at category level."""
+    transactions = (
+        [["ecg", "hba1c"]] * 3
+        + [["echo", "hba1c"]] * 3
+        + [["fundus"]] * 2
+    )
+    result = mine_generalized_itemsets(transactions, PARENT, 0.5)
+    items = {g.items for g in result}
+    # Neither ecg nor echo reaches 50%, but 'cardio' does (6/8).
+    assert frozenset(["ecg"]) not in items
+    assert frozenset(["cardio"]) in items
+    assert frozenset(["cardio", "hba1c"]) in items
+
+
+def test_redundant_ancestor_combinations_removed():
+    transactions = [["ecg", "hba1c"]] * 4
+    result = mine_generalized_itemsets(transactions, PARENT, 0.5)
+    items = {g.items for g in result}
+    # {ecg, cardio} is redundant (same support as {ecg}).
+    assert frozenset(["ecg", "cardio"]) not in items
+    assert frozenset(["ecg"]) in items
+    assert frozenset(["cardio"]) in items
+
+
+def test_levels_assigned_correctly():
+    transactions = [["ecg", "fundus"]] * 4
+    result = mine_generalized_itemsets(transactions, PARENT, 0.5)
+    by_items = {g.items: g.level for g in result}
+    assert by_items[frozenset(["ecg"])] == "leaf"
+    assert by_items[frozenset(["cardio"])] == "category"
+    assert by_items[frozenset(["cardio", "eye"])] == "category"
+    assert by_items[frozenset(["ecg", "eye"])] == "mixed"
+
+
+def test_level_summary_counts():
+    transactions = [["ecg", "fundus"]] * 4
+    result = mine_generalized_itemsets(transactions, PARENT, 0.5)
+    summary = level_summary(result)
+    assert sum(summary.values()) == len(result)
+    assert summary["category"] >= 1
+
+
+def test_supports_respect_threshold():
+    transactions = [["ecg"], ["echo"], ["fundus"], ["hba1c"]]
+    result = mine_generalized_itemsets(transactions, PARENT, 0.5)
+    assert all(g.support >= 0.5 for g in result)
+    items = {g.items for g in result}
+    assert frozenset(["cardio"]) in items  # 2/4
+
+
+def test_empty_taxonomy_raises():
+    with pytest.raises(MiningError):
+        mine_generalized_itemsets([["a"]], {}, 0.5)
+
+
+def test_non_two_level_taxonomy_raises():
+    bad = {"a": "b", "b": "c"}
+    with pytest.raises(MiningError):
+        mine_generalized_itemsets([["a"]], bad, 0.5)
+
+
+def test_on_synthetic_log(small_log):
+    transactions = small_log.transactions(by="patient")
+    result = mine_generalized_itemsets(
+        transactions, small_log.taxonomy.parent_map(), 0.5, max_length=2
+    )
+    assert result
+    summary = level_summary(result)
+    # Routine care is universal: category-level patterns must exist.
+    assert summary["category"] >= 1

@@ -1,0 +1,148 @@
+"""Tests for guideline-compliance assessment."""
+
+import pytest
+
+from repro.core.guidelines import (
+    ComplianceReport,
+    Guideline,
+    assess_compliance,
+    default_diabetes_guidelines,
+    extract_compliance_items,
+)
+from repro.data import ExamLog, ExamRecord, PatientInfo
+from repro.data.taxonomy import METABOLIC, build_default_taxonomy
+from repro.exceptions import EngineError
+
+
+@pytest.fixture()
+def guideline_log():
+    """Three patients with known compliance against two rules."""
+    taxonomy = build_default_taxonomy(40)
+    hba1c = taxonomy.by_name("glycated hemoglobin (HbA1c)").code
+    visit = taxonomy.by_name("diabetology visit").code
+    records = [
+        # patient 1: 2x HbA1c + visit -> fully compliant
+        ExamRecord(1, 10, hba1c),
+        ExamRecord(1, 200, hba1c),
+        ExamRecord(1, 30, visit),
+        # patient 2: 1x HbA1c + visit -> half compliant
+        ExamRecord(2, 50, hba1c),
+        ExamRecord(2, 60, visit),
+        # patient 3: nothing relevant
+        ExamRecord(3, 5, 0),
+    ]
+    patients = [PatientInfo(i, 60) for i in (1, 2, 3)]
+    return ExamLog(records, taxonomy=taxonomy, patients=patients)
+
+
+@pytest.fixture()
+def rules():
+    return [
+        Guideline(
+            name="HbA1c twice",
+            exam_name="glycated hemoglobin (HbA1c)",
+            min_count=2,
+        ),
+        Guideline(
+            name="annual visit", exam_name="diabetology visit", min_count=1
+        ),
+    ]
+
+
+def test_guideline_validation():
+    with pytest.raises(EngineError):
+        Guideline(name="bad", min_count=1)  # neither exam nor category
+    with pytest.raises(EngineError):
+        Guideline(
+            name="bad", min_count=1, exam_name="x", category="routine"
+        )
+    with pytest.raises(EngineError):
+        Guideline(name="bad", min_count=0, exam_name="x")
+
+
+def test_compliance_counts(guideline_log, rules):
+    report = assess_compliance(guideline_log, rules)
+    by_name = {r.guideline.name: r for r in report.results}
+    assert by_name["HbA1c twice"].compliant_patients == 1
+    assert by_name["annual visit"].compliant_patients == 2
+    assert by_name["annual visit"].compliance_rate == pytest.approx(2 / 3)
+
+
+def test_patient_scores(guideline_log, rules):
+    report = assess_compliance(guideline_log, rules)
+    assert report.patient_scores[1] == pytest.approx(1.0)
+    assert report.patient_scores[2] == pytest.approx(0.5)
+    assert report.patient_scores[3] == pytest.approx(0.0)
+    assert report.mean_patient_score == pytest.approx(0.5)
+    assert report.fully_compliant() == [1]
+    assert report.least_compliant(1) == [(3, 0.0)]
+
+
+def test_category_guideline(guideline_log):
+    rule = Guideline(
+        name="metabolic panel", category=METABOLIC, min_count=1
+    )
+    report = assess_compliance(guideline_log, [rule])
+    # Patients 1 and 2 have HbA1c (metabolic); patient 3 only exam 0
+    # (routine).
+    assert report.results[0].compliant_patients == 2
+
+
+def test_empty_guidelines_raises(guideline_log):
+    with pytest.raises(EngineError):
+        assess_compliance(guideline_log, [])
+
+
+def test_default_guidelines_resolve_on_full_taxonomy(tiny_log):
+    # tiny_log has 20 exam types; at least the category rules resolve.
+    from repro.data import small_dataset
+
+    log = small_dataset(
+        n_patients=100, n_exam_types=159, target_records=1500, seed=1
+    )
+    report = assess_compliance(log)
+    assert len(report.results) == len(default_diabetes_guidelines())
+    assert all(
+        0.0 <= r.compliance_rate <= 1.0 for r in report.results
+    )
+
+
+def test_format_table(guideline_log, rules):
+    report = assess_compliance(guideline_log, rules)
+    table = report.format_table()
+    assert "HbA1c twice" in table
+    assert "mean per-patient compliance" in table
+
+
+def test_extract_items_gap_scoring(guideline_log, rules):
+    report = assess_compliance(guideline_log, rules)
+    items = extract_compliance_items(report)
+    assert len(items) == len(rules) + 1  # + cohort summary
+    by_title = {item.title: item for item in items}
+    hba1c_item = next(
+        item for item in items if "HbA1c twice" in item.title
+    )
+    visit_item = next(
+        item for item in items if "annual visit" in item.title
+    )
+    # The bigger care gap (HbA1c: 33% compliant) is the more
+    # interesting finding.
+    assert (
+        hba1c_item.quality["coverage"] > visit_item.quality["coverage"]
+    )
+    summary = items[-1]
+    assert "cohort compliance" in summary.title
+    assert summary.payload["least_compliant"][0]["patient_id"] == 3
+
+
+def test_engine_runs_compliance_goal(small_log):
+    from repro.core import ADAHealth, EngineConfig
+
+    engine = ADAHealth(
+        config=EngineConfig(min_support=0.2), seed=0
+    )
+    result = engine.analyze(small_log, goals=["guideline-compliance"])
+    run = result.run_for("guideline-compliance")
+    assert run.items
+    assert all(item.kind == "profile" for item in run.items)
+    assert run.notes["n_guidelines"] >= 3

@@ -1,0 +1,130 @@
+"""Tests for Apriori and FP-growth frequent-itemset mining."""
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.mining import (
+    apriori,
+    fpgrowth,
+    itemset_index,
+    mine_frequent_itemsets,
+)
+
+
+def supports(itemsets):
+    return {s.items: s.count for s in itemsets}
+
+
+def test_apriori_hand_computed_supports(transactions):
+    result = supports(apriori(transactions, min_support=3 / 9))
+    assert result[frozenset(["a"])] == 6
+    assert result[frozenset(["b"])] == 6
+    assert result[frozenset(["c"])] == 6
+    assert result[frozenset(["d"])] == 3
+    assert result[frozenset(["a", "b"])] == 4
+    assert result[frozenset(["a", "c"])] == 4
+    assert result[frozenset(["b", "c"])] == 4
+    assert result[frozenset(["a", "b", "c"])] == 3
+
+
+def test_apriori_excludes_infrequent(transactions):
+    result = supports(apriori(transactions, min_support=4 / 9))
+    assert frozenset(["d"]) not in result
+    assert frozenset(["a", "b", "c"]) not in result
+    assert frozenset(["a", "b"]) in result
+
+
+def test_fpgrowth_equals_apriori(transactions):
+    for min_support in (1 / 9, 2 / 9, 3 / 9, 5 / 9, 0.99):
+        a = supports(apriori(transactions, min_support))
+        f = supports(fpgrowth(transactions, min_support))
+        assert a == f, f"diverged at min_support={min_support}"
+
+
+def test_fpgrowth_equals_apriori_on_log(small_log):
+    transactions = small_log.transactions(by="patient")
+    a = supports(apriori(transactions, 0.25))
+    f = supports(fpgrowth(transactions, 0.25))
+    assert a == f
+
+
+def test_support_fraction_correct(transactions):
+    itemsets = fpgrowth(transactions, 0.5)
+    for itemset in itemsets:
+        assert itemset.support == pytest.approx(itemset.count / 9)
+        assert itemset.support >= 0.5
+
+
+def test_max_length_cap(transactions):
+    capped = fpgrowth(transactions, 1 / 9, max_length=2)
+    assert max(len(s.items) for s in capped) == 2
+    apriori_capped = apriori(transactions, 1 / 9, max_length=2)
+    assert supports(capped) == supports(apriori_capped)
+
+
+def test_results_sorted_deterministically(transactions):
+    itemsets = fpgrowth(transactions, 2 / 9)
+    keys = [(len(s.items), s.sorted_items()) for s in itemsets]
+    assert keys == sorted(keys)
+
+
+def test_downward_closure(transactions):
+    """Every subset of a frequent itemset is frequent (and present)."""
+    itemsets = fpgrowth(transactions, 2 / 9)
+    index = itemset_index(itemsets)
+    from itertools import combinations
+
+    for itemset in itemsets:
+        for size in range(1, len(itemset.items)):
+            for subset in combinations(sorted(itemset.items), size):
+                sub = frozenset(subset)
+                assert sub in index
+                assert index[sub].count >= itemset.count
+
+
+def test_duplicate_items_in_transaction_counted_once():
+    transactions = [["a", "a", "b"], ["a"], ["a", "b"]]
+    result = supports(fpgrowth(transactions, 0.5))
+    assert result[frozenset(["a"])] == 3
+    assert result[frozenset(["a", "b"])] == 2
+
+
+def test_single_transaction():
+    result = fpgrowth([["x", "y"]], 1.0)
+    assert supports(result) == {
+        frozenset(["x"]): 1,
+        frozenset(["y"]): 1,
+        frozenset(["x", "y"]): 1,
+    }
+
+
+def test_empty_transactions_allowed_in_db():
+    result = supports(fpgrowth([["a"], [], ["a"]], 0.5))
+    assert result == {frozenset(["a"]): 2}
+
+
+def test_no_transactions_raises():
+    with pytest.raises(MiningError):
+        fpgrowth([], 0.5)
+    with pytest.raises(MiningError):
+        apriori([], 0.5)
+
+
+def test_bad_support_raises(transactions):
+    for bad in (0.0, -0.1, 1.5):
+        with pytest.raises(MiningError):
+            fpgrowth(transactions, bad)
+
+
+def test_facade_dispatch(transactions):
+    a = mine_frequent_itemsets(transactions, 0.3, algorithm="apriori")
+    f = mine_frequent_itemsets(transactions, 0.3, algorithm="fpgrowth")
+    assert supports(a) == supports(f)
+    with pytest.raises(MiningError):
+        mine_frequent_itemsets(transactions, 0.3, algorithm="eclat")
+
+
+def test_min_support_one_keeps_universal_items():
+    transactions = [["a", "b"], ["a"], ["a", "c"]]
+    result = supports(fpgrowth(transactions, 1.0))
+    assert result == {frozenset(["a"]): 3}

@@ -1,0 +1,102 @@
+"""Tests for the kd-tree (NN queries and cell aggregates)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MiningError
+from repro.mining.kdtree import KDTree
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(7)
+    return rng.normal(size=(200, 3))
+
+
+def test_query_matches_brute_force(points):
+    tree = KDTree(points, leaf_size=8)
+    rng = np.random.default_rng(1)
+    for __ in range(10):
+        target = rng.normal(size=3)
+        distances, indexes = tree.query(target, k=5)
+        brute = np.linalg.norm(points - target, axis=1)
+        expected = np.sort(brute)[:5]
+        assert np.allclose(np.sort(distances), expected)
+        assert set(indexes) == set(np.argsort(brute)[:5])
+
+
+def test_query_k_one(points):
+    tree = KDTree(points)
+    distances, indexes = tree.query(points[13], k=1)
+    assert indexes[0] == 13
+    assert distances[0] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_query_invalid_k(points):
+    tree = KDTree(points)
+    with pytest.raises(MiningError):
+        tree.query(points[0], k=0)
+    with pytest.raises(MiningError):
+        tree.query(points[0], k=len(points) + 1)
+
+
+def test_query_wrong_dimension(points):
+    tree = KDTree(points)
+    with pytest.raises(MiningError):
+        tree.query([1.0, 2.0], k=1)
+
+
+def test_query_radius_matches_brute_force(points):
+    tree = KDTree(points, leaf_size=4)
+    target = points[0]
+    brute = np.linalg.norm(points - target, axis=1)
+    for radius in (0.1, 0.5, 1.5):
+        hits = tree.query_radius(target, radius)
+        expected = np.nonzero(brute <= radius)[0]
+        assert np.array_equal(hits, expected)
+
+
+def test_leaf_size_validation(points):
+    with pytest.raises(MiningError):
+        KDTree(points, leaf_size=0)
+
+
+def test_leaves_partition_points(points):
+    tree = KDTree(points, leaf_size=16)
+    leaf_indexes = np.concatenate([leaf.indexes for leaf in tree.leaves()])
+    assert sorted(leaf_indexes.tolist()) == list(range(len(points)))
+    assert all(leaf.count <= 16 for leaf in tree.leaves())
+
+
+def test_node_aggregates_consistent(points):
+    tree = KDTree(points, leaf_size=16)
+
+    def check(node):
+        members = points[node.indexes]
+        assert node.count == len(members)
+        assert np.allclose(node.vector_sum, members.sum(axis=0))
+        assert node.sq_sum == pytest.approx(
+            float((members**2).sum()), rel=1e-9
+        )
+        assert (members >= node.lower - 1e-12).all()
+        assert (members <= node.upper + 1e-12).all()
+        assert np.allclose(node.centroid, members.mean(axis=0))
+        if not node.is_leaf:
+            check(node.left)
+            check(node.right)
+
+    check(tree.root)
+
+
+def test_duplicate_points_build():
+    data = np.ones((50, 2))
+    tree = KDTree(data, leaf_size=4)
+    # All identical points collapse into a single unsplittable node.
+    distances, indexes = tree.query([1.0, 1.0], k=3)
+    assert np.allclose(distances, 0.0)
+    assert tree.root.count == 50
+
+
+def test_depth_positive(points):
+    tree = KDTree(points, leaf_size=8)
+    assert tree.depth() >= 2

@@ -1,0 +1,153 @@
+"""Tests for K-means: Lloyd, the filtering engine, and k-means++."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MiningError, NotFittedError
+from repro.mining import KMeans, adjusted_rand_index, kmeans, sse
+from repro.mining.kmeans import kmeans_plus_plus
+
+
+def test_recovers_blobs(blobs):
+    data, truth = blobs
+    model = KMeans(3, seed=0).fit(data)
+    assert adjusted_rand_index(truth, model.labels_) == pytest.approx(1.0)
+
+
+def test_inertia_equals_sse_of_assignment(blobs):
+    data, __ = blobs
+    model = KMeans(3, seed=0).fit(data)
+    recomputed = sse(data, model.labels_, centers=model.cluster_centers_)
+    assert model.inertia_ == pytest.approx(recomputed, rel=1e-9)
+
+
+def test_filtering_equals_lloyd(blobs):
+    data, __ = blobs
+    lloyd = KMeans(3, algorithm="lloyd", seed=4).fit(data)
+    filtering = KMeans(3, algorithm="filtering", seed=4).fit(data)
+    assert lloyd.inertia_ == pytest.approx(filtering.inertia_, rel=1e-9)
+    assert adjusted_rand_index(
+        lloyd.labels_, filtering.labels_
+    ) == pytest.approx(1.0)
+
+
+def test_filtering_equals_lloyd_high_k(blobs):
+    data, __ = blobs
+    lloyd = KMeans(7, algorithm="lloyd", seed=2, n_init=1).fit(data)
+    filtering = KMeans(7, algorithm="filtering", seed=2, n_init=1).fit(data)
+    assert lloyd.inertia_ == pytest.approx(filtering.inertia_, rel=1e-9)
+
+
+def test_more_clusters_never_increase_sse(blobs):
+    data, __ = blobs
+    inertias = [
+        KMeans(k, seed=0, n_init=5).fit(data).inertia_
+        for k in (2, 3, 5, 8)
+    ]
+    assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+
+def test_labels_within_range(blobs):
+    data, __ = blobs
+    model = KMeans(4, seed=1).fit(data)
+    assert set(np.unique(model.labels_)) <= set(range(4))
+    assert len(model.labels_) == data.shape[0]
+
+
+def test_k_equals_one(blobs):
+    data, __ = blobs
+    model = KMeans(1, seed=0).fit(data)
+    assert len(np.unique(model.labels_)) == 1
+    assert np.allclose(model.cluster_centers_[0], data.mean(axis=0))
+
+
+def test_k_equals_n():
+    data = np.arange(10, dtype=float).reshape(5, 2) * 3
+    model = KMeans(5, seed=0, n_init=5).fit(data)
+    assert model.inertia_ == pytest.approx(0.0, abs=1e-9)
+
+
+def test_predict_matches_fit_labels(blobs):
+    data, __ = blobs
+    model = KMeans(3, seed=0).fit(data)
+    assert np.array_equal(model.predict(data), model.labels_)
+
+
+def test_transform_shape_and_nonneg(blobs):
+    data, __ = blobs
+    model = KMeans(3, seed=0).fit(data)
+    distances = model.transform(data)
+    assert distances.shape == (data.shape[0], 3)
+    assert (distances >= 0).all()
+
+
+def test_predict_before_fit_raises(blobs):
+    data, __ = blobs
+    with pytest.raises(NotFittedError):
+        KMeans(3).predict(data)
+    with pytest.raises(NotFittedError):
+        KMeans(3).transform(data)
+
+
+def test_parameter_validation():
+    with pytest.raises(MiningError):
+        KMeans(0)
+    with pytest.raises(MiningError):
+        KMeans(2, init="quantum")
+    with pytest.raises(MiningError):
+        KMeans(2, algorithm="annealing")
+    with pytest.raises(MiningError):
+        KMeans(2, n_init=0)
+
+
+def test_more_points_than_clusters_required():
+    with pytest.raises(MiningError):
+        KMeans(5).fit(np.zeros((3, 2)))
+
+
+def test_deterministic_given_seed(blobs):
+    data, __ = blobs
+    a = KMeans(3, seed=9).fit(data)
+    b = KMeans(3, seed=9).fit(data)
+    assert np.array_equal(a.labels_, b.labels_)
+    assert a.inertia_ == b.inertia_
+
+
+def test_random_init_also_works(blobs):
+    data, truth = blobs
+    model = KMeans(3, init="random", seed=0, n_init=10).fit(data)
+    assert adjusted_rand_index(truth, model.labels_) > 0.95
+
+
+def test_kmeans_plus_plus_spreads_centers(blobs):
+    data, __ = blobs
+    rng = np.random.default_rng(0)
+    centers = kmeans_plus_plus(data, 3, rng)
+    # One seed from each blob with overwhelming probability.
+    from repro.mining.distance import squared_euclidean
+
+    spread = squared_euclidean(centers, centers)
+    np.fill_diagonal(spread, np.inf)
+    assert spread.min() > 1.0
+
+
+def test_kmeans_plus_plus_duplicate_points():
+    data = np.ones((20, 2))
+    rng = np.random.default_rng(0)
+    centers = kmeans_plus_plus(data, 3, rng)
+    assert centers.shape == (3, 2)
+
+
+def test_functional_api(blobs):
+    data, truth = blobs
+    labels, centers, inertia = kmeans(data, 3, seed=0)
+    assert centers.shape == (3, data.shape[1])
+    assert inertia > 0
+    assert adjusted_rand_index(truth, labels) == pytest.approx(1.0)
+
+
+def test_empty_cluster_reseeding():
+    """Adversarial init cannot leave a cluster empty."""
+    data = np.vstack([np.zeros((30, 2)), np.ones((30, 2)) * 10])
+    model = KMeans(2, seed=0, n_init=1, init="random").fit(data)
+    assert len(np.unique(model.labels_)) == 2

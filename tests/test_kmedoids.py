@@ -1,0 +1,113 @@
+"""Tests for K-medoids (PAM)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MiningError, NotFittedError
+from repro.mining import adjusted_rand_index
+from repro.mining.kmedoids import KMedoids
+
+
+def test_recovers_blobs(blobs):
+    data, truth = blobs
+    model = KMedoids(3, seed=0).fit(data)
+    assert adjusted_rand_index(truth, model.labels_) == pytest.approx(1.0)
+
+
+def test_medoids_are_data_points(blobs):
+    data, __ = blobs
+    model = KMedoids(3, seed=0).fit(data)
+    for exemplar in model.medoids():
+        assert any(np.allclose(exemplar, row) for row in data)
+    assert len(set(model.medoid_indices_.tolist())) == 3
+
+
+def test_labels_point_to_nearest_medoid(blobs):
+    data, __ = blobs
+    model = KMedoids(3, seed=0).fit(data)
+    exemplars = model.medoids()
+    distances = np.linalg.norm(
+        data[:, None, :] - exemplars[None, :, :], axis=2
+    )
+    assert np.array_equal(model.labels_, np.argmin(distances, axis=1))
+
+
+def test_inertia_is_total_distance(blobs):
+    data, __ = blobs
+    model = KMedoids(3, seed=0).fit(data)
+    exemplars = model.medoids()
+    expected = sum(
+        np.linalg.norm(row - exemplars[label])
+        for row, label in zip(data, model.labels_)
+    )
+    assert model.inertia_ == pytest.approx(expected, rel=1e-9)
+
+
+def test_cosine_metric_on_vsm(small_log):
+    from repro.preprocess import VSMBuilder
+
+    matrix = VSMBuilder("count").build(small_log).matrix
+    model = KMedoids(5, metric="cosine", seed=0).fit(matrix)
+    assert len(np.unique(model.labels_)) == 5
+    assert model.inertia_ >= 0
+
+
+def test_manhattan_metric(blobs):
+    data, truth = blobs
+    model = KMedoids(3, metric="manhattan", seed=0).fit(data)
+    assert adjusted_rand_index(truth, model.labels_) > 0.95
+
+
+def test_predict_matches_fit(blobs):
+    data, __ = blobs
+    model = KMedoids(3, seed=0).fit(data)
+    assert np.array_equal(model.predict(data), model.labels_)
+
+
+def test_robust_to_moderate_outlier(blobs):
+    """A moderate outlier joins a cluster without dragging the medoid
+    (a mean-based centre would shift; the medoid stays on the blob).
+    Splitting off the outlier would cost more than absorbing it."""
+    data, truth = blobs
+    outlier = np.full((1, data.shape[1]), 14.0)
+    spiked = np.vstack([data, outlier])
+    model = KMedoids(3, seed=0, n_init=5).fit(spiked)
+    core_labels = model.labels_[:-1]
+    assert adjusted_rand_index(truth, core_labels) > 0.95
+    # No medoid is the outlier itself.
+    assert len(spiked) - 1 not in set(model.medoid_indices_.tolist())
+
+
+def test_duplicate_points():
+    data = np.vstack([np.zeros((10, 2)), np.ones((10, 2))])
+    model = KMedoids(2, seed=0).fit(data)
+    assert model.inertia_ == pytest.approx(0.0)
+    assert len(np.unique(model.labels_)) == 2
+
+
+def test_deterministic(blobs):
+    data, __ = blobs
+    a = KMedoids(3, seed=5).fit(data)
+    b = KMedoids(3, seed=5).fit(data)
+    assert np.array_equal(a.labels_, b.labels_)
+    assert a.inertia_ == b.inertia_
+
+
+def test_validation(blobs):
+    data, __ = blobs
+    with pytest.raises(MiningError):
+        KMedoids(0)
+    with pytest.raises(MiningError):
+        KMedoids(2, max_iter=0)
+    with pytest.raises(MiningError):
+        KMedoids(999).fit(data)
+    with pytest.raises(NotFittedError):
+        KMedoids(2).predict(data)
+    with pytest.raises(NotFittedError):
+        KMedoids(2).medoids()
+
+
+def test_k_equals_one(blobs):
+    data, __ = blobs
+    model = KMedoids(1, seed=0).fit(data)
+    assert len(np.unique(model.labels_)) == 1

@@ -1,0 +1,172 @@
+"""Tests for the knowledge-item model and interestingness scoring."""
+
+import pytest
+
+from repro.core import (
+    KnowledgeItem,
+    degree_from_score,
+    degree_rank,
+    score_item,
+    score_items,
+)
+from repro.core.interestingness import (
+    score_cluster_item,
+    score_cluster_set,
+    score_itemset,
+    score_outlier_set,
+    score_rule,
+)
+from repro.exceptions import EngineError
+
+
+def make_item(kind="cluster", **quality):
+    return KnowledgeItem(
+        kind=kind, end_goal="patient-segmentation", title="t", quality=quality
+    )
+
+
+def test_kind_validation():
+    with pytest.raises(EngineError):
+        KnowledgeItem(kind="hunch", end_goal="g", title="t")
+
+
+def test_degree_validation():
+    with pytest.raises(EngineError):
+        KnowledgeItem(kind="cluster", end_goal="g", title="t", degree="meh")
+
+
+def test_document_roundtrip():
+    item = make_item(cohesion=0.8, size_share=0.2)
+    item.score = 0.7
+    item.degree = "high"
+    item.item_id = 42
+    twin = KnowledgeItem.from_document(item.to_document())
+    assert twin.kind == item.kind
+    assert twin.quality == item.quality
+    assert twin.score == item.score
+    assert twin.degree == "high"
+    assert twin.item_id == 42
+
+
+def test_document_without_id_has_no_id_key():
+    assert "_id" not in make_item().to_document()
+
+
+def test_describe_mentions_kind_and_degree():
+    item = make_item()
+    item.degree = "medium"
+    text = item.describe()
+    assert "[cluster]" in text and "medium" in text
+
+
+def test_feature_vector_has_kind_indicators():
+    features = make_item(kind="itemset", support=0.4).feature_vector_fields()
+    assert features["kind_itemset"] == 1.0
+    assert features["kind_cluster"] == 0.0
+    assert features["support"] == 0.4
+
+
+# ----------------------------------------------------------------------
+# scoring
+# ----------------------------------------------------------------------
+def test_cluster_score_prefers_cohesive_distinct():
+    good = score_cluster_item(
+        {"cohesion": 0.9, "size_share": 0.2, "distinctiveness": 0.8}
+    )
+    bad = score_cluster_item(
+        {"cohesion": 0.2, "size_share": 0.2, "distinctiveness": 0.1}
+    )
+    assert good > bad
+    assert 0.0 <= bad <= good <= 1.0
+
+
+def test_cluster_score_penalises_extreme_sizes():
+    mid = score_cluster_item(
+        {"cohesion": 0.5, "size_share": 0.2, "distinctiveness": 0.5}
+    )
+    tiny = score_cluster_item(
+        {"cohesion": 0.5, "size_share": 0.001, "distinctiveness": 0.5}
+    )
+    huge = score_cluster_item(
+        {"cohesion": 0.5, "size_share": 0.95, "distinctiveness": 0.5}
+    )
+    assert mid > tiny
+    assert mid > huge
+
+
+def test_cluster_set_score_uses_table1_metrics():
+    strong = score_cluster_set(
+        {
+            "overall_similarity": 0.6,
+            "accuracy": 0.95,
+            "avg_precision": 0.93,
+            "avg_recall": 0.93,
+        }
+    )
+    weak = score_cluster_set(
+        {
+            "overall_similarity": 0.3,
+            "accuracy": 0.5,
+            "avg_precision": 0.4,
+            "avg_recall": 0.3,
+        }
+    )
+    assert strong > weak
+
+
+def test_itemset_score_support_sweet_spot():
+    rare = score_itemset({"support": 0.01, "length": 3})
+    mid = score_itemset({"support": 0.3, "length": 3})
+    universal = score_itemset({"support": 0.99, "length": 3})
+    assert mid > rare
+    assert mid > universal
+
+
+def test_itemset_score_rewards_length():
+    short = score_itemset({"support": 0.3, "length": 2})
+    long = score_itemset({"support": 0.3, "length": 5})
+    assert long > short
+
+
+def test_rule_score_monotone_in_confidence_and_lift():
+    low = score_rule({"confidence": 0.5, "lift": 1.0, "support": 0.2})
+    high = score_rule({"confidence": 0.9, "lift": 3.0, "support": 0.2})
+    assert high > low
+
+
+def test_rule_score_independence_lift_gives_no_credit():
+    independent = score_rule(
+        {"confidence": 0.0, "lift": 1.0, "support": 0.0}
+    )
+    assert independent == pytest.approx(0.0, abs=1e-9)
+
+
+def test_outlier_score_shape():
+    none = score_outlier_set({"noise_ratio": 0.0})
+    few = score_outlier_set({"noise_ratio": 0.05})
+    half = score_outlier_set({"noise_ratio": 0.5})
+    assert none == 0.0
+    assert few > half
+
+
+def test_score_item_dispatch_and_attach():
+    items = [
+        make_item("cluster", cohesion=0.9, size_share=0.2,
+                  distinctiveness=0.7),
+        make_item("itemset", support=0.3, length=3),
+    ]
+    scored = score_items(items)
+    assert all(0.0 <= item.score <= 1.0 for item in scored)
+    assert scored[0].score == score_item(scored[0])
+
+
+def test_degree_from_score_thresholds():
+    assert degree_from_score(0.9) == "high"
+    assert degree_from_score(0.5) == "medium"
+    assert degree_from_score(0.1) == "low"
+
+
+def test_degree_rank_ordering():
+    assert degree_rank("high") < degree_rank("medium") < degree_rank("low")
+    with pytest.raises(EngineError):
+        degree_rank("great")

@@ -1,0 +1,170 @@
+"""Tests for Naive Bayes and k-NN classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MiningError, NotFittedError
+from repro.mining.knn import KNeighborsClassifier
+from repro.mining.naive_bayes import (
+    GaussianNaiveBayes,
+    MultinomialNaiveBayes,
+)
+
+
+# ----------------------------------------------------------------------
+# Gaussian NB
+# ----------------------------------------------------------------------
+def test_gaussian_nb_separable(blobs):
+    data, truth = blobs
+    model = GaussianNaiveBayes().fit(data, truth)
+    assert model.score(data, truth) > 0.99
+
+
+def test_gaussian_nb_predict_proba_rows_sum_to_one(blobs):
+    data, truth = blobs
+    model = GaussianNaiveBayes().fit(data, truth)
+    probabilities = model.predict_proba(data)
+    assert probabilities.shape == (len(data), 3)
+    assert np.allclose(probabilities.sum(axis=1), 1.0)
+    assert (probabilities >= 0).all()
+
+
+def test_gaussian_nb_respects_prior():
+    """With identical likelihoods the prior decides."""
+    rng = np.random.default_rng(0)
+    data = rng.normal(0, 1, size=(100, 2))
+    labels = np.array([0] * 90 + [1] * 10)
+    model = GaussianNaiveBayes().fit(data, labels)
+    predictions = model.predict(rng.normal(0, 1, size=(50, 2)))
+    assert (predictions == 0).mean() > 0.8
+
+
+def test_gaussian_nb_constant_feature_ok(blobs):
+    data, truth = blobs
+    padded = np.hstack([data, np.ones((len(data), 1))])
+    model = GaussianNaiveBayes().fit(padded, truth)
+    assert model.score(padded, truth) > 0.99
+
+
+def test_gaussian_nb_string_labels(blobs):
+    data, truth = blobs
+    names = np.array(["x", "y", "z"])[truth]
+    model = GaussianNaiveBayes().fit(data, names)
+    assert set(model.predict(data)) <= {"x", "y", "z"}
+
+
+def test_gaussian_nb_validation(blobs):
+    data, truth = blobs
+    with pytest.raises(MiningError):
+        GaussianNaiveBayes(var_smoothing=0)
+    with pytest.raises(NotFittedError):
+        GaussianNaiveBayes().predict(data)
+    with pytest.raises(MiningError):
+        GaussianNaiveBayes().fit(data, truth[:-1])
+
+
+# ----------------------------------------------------------------------
+# Multinomial NB
+# ----------------------------------------------------------------------
+def test_multinomial_nb_on_count_profiles():
+    """Distinct count profiles per class are recovered."""
+    rng = np.random.default_rng(1)
+    rates_a = np.array([5.0, 1.0, 0.2, 0.2])
+    rates_b = np.array([0.2, 0.2, 4.0, 2.0])
+    data = np.vstack(
+        [rng.poisson(rates_a, size=(80, 4)),
+         rng.poisson(rates_b, size=(80, 4))]
+    ).astype(float)
+    labels = np.array([0] * 80 + [1] * 80)
+    model = MultinomialNaiveBayes().fit(data, labels)
+    assert model.score(data, labels) > 0.95
+
+
+def test_multinomial_nb_rejects_negative():
+    with pytest.raises(MiningError):
+        MultinomialNaiveBayes().fit(np.array([[-1.0, 2.0]]), [0])
+
+
+def test_multinomial_nb_validation():
+    with pytest.raises(MiningError):
+        MultinomialNaiveBayes(alpha=0)
+    with pytest.raises(NotFittedError):
+        MultinomialNaiveBayes().predict(np.ones((2, 2)))
+
+
+def test_multinomial_nb_on_vsm(small_log):
+    """Classifies cluster labels on the raw count VSM decently."""
+    from repro.mining import KMeans
+    from repro.preprocess import VSMBuilder
+
+    matrix = VSMBuilder("count").build(small_log).matrix
+    labels = KMeans(4, seed=0).fit_predict(matrix)
+    model = MultinomialNaiveBayes().fit(matrix, labels)
+    assert model.score(matrix, labels) > 0.5
+
+
+# ----------------------------------------------------------------------
+# k-NN
+# ----------------------------------------------------------------------
+def test_knn_separable(blobs):
+    data, truth = blobs
+    model = KNeighborsClassifier(n_neighbors=5).fit(data, truth)
+    assert model.score(data, truth) > 0.99
+
+
+def test_knn_one_neighbor_memorises(blobs):
+    data, truth = blobs
+    model = KNeighborsClassifier(n_neighbors=1).fit(data, truth)
+    assert model.score(data, truth) == 1.0
+
+
+def test_knn_distance_weighting(blobs):
+    data, truth = blobs
+    uniform = KNeighborsClassifier(n_neighbors=7, weights="uniform")
+    weighted = KNeighborsClassifier(n_neighbors=7, weights="distance")
+    assert uniform.fit(data, truth).score(data, truth) > 0.95
+    # Distance weighting makes the training points exact matches.
+    assert weighted.fit(data, truth).score(data, truth) == 1.0
+
+
+def test_knn_brute_force_matches_tree(blobs):
+    data, truth = blobs
+    tree = KNeighborsClassifier(n_neighbors=5, brute_force_dims=999)
+    brute = KNeighborsClassifier(n_neighbors=5, brute_force_dims=1)
+    probe = data[::7]
+    a = tree.fit(data, truth).predict(probe)
+    b = brute.fit(data, truth).predict(probe)
+    assert np.array_equal(a, b)
+
+
+def test_knn_validation(blobs):
+    data, truth = blobs
+    with pytest.raises(MiningError):
+        KNeighborsClassifier(n_neighbors=0)
+    with pytest.raises(MiningError):
+        KNeighborsClassifier(weights="cosmic")
+    with pytest.raises(NotFittedError):
+        KNeighborsClassifier().predict(data)
+    with pytest.raises(MiningError):
+        KNeighborsClassifier(n_neighbors=500).fit(data[:10], truth[:10])
+    model = KNeighborsClassifier().fit(data, truth)
+    with pytest.raises(MiningError):
+        model.predict(data[:, :2])
+
+
+# ----------------------------------------------------------------------
+# pluggable into the optimiser
+# ----------------------------------------------------------------------
+def test_optimizer_accepts_alternative_classifier(blobs):
+    from repro.core import KMeansOptimizer
+
+    data, __ = blobs
+    optimizer = KMeansOptimizer(
+        k_values=(2, 3),
+        n_folds=3,
+        classifier_factory=lambda: GaussianNaiveBayes(),
+        seed=0,
+    )
+    report = optimizer.optimize(data)
+    assert report.best_k in (2, 3)
+    assert all(row.accuracy > 0.9 for row in report.rows)

@@ -1,0 +1,153 @@
+"""Tests for adaptive partial mining (horizontal and vertical)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_FRACTIONS,
+    PAPER_TOLERANCE,
+    HorizontalPartialMiner,
+    VerticalPartialMiner,
+)
+from repro.exceptions import MiningError
+
+
+@pytest.fixture(scope="module")
+def result(small_log):
+    miner = HorizontalPartialMiner(
+        fractions=(0.2, 0.5, 1.0), k_values=(4, 6), seed=0
+    )
+    return miner.mine(small_log)
+
+
+def test_paper_constants():
+    assert PAPER_FRACTIONS == (0.2, 0.4, 1.0)
+    assert PAPER_TOLERANCE == 0.05
+
+
+def test_subset_codes_are_most_frequent(small_log):
+    miner = HorizontalPartialMiner(seed=0)
+    codes = miner.subset_codes(small_log, 0.2)
+    assert len(codes) == round(0.2 * small_log.n_exam_types)
+    frequency = small_log.exam_frequency()
+    chosen = min(frequency[c] for c in codes)
+    excluded = [c for c in range(small_log.n_exam_types) if c not in codes]
+    assert chosen >= max(frequency[c] for c in excluded)
+
+
+def test_row_coverage_increases_with_fraction(small_log):
+    miner = HorizontalPartialMiner(seed=0)
+    coverages = [
+        miner.row_coverage(small_log, miner.subset_codes(small_log, f))
+        for f in (0.2, 0.5, 1.0)
+    ]
+    assert coverages[0] < coverages[1] < coverages[2]
+    assert coverages[2] == pytest.approx(1.0)
+
+
+def test_every_fraction_and_k_evaluated(result):
+    assert len(result.runs) == 3 * 2
+    assert result.fractions() == [0.2, 0.5, 1.0]
+    for k in (4, 6):
+        assert len(result.runs_for_k(k)) == 3
+
+
+def test_full_fraction_zero_difference(result):
+    for run in result.runs:
+        if run.fraction_features == 1.0:
+            assert run.pct_difference == pytest.approx(0.0)
+            assert run.fraction_rows == pytest.approx(1.0)
+
+
+def test_differences_nonnegative(result):
+    assert all(run.pct_difference >= 0 for run in result.runs)
+
+
+def test_similarities_in_unit_interval(result):
+    assert all(0.0 <= run.similarity <= 1.0 for run in result.runs)
+
+
+def test_selection_within_tolerance(result, small_log):
+    if result.selected_fraction < 1.0:
+        selected_runs = [
+            run
+            for run in result.runs
+            if run.fraction_features == result.selected_fraction
+        ]
+        mean_diff = np.mean([run.pct_difference for run in selected_runs])
+        assert mean_diff <= result.tolerance
+    assert len(result.selected_codes) == round(
+        result.selected_fraction * small_log.n_exam_types
+    )
+
+
+def test_tight_tolerance_selects_full_data(small_log):
+    miner = HorizontalPartialMiner(
+        fractions=(0.2, 1.0), k_values=(4,), tolerance=1e-9, seed=0
+    )
+    result = miner.mine(small_log)
+    assert result.selected_fraction == 1.0
+
+
+def test_loose_tolerance_selects_smallest(small_log):
+    miner = HorizontalPartialMiner(
+        fractions=(0.2, 1.0), k_values=(4,), tolerance=10.0, seed=0
+    )
+    result = miner.mine(small_log)
+    assert result.selected_fraction == 0.2
+
+
+def test_format_table_contains_selection(result):
+    table = result.format_table()
+    assert "% types" in table
+    assert "selected subset" in table
+
+
+def test_validation_errors():
+    with pytest.raises(MiningError):
+        HorizontalPartialMiner(fractions=(0.2, 0.4))  # must end at 1.0
+    with pytest.raises(MiningError):
+        HorizontalPartialMiner(fractions=())
+    with pytest.raises(MiningError):
+        HorizontalPartialMiner(fractions=(-0.5, 1.0))
+    with pytest.raises(MiningError):
+        HorizontalPartialMiner(k_values=(1,))
+    with pytest.raises(MiningError):
+        HorizontalPartialMiner(tolerance=0.0)
+
+
+def test_count_weighting_also_runs(small_log):
+    miner = HorizontalPartialMiner(
+        fractions=(0.5, 1.0), k_values=(4,), weighting="count",
+        normalize=False, seed=0,
+    )
+    result = miner.mine(small_log)
+    assert result.runs
+
+
+# ----------------------------------------------------------------------
+# vertical
+# ----------------------------------------------------------------------
+def test_vertical_runs_and_selects(small_log):
+    miner = VerticalPartialMiner(
+        fractions=(0.3, 0.6, 1.0), k=4, seed=0
+    )
+    result = miner.mine(small_log)
+    assert len(result.runs) == 3
+    fractions = sorted(run.fraction_rows for run in result.runs)
+    assert fractions == [0.3, 0.6, 1.0]
+    assert 0.3 <= result.selected_fraction <= 1.0
+
+
+def test_vertical_full_sample_zero_diff(small_log):
+    miner = VerticalPartialMiner(fractions=(0.5, 1.0), k=4, seed=0)
+    result = miner.mine(small_log)
+    full = [r for r in result.runs if r.fraction_rows == 1.0][0]
+    assert full.pct_difference == pytest.approx(0.0)
+
+
+def test_vertical_validation():
+    with pytest.raises(MiningError):
+        VerticalPartialMiner(fractions=(0.5,))
+    with pytest.raises(MiningError):
+        VerticalPartialMiner(k=1)

@@ -1,0 +1,165 @@
+"""Property-based tests: classifiers, sequences, itemset summaries."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.mining import (
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    KNeighborsClassifier,
+    closed_itemsets,
+    fpgrowth,
+    maximal_itemsets,
+    mine_sequences,
+)
+from repro.mining.sequences import SequentialPattern, pattern_contains
+
+feature_matrices = npst.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(8, 30), st.integers(1, 5)),
+    elements=st.floats(-20, 20, allow_nan=False).map(
+        lambda x: round(x, 3)
+    ),
+)
+
+label_arrays = st.lists(st.integers(0, 2), min_size=8, max_size=30)
+
+
+@given(feature_matrices, st.data())
+@settings(max_examples=25, deadline=None)
+def test_decision_tree_predicts_known_classes(matrix, data):
+    labels = np.array(
+        data.draw(
+            st.lists(
+                st.integers(0, 2),
+                min_size=matrix.shape[0],
+                max_size=matrix.shape[0],
+            )
+        )
+    )
+    tree = DecisionTreeClassifier(max_depth=4).fit(matrix, labels)
+    predictions = tree.predict(matrix)
+    assert set(predictions.tolist()) <= set(labels.tolist())
+    # Probabilities are a distribution.
+    probabilities = tree.predict_proba(matrix)
+    assert np.allclose(probabilities.sum(axis=1), 1.0)
+    assert (probabilities >= 0).all()
+
+
+@given(feature_matrices, st.data())
+@settings(max_examples=25, deadline=None)
+def test_unbounded_tree_memorises_consistent_data(matrix, data):
+    """If equal rows always share a label, a full tree fits exactly."""
+    # Build labels as a function of the first feature's sign: a
+    # deterministic labelling guarantees consistency.
+    labels = (matrix[:, 0] > 0).astype(int)
+    tree = DecisionTreeClassifier().fit(matrix, labels)
+    assert tree.score(matrix, labels) == 1.0
+
+
+@given(feature_matrices)
+@settings(max_examples=25, deadline=None)
+def test_gaussian_nb_predictions_are_fitted_classes(matrix):
+    labels = np.arange(matrix.shape[0]) % 2
+    model = GaussianNaiveBayes().fit(matrix, labels)
+    predictions = model.predict(matrix)
+    assert set(predictions.tolist()) <= {0, 1}
+    probabilities = model.predict_proba(matrix)
+    assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+
+@given(feature_matrices)
+@settings(max_examples=20, deadline=None)
+def test_knn_k1_memorises_distinct_rows(matrix):
+    # Deduplicate rows so 1-NN is unambiguous.
+    unique = np.unique(matrix, axis=0)
+    if unique.shape[0] < 2:
+        return
+    labels = np.arange(unique.shape[0]) % 3
+    model = KNeighborsClassifier(n_neighbors=1).fit(unique, labels)
+    assert model.score(unique, labels) == 1.0
+
+
+# ----------------------------------------------------------------------
+# sequences
+# ----------------------------------------------------------------------
+items = st.sampled_from(list("abcd"))
+sequence_dbs = st.lists(
+    st.lists(
+        st.frozensets(items, min_size=1, max_size=2),
+        min_size=0,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(sequence_dbs, st.floats(0.2, 0.9))
+@settings(max_examples=40, deadline=None)
+def test_sequence_supports_match_brute_force(database, min_support):
+    database = [list(sequence) for sequence in database]
+    patterns = mine_sequences(database, min_support, max_length=3)
+    for pattern in patterns:
+        brute = sum(
+            1
+            for sequence in database
+            if pattern_contains(pattern, sequence)
+        )
+        assert pattern.count == brute
+        assert pattern.count >= min_support * len(database) - 1e-9
+
+
+@given(sequence_dbs)
+@settings(max_examples=30, deadline=None)
+def test_sequence_patterns_unique(database):
+    database = [list(sequence) for sequence in database]
+    patterns = mine_sequences(database, 0.3, max_length=3)
+    forms = [pattern.elements for pattern in patterns]
+    assert len(forms) == len(set(forms))
+
+
+@given(sequence_dbs)
+@settings(max_examples=30, deadline=None)
+def test_sequence_higher_support_subset(database):
+    database = [list(sequence) for sequence in database]
+    low = {p.elements for p in mine_sequences(database, 0.3, max_length=2)}
+    high = {p.elements for p in mine_sequences(database, 0.7, max_length=2)}
+    assert high <= low
+
+
+# ----------------------------------------------------------------------
+# itemset summaries
+# ----------------------------------------------------------------------
+transaction_dbs = st.lists(
+    st.lists(items, min_size=0, max_size=4),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(transaction_dbs, st.floats(0.15, 0.9))
+@settings(max_examples=40, deadline=None)
+def test_summary_invariants(transactions, min_support):
+    frequent = fpgrowth(transactions, min_support)
+    closed = closed_itemsets(frequent)
+    maximal = maximal_itemsets(frequent)
+    closed_sets = {s.items for s in closed}
+    maximal_sets = {s.items for s in maximal}
+    # Maximal subset of closed subset of frequent.
+    assert maximal_sets <= closed_sets
+    assert closed_sets <= {s.items for s in frequent}
+    # Every frequent itemset has a closed superset with equal support.
+    for itemset in frequent:
+        assert any(
+            itemset.items <= c.items and c.count == itemset.count
+            for c in closed
+        )
+    # No maximal itemset is contained in another frequent itemset.
+    frequent_sets = {s.items for s in frequent}
+    for itemset in maximal:
+        assert not any(
+            itemset.items < other for other in frequent_sets
+        )

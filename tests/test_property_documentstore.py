@@ -1,0 +1,155 @@
+"""Property-based tests for the document store (hypothesis)."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kdb.documentstore import DocumentStore
+
+# JSON-safe scalar values (no NaN: NaN breaks JSON round-trips and
+# equality, which the store contract excludes anyway).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+
+field_names = st.text(
+    alphabet="abcdefghij", min_size=1, max_size=6
+).filter(lambda s: not s.startswith("$"))
+
+documents = st.dictionaries(
+    field_names,
+    st.one_of(
+        scalars,
+        st.lists(scalars, max_size=4),
+        st.dictionaries(field_names, scalars, max_size=3),
+    ),
+    max_size=5,
+)
+
+
+@given(st.lists(documents, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_insert_then_find_all_returns_everything(docs):
+    collection = DocumentStore()["c"]
+    collection.insert_many(docs)
+    assert len(collection.find()) == len(docs)
+    assert collection.count_documents() == len(docs)
+
+
+@given(st.lists(documents, max_size=15))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_content(docs):
+    collection = DocumentStore()["c"]
+    ids = collection.insert_many(docs)
+    for doc_id, original in zip(ids, docs):
+        stored = collection.find_one({"_id": doc_id})
+        stored.pop("_id")
+        assert stored == original
+
+
+@given(st.lists(documents, min_size=1, max_size=15), st.data())
+@settings(max_examples=40, deadline=None)
+def test_equality_query_is_consistent_with_scan(docs, data):
+    collection = DocumentStore()["c"]
+    collection.insert_many(docs)
+    # Pick a field/value that exists somewhere.
+    candidates = [
+        (key, value)
+        for doc in docs
+        for key, value in doc.items()
+        if not isinstance(value, (list, dict))
+    ]
+    if not candidates:
+        return
+    key, value = data.draw(st.sampled_from(candidates))
+    matched = collection.find({key: value}).to_list()
+    # Every matched document's field equals the value (modulo bool/int).
+    for doc in matched:
+        stored = doc.get(key)
+        assert stored == value
+        assert isinstance(stored, bool) == isinstance(value, bool)
+    assert len(matched) >= 1
+
+
+@given(st.lists(documents, max_size=15))
+@settings(max_examples=40, deadline=None)
+def test_save_load_identity(docs):
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as directory:
+        _check_save_load(docs, directory)
+
+
+def _check_save_load(docs, directory):
+    store = DocumentStore()
+    store["c"].insert_many(docs)
+    store.save(directory)
+    loaded = DocumentStore.load(directory)
+    original = sorted(
+        store["c"].find().to_list(), key=lambda d: str(d["_id"])
+    )
+    reloaded = sorted(
+        loaded["c"].find().to_list(), key=lambda d: str(d["_id"])
+    )
+    assert json.dumps(original, sort_keys=True, default=str) == json.dumps(
+        reloaded, sort_keys=True, default=str
+    )
+
+
+@given(
+    st.lists(
+        st.dictionaries(st.just("v"), st.integers(0, 100), min_size=1),
+        min_size=1,
+        max_size=20,
+    ),
+    st.integers(0, 100),
+)
+@settings(max_examples=50, deadline=None)
+def test_range_query_partitions(docs, threshold):
+    """$lt and $gte on the same threshold partition the collection."""
+    collection = DocumentStore()["c"]
+    collection.insert_many(docs)
+    below = collection.count_documents({"v": {"$lt": threshold}})
+    at_or_above = collection.count_documents({"v": {"$gte": threshold}})
+    assert below + at_or_above == len(docs)
+
+
+@given(st.lists(documents, min_size=1, max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_delete_inverts_insert(docs):
+    collection = DocumentStore()["c"]
+    ids = collection.insert_many(docs)
+    for doc_id in ids:
+        assert collection.delete_one({"_id": doc_id}) == 1
+    assert len(collection) == 0
+
+
+@given(st.lists(st.integers(-50, 50), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_sort_orders_values(values):
+    collection = DocumentStore()["c"]
+    collection.insert_many([{"v": value} for value in values])
+    ascending = [d["v"] for d in collection.find().sort("v")]
+    assert ascending == sorted(values)
+    descending = [d["v"] for d in collection.find().sort("v", -1)]
+    assert descending == sorted(values, reverse=True)
+
+
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=25))
+@settings(max_examples=40, deadline=None)
+def test_index_does_not_change_results(values):
+    plain = DocumentStore()["c"]
+    indexed = DocumentStore()["c"]
+    docs = [{"v": value} for value in values]
+    plain.insert_many(docs)
+    indexed.create_index("v")
+    indexed.insert_many(docs)
+    for probe in set(values):
+        a = sorted(d["_id"] for d in plain.find({"v": probe}))
+        b = sorted(d["_id"] for d in indexed.find({"v": probe}))
+        assert a == b

@@ -1,0 +1,157 @@
+"""Property-based tests for mining algorithms and metrics (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.mining import (
+    KMeans,
+    accuracy,
+    adjusted_rand_index,
+    apriori,
+    confusion_matrix,
+    cosine_similarity,
+    fpgrowth,
+    overall_similarity,
+    precision_recall_f1,
+    squared_euclidean,
+    sse,
+)
+from repro.mining.kdtree import KDTree
+
+matrices = npst.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(4, 25), st.integers(1, 6)),
+    elements=st.floats(-50, 50, allow_nan=False).map(
+        lambda x: round(x, 3)
+    ),
+)
+
+
+@given(matrices)
+@settings(max_examples=40, deadline=None)
+def test_squared_euclidean_symmetry_and_diagonal(matrix):
+    distances = squared_euclidean(matrix, matrix)
+    assert np.allclose(distances, distances.T, atol=1e-6)
+    assert np.allclose(np.diag(distances), 0.0, atol=1e-6)
+    assert (distances >= 0).all()
+
+
+@given(matrices)
+@settings(max_examples=40, deadline=None)
+def test_cosine_similarity_bounds(matrix):
+    sims = cosine_similarity(matrix)
+    assert (sims <= 1.0 + 1e-9).all()
+    assert (sims >= -1.0 - 1e-9).all()
+    assert np.allclose(sims, sims.T, atol=1e-9)
+
+
+@given(matrices, st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_kmeans_invariants(matrix, n_clusters):
+    n_clusters = min(n_clusters, matrix.shape[0])
+    model = KMeans(n_clusters, seed=0, n_init=1, max_iter=20).fit(matrix)
+    # Every point assigned, labels in range, SSE consistent and finite.
+    assert model.labels_.shape == (matrix.shape[0],)
+    assert set(np.unique(model.labels_)) <= set(range(n_clusters))
+    assert np.isfinite(model.inertia_)
+    recomputed = sse(matrix, model.labels_, centers=model.cluster_centers_)
+    assert np.isclose(model.inertia_, recomputed, rtol=1e-6, atol=1e-6)
+    # Assignment is nearest-centre: no point is closer to another centre.
+    distances = squared_euclidean(matrix, model.cluster_centers_)
+    chosen = distances[np.arange(len(matrix)), model.labels_]
+    assert (chosen <= distances.min(axis=1) + 1e-8).all()
+
+
+@given(matrices)
+@settings(max_examples=25, deadline=None)
+def test_kdtree_nn_is_exact(matrix):
+    tree = KDTree(matrix, leaf_size=4)
+    for i in range(0, matrix.shape[0], 5):
+        __, indexes = tree.query(matrix[i], k=1)
+        brute = np.linalg.norm(matrix - matrix[i], axis=1)
+        assert brute[indexes[0]] <= brute.min() + 1e-9
+
+
+@given(
+    npst.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(3, 20), st.integers(1, 5)),
+        elements=st.floats(0, 30, allow_nan=False).map(
+            lambda x: round(x, 3)
+        ),
+    ),
+    st.integers(1, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_overall_similarity_bounds_nonnegative_data(matrix, k):
+    labels = np.arange(matrix.shape[0]) % k
+    value = overall_similarity(matrix, labels)
+    assert -1e-9 <= value <= 1.0 + 1e-9
+    exact = overall_similarity(matrix, labels, exact=True)
+    assert np.isclose(value, exact, atol=1e-8)
+
+
+@given(st.lists(st.integers(0, 4), min_size=2, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_ari_self_is_one_or_degenerate(labels):
+    labels = np.array(labels)
+    assert adjusted_rand_index(labels, labels) == 1.0
+
+
+@given(
+    st.lists(st.integers(0, 3), min_size=1, max_size=40),
+    st.lists(st.integers(0, 3), min_size=1, max_size=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_classification_metric_bounds(y_true, y_pred):
+    size = min(len(y_true), len(y_pred))
+    y_true, y_pred = y_true[:size], y_pred[:size]
+    assert 0.0 <= accuracy(y_true, y_pred) <= 1.0
+    for average in ("macro", "micro", "weighted"):
+        precision, recall, f1 = precision_recall_f1(
+            y_true, y_pred, average
+        )
+        assert 0.0 <= precision <= 1.0
+        assert 0.0 <= recall <= 1.0
+        assert 0.0 <= f1 <= 1.0
+    matrix, __ = confusion_matrix(y_true, y_pred)
+    assert matrix.sum() == size
+
+
+# ----------------------------------------------------------------------
+# itemset miners
+# ----------------------------------------------------------------------
+item_pool = st.sampled_from(list("abcdef"))
+transaction_dbs = st.lists(
+    st.lists(item_pool, min_size=0, max_size=5),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(transaction_dbs, st.floats(0.1, 1.0))
+@settings(max_examples=50, deadline=None)
+def test_apriori_fpgrowth_equivalence(transactions, min_support):
+    a = {s.items: s.count for s in apriori(transactions, min_support)}
+    f = {s.items: s.count for s in fpgrowth(transactions, min_support)}
+    assert a == f
+
+
+@given(transaction_dbs, st.floats(0.1, 0.9))
+@settings(max_examples=40, deadline=None)
+def test_itemset_supports_are_true_counts(transactions, min_support):
+    sets = [frozenset(t) for t in transactions]
+    for itemset in fpgrowth(transactions, min_support):
+        true_count = sum(1 for t in sets if itemset.items <= t)
+        assert itemset.count == true_count
+        assert itemset.count >= min_support * len(transactions) - 1e-9
+
+
+@given(transaction_dbs)
+@settings(max_examples=30, deadline=None)
+def test_higher_support_yields_subset(transactions):
+    low = {s.items for s in fpgrowth(transactions, 0.2)}
+    high = {s.items for s in fpgrowth(transactions, 0.6)}
+    assert high <= low

@@ -1,0 +1,121 @@
+"""Property-based tests for transforms and characterisation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.preprocess import (
+    L1Normalizer,
+    L2Normalizer,
+    MinMaxScaler,
+    StandardScaler,
+    apply_weighting,
+    characterize_matrix,
+)
+
+count_matrices = npst.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 20), st.integers(2, 8)),
+    elements=st.integers(0, 20).map(float),
+)
+
+real_matrices = npst.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 20), st.integers(1, 6)),
+    elements=st.floats(-100, 100, allow_nan=False).map(
+        lambda x: round(x, 4)
+    ),
+)
+
+
+@given(real_matrices)
+@settings(max_examples=50, deadline=None)
+def test_l2_rows_unit_or_zero(matrix):
+    out = L2Normalizer().fit_transform(matrix)
+    norms = np.linalg.norm(out, axis=1)
+    for original_row, norm in zip(matrix, norms):
+        if np.any(original_row != 0):
+            assert np.isclose(norm, 1.0)
+        else:
+            assert norm == 0.0
+
+
+@given(real_matrices)
+@settings(max_examples=50, deadline=None)
+def test_l2_idempotent(matrix):
+    normalizer = L2Normalizer()
+    once = normalizer.fit_transform(matrix)
+    twice = normalizer.fit_transform(once)
+    assert np.allclose(once, twice, atol=1e-9)
+
+
+@given(real_matrices)
+@settings(max_examples=50, deadline=None)
+def test_l1_rows_sum_to_one_or_zero(matrix):
+    out = L1Normalizer().fit_transform(matrix)
+    sums = np.abs(out).sum(axis=1)
+    for original_row, total in zip(matrix, sums):
+        if np.any(original_row != 0):
+            assert np.isclose(total, 1.0)
+
+
+@given(real_matrices)
+@settings(max_examples=50, deadline=None)
+def test_minmax_into_unit_interval(matrix):
+    out = MinMaxScaler().fit_transform(matrix)
+    assert (out >= -1e-9).all()
+    assert (out <= 1.0 + 1e-9).all()
+
+
+@given(real_matrices)
+@settings(max_examples=50, deadline=None)
+def test_zscore_centering(matrix):
+    out = StandardScaler().fit_transform(matrix)
+    assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+
+
+@given(count_matrices)
+@settings(max_examples=50, deadline=None)
+def test_weightings_preserve_zero_pattern(matrix):
+    for weighting in ("count", "binary", "log", "tfidf"):
+        out = apply_weighting(matrix, weighting)
+        assert out.shape == matrix.shape
+        assert ((out == 0) == (matrix == 0)).all()
+        assert (out >= 0).all()
+
+
+@given(count_matrices)
+@settings(max_examples=50, deadline=None)
+def test_binary_weighting_idempotent(matrix):
+    once = apply_weighting(matrix, "binary")
+    twice = apply_weighting(once, "binary")
+    assert np.array_equal(once, twice)
+
+
+@given(count_matrices)
+@settings(max_examples=50, deadline=None)
+def test_characterization_invariants(matrix):
+    if matrix.sum() == 0:
+        matrix[0, 0] = 1.0
+    profile = characterize_matrix(matrix)
+    assert 0.0 <= profile.sparsity <= 1.0
+    assert np.isclose(profile.density, 1.0 - profile.sparsity)
+    assert 0.0 <= profile.normalized_entropy <= 1.0 + 1e-9
+    assert -1e-9 <= profile.gini <= 1.0
+    assert 1.0 / matrix.shape[1] - 1e-9 <= profile.hhi <= 1.0 + 1e-9
+    shares = [profile.top_share[k] for k in ("10", "20", "40", "60", "80")]
+    assert all(a <= b + 1e-12 for a, b in zip(shares, shares[1:]))
+
+
+@given(count_matrices, st.floats(0.5, 3.0))
+@settings(max_examples=30, deadline=None)
+def test_characterization_scale_invariant_indices(matrix, scale):
+    """Gini / entropy / sparsity don't change under global scaling."""
+    if matrix.sum() == 0:
+        matrix[0, 0] = 1.0
+    a = characterize_matrix(matrix)
+    b = characterize_matrix(matrix * scale)
+    assert np.isclose(a.sparsity, b.sparsity)
+    assert np.isclose(a.gini, b.gini, atol=1e-9)
+    assert np.isclose(a.feature_entropy, b.feature_entropy, atol=1e-9)

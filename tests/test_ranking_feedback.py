@@ -1,0 +1,196 @@
+"""Tests for the adaptive ranker, navigation session and simulated expert."""
+
+import pytest
+
+from repro.core import (
+    KnowledgeItem,
+    KnowledgeRanker,
+    NavigationSession,
+    SimulatedExpert,
+    administrator_profile,
+    clinician_profile,
+    researcher_profile,
+)
+from repro.exceptions import EngineError
+from repro.kdb import KnowledgeBase
+
+
+def make_items():
+    items = []
+    for i in range(12):
+        kind = ["cluster", "itemset", "association_rule"][i % 3]
+        item = KnowledgeItem(
+            kind=kind,
+            end_goal="patient-segmentation" if i % 2 else "care-pathway-rules",
+            title=f"item-{i}",
+        )
+        item.score = (i + 1) / 12.0
+        items.append(item)
+    return items
+
+
+# ----------------------------------------------------------------------
+# ranker
+# ----------------------------------------------------------------------
+def test_neutral_ranker_orders_by_score():
+    ranker = KnowledgeRanker()
+    ranked = ranker.rank(make_items())
+    scores = [item.score for item in ranked]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_positive_feedback_promotes_kind():
+    ranker = KnowledgeRanker(learning_rate=0.8)
+    items = make_items()
+    cluster_item = next(i for i in items if i.kind == "cluster")
+    for __ in range(4):
+        ranker.record_feedback(cluster_item, "high")
+    ranked = ranker.rank(items)
+    # The top items should now be clusters even with lower base scores.
+    assert ranked[0].kind == "cluster"
+
+
+def test_negative_feedback_demotes_kind():
+    ranker = KnowledgeRanker(learning_rate=0.8)
+    items = make_items()
+    rule_item = next(i for i in items if i.kind == "association_rule")
+    for __ in range(4):
+        ranker.record_feedback(rule_item, "low")
+    ranked = ranker.rank(items)
+    assert ranked[-1].kind == "association_rule"
+
+
+def test_medium_feedback_is_neutral():
+    ranker = KnowledgeRanker()
+    before = dict(ranker.kind_weights)
+    ranker.record_feedback(make_items()[0], "medium")
+    assert ranker.kind_weights == before
+
+
+def test_weights_clipped():
+    ranker = KnowledgeRanker(learning_rate=2.0)
+    item = make_items()[0]
+    for __ in range(20):
+        ranker.record_feedback(item, "high")
+    assert ranker.kind_weights[item.kind] <= 4.0
+    for __ in range(40):
+        ranker.record_feedback(item, "low")
+    assert ranker.kind_weights[item.kind] >= 0.25
+
+
+def test_unknown_degree_raises():
+    ranker = KnowledgeRanker()
+    with pytest.raises(EngineError):
+        ranker.record_feedback(make_items()[0], "superb")
+    with pytest.raises(EngineError):
+        KnowledgeRanker(learning_rate=0)
+
+
+def test_rank_deterministic_tiebreak():
+    a = KnowledgeItem(kind="cluster", end_goal="g", title="aaa")
+    b = KnowledgeItem(kind="cluster", end_goal="g", title="bbb")
+    a.score = b.score = 0.5
+    assert [i.title for i in KnowledgeRanker().rank([b, a])] == [
+        "aaa",
+        "bbb",
+    ]
+
+
+# ----------------------------------------------------------------------
+# navigation session
+# ----------------------------------------------------------------------
+def test_paging():
+    session = NavigationSession(items=make_items(), page_size=5)
+    assert session.n_pages() == 3
+    assert len(session.page(0)) == 5
+    assert len(session.page(2)) == 2
+    assert session.seen_count() == 7
+
+
+def test_page_validation():
+    session = NavigationSession(items=make_items())
+    with pytest.raises(EngineError):
+        session.page(-1)
+    with pytest.raises(EngineError):
+        NavigationSession(items=[], page_size=0)
+
+
+def test_kind_filter():
+    session = NavigationSession(items=make_items(), page_size=20)
+    session.filter_kind("itemset")
+    page = session.page(0)
+    assert page and all(item.kind == "itemset" for item in page)
+    session.filter_kind(None)
+    assert len(session.page(0)) == 12
+    with pytest.raises(EngineError):
+        session.filter_kind("vibes")
+
+
+def test_goal_filter():
+    session = NavigationSession(items=make_items(), page_size=20)
+    session.filter_goal("care-pathway-rules")
+    page = session.page(0)
+    assert page
+    assert all(item.end_goal == "care-pathway-rules" for item in page)
+
+
+def test_feedback_adapts_ranking_and_persists():
+    kdb = KnowledgeBase()
+    items = make_items()
+    kdb.store_items(items)
+    session = NavigationSession(
+        items=items, page_size=4, kdb=kdb, user="dr-x"
+    )
+    target = items[0]
+    session.give_feedback(target, "high")
+    assert target.degree == "high"
+    assert kdb.feedback_count("dr-x") == 1
+    with pytest.raises(EngineError):
+        session.give_feedback(target, "wow")
+
+
+def test_summary_mentions_counts():
+    session = NavigationSession(items=make_items(), page_size=6)
+    session.page(0)
+    text = session.summary()
+    assert "12 items" in text and "2 pages" in text
+
+
+# ----------------------------------------------------------------------
+# simulated expert
+# ----------------------------------------------------------------------
+def test_expert_labels_are_valid_degrees():
+    expert = SimulatedExpert(seed=0)
+    labels = expert.label_items(make_items())
+    assert set(labels) <= {"high", "medium", "low"}
+
+
+def test_expert_attach():
+    expert = SimulatedExpert(seed=0)
+    items = make_items()
+    expert.label_items(items, attach=True)
+    assert all(item.degree is not None for item in items)
+
+
+def test_expert_prefers_higher_utility():
+    expert = SimulatedExpert(clinician_profile(), seed=0)
+    strong = make_items()[-1]  # highest score
+    weak = make_items()[0]
+    assert expert.prefers(strong, weak)
+
+
+def test_expert_profiles_disagree():
+    """Different specialisations order kinds differently."""
+    item = KnowledgeItem(kind="outlier_set", end_goal="outlier-screening",
+                         title="outliers")
+    item.score = 0.5
+    clinician = SimulatedExpert(clinician_profile(), seed=0)
+    researcher = SimulatedExpert(researcher_profile(), seed=0)
+    assert researcher.utility(item) > clinician.utility(item)
+
+
+def test_expert_determinism():
+    a = SimulatedExpert(administrator_profile(), seed=5)
+    b = SimulatedExpert(administrator_profile(), seed=5)
+    items = make_items()
+    assert a.label_items(items) == b.label_items(items)

@@ -1,0 +1,121 @@
+"""Tests for the Markdown report builder and new sequence items."""
+
+import pytest
+
+from repro.core import ADAHealth, EngineConfig, KnowledgeItem
+from repro.core.extractors import extract_sequence_items
+from repro.core.interestingness import score_sequence
+from repro.core.report import render_report, save_report
+from repro.mining.sequences import SequentialPattern
+
+
+@pytest.fixture(scope="module")
+def result(small_log):
+    engine = ADAHealth(
+        config=EngineConfig(
+            k_values=(4,),
+            partial_fractions=(0.5, 1.0),
+            partial_k_values=(4,),
+            n_folds=3,
+        ),
+        seed=0,
+    )
+    return engine.analyze(small_log, name="report-test")
+
+
+def test_report_has_all_sections(result):
+    report = render_report(result)
+    assert report.startswith("# ADA-HEALTH analysis report")
+    assert "## Dataset" in report
+    assert "## End-goal assessment" in report
+    assert "## Ranked knowledge" in report
+    for run in result.runs:
+        assert f"## Goal: {run.goal.name}" in report
+
+
+def test_report_embeds_optimisation_table(result):
+    report = render_report(result)
+    assert "### Parameter optimisation" in report
+    assert "selected K =" in report
+    assert "### Adaptive partial mining" in report
+    assert "selected subset" in report
+
+
+def test_report_lists_top_items(result):
+    report = render_report(result, top_items=5)
+    table_rows = [
+        line for line in report.splitlines() if line.startswith("| ")
+    ]
+    # dataset table rows + knowledge header/sep + 5 items
+    knowledge_rows = [
+        line for line in table_rows if line.split("|")[1].strip().isdigit()
+    ]
+    assert len(knowledge_rows) == 5
+
+
+def test_report_escapes_pipes(result):
+    item = result.items[0]
+    item.title = "weird | title"
+    report = render_report(result, top_items=1)
+    assert "weird \\| title" in report
+
+
+def test_save_report(result, tmp_path):
+    target = tmp_path / "report.md"
+    save_report(result, target, title="Cohort X")
+    content = target.read_text()
+    assert content.startswith("# Cohort X")
+
+
+def test_custom_title(result):
+    assert render_report(result, title="T").startswith("# T")
+
+
+# ----------------------------------------------------------------------
+# sequence items and scoring
+# ----------------------------------------------------------------------
+def make_pattern(*elements, count=10, support=0.3):
+    return SequentialPattern(
+        elements=tuple(frozenset(e) for e in elements),
+        count=count,
+        support=support,
+    )
+
+
+def test_extract_sequence_items_filters_single_visits():
+    patterns = [
+        make_pattern(["a"]),
+        make_pattern(["a"], ["b"]),
+        make_pattern(["a"], ["b"], ["c"]),
+    ]
+    items = extract_sequence_items(patterns)
+    assert len(items) == 2
+    assert all(item.kind == "sequence" for item in items)
+    assert items[0].quality["n_elements"] == 3.0  # longest first
+
+
+def test_sequence_item_title_shows_order():
+    items = extract_sequence_items([make_pattern(["x"], ["y", "z"])])
+    assert items[0].title == "x -> y, z"
+    assert items[0].payload["steps"] == [["x"], ["y", "z"]]
+
+
+def test_score_sequence_prefers_longer():
+    short = score_sequence({"support": 0.3, "n_elements": 2})
+    long = score_sequence({"support": 0.3, "n_elements": 4})
+    assert long > short
+
+
+def test_score_sequence_support_sweet_spot():
+    rare = score_sequence({"support": 0.01, "n_elements": 3})
+    mid = score_sequence({"support": 0.3, "n_elements": 3})
+    universal = score_sequence({"support": 0.99, "n_elements": 3})
+    assert mid > rare
+    assert mid > universal
+
+
+def test_engine_produces_sequence_items(result):
+    run = result.run_for("care-sequences")
+    assert run.items
+    assert all(item.kind == "sequence" for item in run.items)
+    assert all("->" in item.title for item in run.items)

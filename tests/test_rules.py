@@ -1,0 +1,113 @@
+"""Tests for association-rule generation."""
+
+import math
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.mining import (
+    filter_rules,
+    fpgrowth,
+    generate_rules,
+)
+
+
+@pytest.fixture()
+def itemsets(transactions):
+    return fpgrowth(transactions, 2 / 9)
+
+
+def find_rule(rules, antecedent, consequent):
+    for rule in rules:
+        if rule.antecedent == frozenset(antecedent) and (
+            rule.consequent == frozenset(consequent)
+        ):
+            return rule
+    return None
+
+
+def test_confidence_hand_computed(transactions, itemsets):
+    rules = generate_rules(itemsets, min_confidence=0.1)
+    rule = find_rule(rules, ["d"], ["c"])
+    # support(d)=3, support(c,d)=2 -> confidence 2/3.
+    assert rule is not None
+    assert rule.confidence == pytest.approx(2 / 3)
+    assert rule.support == pytest.approx(2 / 9)
+
+
+def test_lift_and_leverage(transactions, itemsets):
+    rules = generate_rules(itemsets, min_confidence=0.1)
+    rule = find_rule(rules, ["d"], ["c"])
+    # lift = conf / support(c) = (2/3) / (6/9) = 1.0
+    assert rule.lift == pytest.approx(1.0)
+    assert rule.leverage == pytest.approx(2 / 9 - (3 / 9) * (6 / 9))
+
+
+def test_conviction_infinite_for_exact_rules():
+    transactions = [["a", "b"], ["a", "b"], ["c"]]
+    itemsets = fpgrowth(transactions, 1 / 3)
+    rules = generate_rules(itemsets, min_confidence=0.9)
+    rule = find_rule(rules, ["a"], ["b"])
+    assert rule is not None
+    assert math.isinf(rule.conviction)
+    assert rule.confidence == 1.0
+
+
+def test_min_confidence_filters(itemsets):
+    low = generate_rules(itemsets, min_confidence=0.1)
+    high = generate_rules(itemsets, min_confidence=0.9)
+    assert len(high) <= len(low)
+    assert all(rule.confidence >= 0.9 for rule in high)
+
+
+def test_min_lift_filter(itemsets):
+    rules = generate_rules(itemsets, min_confidence=0.1, min_lift=1.05)
+    assert all(rule.lift >= 1.05 for rule in rules)
+
+
+def test_max_consequent_cap(itemsets):
+    rules = generate_rules(itemsets, min_confidence=0.1, max_consequent=1)
+    assert all(len(rule.consequent) == 1 for rule in rules)
+
+
+def test_rules_sorted_by_confidence(itemsets):
+    rules = generate_rules(itemsets, min_confidence=0.1)
+    confidences = [rule.confidence for rule in rules]
+    assert confidences == sorted(confidences, reverse=True)
+
+
+def test_antecedent_consequent_disjoint_and_nonempty(itemsets):
+    for rule in generate_rules(itemsets, min_confidence=0.1):
+        assert rule.antecedent
+        assert rule.consequent
+        assert not rule.antecedent & rule.consequent
+
+
+def test_no_rules_from_singletons():
+    itemsets = fpgrowth([["a"], ["a"], ["b"]], 1 / 3)
+    assert generate_rules(itemsets, min_confidence=0.1) == []
+
+
+def test_bad_confidence_raises(itemsets):
+    with pytest.raises(MiningError):
+        generate_rules(itemsets, min_confidence=0.0)
+    with pytest.raises(MiningError):
+        generate_rules(itemsets, min_confidence=1.1)
+
+
+def test_filter_rules_contains(itemsets):
+    rules = generate_rules(itemsets, min_confidence=0.1)
+    only_a = filter_rules(rules, contains="a")
+    assert all(
+        "a" in (rule.antecedent | rule.consequent) for rule in only_a
+    )
+    lhs_a = filter_rules(rules, antecedent_contains="a")
+    assert all("a" in rule.antecedent for rule in lhs_a)
+    rhs_b = filter_rules(rules, consequent_contains="b")
+    assert all("b" in rule.consequent for rule in rhs_b)
+
+
+def test_rule_string_rendering(itemsets):
+    rules = generate_rules(itemsets, min_confidence=0.1)
+    text = str(rules[0])
+    assert "=>" in text and "conf=" in text

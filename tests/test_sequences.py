@@ -1,0 +1,164 @@
+"""Tests for sequential-pattern mining (PrefixSpan)."""
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.mining.sequences import (
+    SequentialPattern,
+    mine_log_sequences,
+    mine_sequences,
+    pattern_contains,
+    sequences_from_log,
+)
+
+
+def seq(*elements):
+    return [frozenset(element) for element in elements]
+
+
+@pytest.fixture()
+def toy_db():
+    """Classic PrefixSpan example-style database (4 sequences)."""
+    return [
+        seq(["a"], ["a", "b", "c"], ["a", "c"], ["d"], ["c", "f"]),
+        seq(["a", "d"], ["c"], ["b", "c"], ["a", "e"]),
+        seq(["e", "f"], ["a", "b"], ["d", "f"], ["c"], ["b"]),
+        seq(["e"], ["g"], ["a", "f"], ["c"], ["b"], ["c"]),
+    ]
+
+
+def brute_force_support(pattern_elements, database):
+    pattern = SequentialPattern(
+        elements=tuple(pattern_elements), count=0, support=0.0
+    )
+    return sum(
+        1 for sequence in database if pattern_contains(pattern, sequence)
+    )
+
+
+def test_single_item_supports(toy_db):
+    patterns = mine_sequences(toy_db, min_support=0.5, max_length=1)
+    by_form = {p.elements: p.count for p in patterns}
+    assert by_form[(frozenset(["a"]),)] == 4
+    assert by_form[(frozenset(["b"]),)] == 4
+    assert by_form[(frozenset(["c"]),)] == 4
+    assert by_form[(frozenset(["d"]),)] == 3
+    assert by_form[(frozenset(["e"]),)] == 3
+    assert by_form[(frozenset(["f"]),)] == 3
+    assert (frozenset(["g"]),) not in by_form  # support 1 < 2
+
+
+def test_counts_match_brute_force(toy_db):
+    patterns = mine_sequences(toy_db, min_support=0.5, max_length=3)
+    for pattern in patterns:
+        expected = brute_force_support(pattern.elements, toy_db)
+        assert pattern.count == expected, str(pattern)
+
+
+def test_no_duplicate_patterns(toy_db):
+    patterns = mine_sequences(toy_db, min_support=0.25, max_length=3)
+    forms = [pattern.elements for pattern in patterns]
+    assert len(forms) == len(set(forms))
+
+
+def test_supports_meet_threshold(toy_db):
+    patterns = mine_sequences(toy_db, min_support=0.75, max_length=3)
+    assert patterns
+    assert all(pattern.count >= 3 for pattern in patterns)
+
+
+def test_known_two_element_pattern(toy_db):
+    """<{a} {c}> is supported by all four sequences."""
+    patterns = mine_sequences(toy_db, min_support=0.9, max_length=2)
+    forms = {p.elements for p in patterns}
+    assert (frozenset(["a"]), frozenset(["c"])) in forms
+
+
+def test_itemset_extension_found():
+    database = [
+        seq(["a"], ["b", "c"]),
+        seq(["a"], ["b", "c"], ["d"]),
+        seq(["b", "c"],),
+    ]
+    patterns = mine_sequences(database, min_support=0.6, max_length=2)
+    forms = {p.elements: p.count for p in patterns}
+    assert forms[(frozenset(["b", "c"]),)] == 3
+    assert forms[(frozenset(["a"]), frozenset(["b", "c"]))] == 2
+
+
+def test_ordering_matters():
+    database = [
+        seq(["a"], ["b"]),
+        seq(["a"], ["b"]),
+        seq(["b"], ["a"]),
+    ]
+    patterns = mine_sequences(database, min_support=0.6, max_length=2)
+    forms = {p.elements: p.count for p in patterns}
+    assert forms[(frozenset(["a"]), frozenset(["b"]))] == 2
+    assert (frozenset(["b"]), frozenset(["a"])) not in forms
+
+
+def test_max_length_respected(toy_db):
+    patterns = mine_sequences(toy_db, min_support=0.5, max_length=2)
+    assert all(len(pattern) <= 2 for pattern in patterns)
+
+
+def test_validation():
+    with pytest.raises(MiningError):
+        mine_sequences([], 0.5)
+    with pytest.raises(MiningError):
+        mine_sequences([seq(["a"])], 0.0)
+    with pytest.raises(MiningError):
+        mine_sequences([seq(["a"])], 1.5)
+
+
+def test_pattern_contains():
+    pattern = SequentialPattern(
+        elements=(frozenset(["a"]), frozenset(["b", "c"])),
+        count=0,
+        support=0.0,
+    )
+    assert pattern_contains(pattern, seq(["a"], ["x"], ["b", "c", "d"]))
+    assert not pattern_contains(pattern, seq(["b", "c"], ["a"]))
+    assert not pattern_contains(pattern, seq(["a"], ["b"], ["c"]))
+
+
+def test_sequences_from_log(handmade_log):
+    sequences = sequences_from_log(handmade_log)
+    # Patient 1: day 1 {exam0, exam1}, day 2 {exam0}; patient 2 one
+    # visit; patient 3 three single-exam visits.
+    assert len(sequences) == 3
+    assert len(sequences[0]) == 2
+    assert len(sequences[0][0]) == 2
+    assert len(sequences[2]) == 3
+
+
+def test_mine_log_sequences_runs(tiny_log):
+    patterns = mine_log_sequences(tiny_log, min_support=0.3, max_length=2)
+    assert patterns
+    database = sequences_from_log(tiny_log)
+    for pattern in patterns[:10]:
+        assert pattern.count == brute_force_support(
+            pattern.elements, database
+        )
+
+
+def test_repeated_visits_counted_once_per_patient():
+    database = [
+        seq(["a"], ["a"], ["a"]),
+        seq(["a"],),
+    ]
+    patterns = mine_sequences(database, min_support=0.5, max_length=2)
+    forms = {p.elements: p.count for p in patterns}
+    assert forms[(frozenset(["a"]),)] == 2
+    assert forms[(frozenset(["a"]), frozenset(["a"]))] == 1
+
+
+def test_n_items_property():
+    pattern = SequentialPattern(
+        elements=(frozenset(["a", "b"]), frozenset(["c"])),
+        count=1,
+        support=0.5,
+    )
+    assert pattern.n_items == 3
+    assert "->" in str(pattern)

@@ -1,0 +1,157 @@
+"""Tests for the calibrated synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DiabeticExamLogGenerator,
+    GeneratorConfig,
+    PatientProfile,
+    profile_labels,
+    small_dataset,
+)
+from repro.data.synthetic import banded_popularity, default_profiles
+from repro.exceptions import DataError
+
+
+def test_small_dataset_shape(small_log):
+    summary = small_log.summary()
+    assert summary["n_patients"] == 300
+    assert summary["n_exam_types"] == 40
+    # Poisson totals: within 15% of the target.
+    assert abs(summary["n_records"] - 4500) / 4500 < 0.15
+
+
+def test_every_patient_has_a_record(small_log):
+    assert small_log.n_patients == 300
+
+
+def test_determinism_same_seed():
+    a = small_dataset(seed=5)
+    b = small_dataset(seed=5)
+    assert a.records == b.records
+
+
+def test_different_seed_differs():
+    a = small_dataset(seed=5)
+    b = small_dataset(seed=6)
+    assert a.records != b.records
+
+
+def test_ages_in_paper_range(small_log):
+    ages = small_log.ages()
+    assert min(ages) >= 4
+    assert max(ages) <= 95
+    # Predominantly elderly type-2 population.
+    assert np.median(ages) > 50
+
+
+def test_days_within_one_year(small_log):
+    assert max(record.day for record in small_log.records) < 365
+
+
+def test_profile_labels_cover_all_profiles(small_log):
+    labels = profile_labels(small_log)
+    assert len(labels) == small_log.n_patients
+    assert len(set(labels.tolist())) == len(default_profiles())
+
+
+def test_profile_labels_requires_synthetic(handmade_log):
+    with pytest.raises(DataError):
+        profile_labels(handmade_log)
+
+
+def test_sparsity_is_high(small_log):
+    matrix, __ = small_log.count_matrix()
+    assert (matrix == 0).mean() > 0.5
+
+
+def test_coverage_bands(small_log):
+    """Top 20% of exam types ~70% of records; top 40% ~85% (paper IV-B)."""
+    frequency = np.sort(small_log.exam_frequency())[::-1]
+    total = frequency.sum()
+    n = len(frequency)
+    top20 = frequency[: max(1, round(0.2 * n))].sum() / total
+    top40 = frequency[: max(1, round(0.4 * n))].sum() / total
+    assert 0.60 < top20 < 0.80
+    assert 0.80 < top40 < 0.93
+    assert top40 > top20
+
+
+def test_complication_records_concentrate_on_profile():
+    """Cardio exams land almost exclusively on cardio/multi patients."""
+    log = small_dataset(seed=4)
+    matrix, __ = log.count_matrix()
+    names = [
+        info.profile for __, info in sorted(log.patients.items())
+    ]
+    cardio_cols = log.taxonomy.codes_in_category("cardiovascular")
+    cardio_rows = [
+        i
+        for i, name in enumerate(names)
+        if name in ("cardiovascular", "multi-complication")
+    ]
+    other_rows = [
+        i
+        for i, name in enumerate(names)
+        if name not in ("cardiovascular", "multi-complication")
+    ]
+    cardio_mass = matrix[np.ix_(cardio_rows, cardio_cols)].sum()
+    other_mass = matrix[np.ix_(other_rows, cardio_cols)].sum()
+    assert cardio_mass > 5 * max(other_mass, 1.0)
+
+
+def test_profile_shares_must_sum_to_one():
+    profiles = default_profiles()
+    profiles[0] = PatientProfile(
+        "uncomplicated", 0.9, profiles[0].category_boost
+    )
+    with pytest.raises(DataError):
+        GeneratorConfig(profiles=profiles)
+
+
+def test_config_rejects_bad_sizes():
+    with pytest.raises(DataError):
+        GeneratorConfig(n_patients=0)
+    with pytest.raises(DataError):
+        GeneratorConfig(target_records=0)
+    with pytest.raises(DataError):
+        GeneratorConfig(days=0)
+
+
+def test_banded_popularity_sums_to_one():
+    popularity = banded_popularity(159)
+    assert popularity.shape == (159,)
+    assert abs(popularity.sum() - 1.0) < 1e-12
+    assert (popularity > 0).all()
+
+
+def test_banded_popularity_band_boundaries():
+    popularity = banded_popularity(159)
+    head = popularity[:32].sum()
+    band = popularity[32:64].sum()
+    assert abs(head - 0.70) < 0.02
+    assert abs(band - 0.17) < 0.02
+    # Every head exam more popular than every band exam, every band exam
+    # more popular than every tail exam.
+    assert popularity[:32].min() >= popularity[32:64].max() - 1e-12
+    assert popularity[32:64].min() >= popularity[64:].max() - 1e-12
+
+
+def test_banded_popularity_small_n_raises():
+    with pytest.raises(DataError):
+        banded_popularity(3)
+
+
+def test_generator_respects_custom_size():
+    log = small_dataset(
+        n_patients=50, n_exam_types=25, target_records=500, seed=1
+    )
+    assert log.n_patients == 50
+    assert log.n_exam_types == 25
+
+
+def test_boost_for_defaults_to_one():
+    profile = PatientProfile("x", 1.0, {"routine": 2.0})
+    assert profile.boost_for("routine") == 2.0
+    assert profile.boost_for("renal") == 1.0

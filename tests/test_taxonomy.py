@@ -1,0 +1,141 @@
+"""Tests for the examination-type taxonomy."""
+
+import pytest
+
+from repro.data.taxonomy import (
+    CATEGORIES,
+    METABOLIC,
+    PAPER_EXAM_TYPE_COUNT,
+    ROUTINE,
+    ExamTaxonomy,
+    ExamType,
+    build_default_taxonomy,
+    category_shares,
+)
+from repro.exceptions import DataError
+
+
+def test_default_taxonomy_has_paper_size():
+    taxonomy = build_default_taxonomy()
+    assert len(taxonomy) == PAPER_EXAM_TYPE_COUNT == 159
+
+
+def test_codes_are_dense_and_stable():
+    taxonomy = build_default_taxonomy()
+    codes = sorted(exam.code for exam in taxonomy)
+    assert codes == list(range(159))
+
+
+def test_names_are_unique():
+    taxonomy = build_default_taxonomy()
+    names = [exam.name for exam in taxonomy]
+    assert len(set(names)) == len(names)
+
+
+def test_every_category_is_populated():
+    taxonomy = build_default_taxonomy()
+    for category in CATEGORIES:
+        assert taxonomy.codes_in_category(category)
+
+
+def test_head_ranks_are_generic_care():
+    """The top 20% of ranks hold only routine/metabolic exams."""
+    taxonomy = build_default_taxonomy()
+    head = sorted(taxonomy, key=lambda exam: exam.rank)[:32]
+    assert {exam.category for exam in head} <= {ROUTINE, METABOLIC}
+
+
+def test_band_ranks_hold_complication_exams():
+    """Ranks 32-63 are dominated by complication categories."""
+    taxonomy = build_default_taxonomy()
+    band = sorted(taxonomy, key=lambda exam: exam.rank)[32:64]
+    complication = [
+        exam
+        for exam in band
+        if exam.category not in (ROUTINE, METABOLIC)
+    ]
+    assert len(complication) == len(band)
+
+
+def test_by_code_and_by_name_roundtrip():
+    taxonomy = build_default_taxonomy()
+    exam = taxonomy.by_code(0)
+    assert taxonomy.by_name(exam.name) is exam
+
+
+def test_by_code_unknown_raises():
+    taxonomy = build_default_taxonomy()
+    with pytest.raises(DataError):
+        taxonomy.by_code(999)
+
+
+def test_by_name_unknown_raises():
+    taxonomy = build_default_taxonomy()
+    with pytest.raises(DataError):
+        taxonomy.by_name("no such exam")
+
+
+def test_codes_in_unknown_category_raises():
+    taxonomy = build_default_taxonomy()
+    with pytest.raises(DataError):
+        taxonomy.codes_in_category("astrology")
+
+
+def test_ranked_codes_order():
+    taxonomy = build_default_taxonomy()
+    ranked = taxonomy.ranked_codes()
+    ranks = [taxonomy.by_code(code).rank for code in ranked]
+    assert ranks == sorted(ranks)
+
+
+def test_parent_map_covers_all_exams():
+    taxonomy = build_default_taxonomy()
+    parent = taxonomy.parent_map()
+    assert len(parent) == len(taxonomy)
+    assert set(parent.values()) <= set(CATEGORIES)
+
+
+def test_scaled_taxonomy_sizes():
+    for n in (20, 40, 80, 200):
+        assert len(build_default_taxonomy(n)) == n
+
+
+def test_too_small_taxonomy_raises():
+    with pytest.raises(DataError):
+        build_default_taxonomy(3)
+
+
+def test_explicit_quotas_must_sum():
+    with pytest.raises(DataError):
+        build_default_taxonomy(10, quotas={ROUTINE: 5})
+
+
+def test_duplicate_names_rejected():
+    exams = [
+        ExamType(code=0, name="x", category=ROUTINE, rank=0),
+        ExamType(code=1, name="x", category=ROUTINE, rank=1),
+    ]
+    with pytest.raises(DataError):
+        ExamTaxonomy(exam_types=exams)
+
+
+def test_non_dense_codes_rejected():
+    exams = [
+        ExamType(code=0, name="x", category=ROUTINE, rank=0),
+        ExamType(code=2, name="y", category=ROUTINE, rank=1),
+    ]
+    with pytest.raises(DataError):
+        ExamTaxonomy(exam_types=exams)
+
+
+def test_category_shares_sum_to_one():
+    taxonomy = build_default_taxonomy()
+    shares = category_shares(taxonomy)
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+    assert all(share > 0 for share in shares.values())
+
+
+def test_category_of_matches_exam():
+    taxonomy = build_default_taxonomy()
+    for exam in list(taxonomy)[:10]:
+        assert taxonomy.category_of(exam.code) == exam.category

@@ -1,0 +1,113 @@
+"""Tests for scaling transforms and pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, PreprocessError
+from repro.preprocess import (
+    IdentityTransform,
+    L1Normalizer,
+    L2Normalizer,
+    MinMaxScaler,
+    StandardScaler,
+    TransformPipeline,
+    make_transform,
+)
+
+
+@pytest.fixture()
+def matrix():
+    rng = np.random.default_rng(0)
+    return np.abs(rng.normal(size=(20, 5))) * 10
+
+
+def test_identity_copies(matrix):
+    out = IdentityTransform().fit_transform(matrix)
+    assert np.array_equal(out, matrix)
+    out[0, 0] = -1
+    assert matrix[0, 0] != -1
+
+
+def test_l2_unit_rows(matrix):
+    out = L2Normalizer().fit_transform(matrix)
+    norms = np.linalg.norm(out, axis=1)
+    assert np.allclose(norms, 1.0)
+
+
+def test_l2_zero_rows_stay_zero():
+    data = np.array([[0.0, 0.0], [3.0, 4.0]])
+    out = L2Normalizer().transform(data)
+    assert np.allclose(out[0], 0.0)
+    assert np.allclose(out[1], [0.6, 0.8])
+
+
+def test_l1_rows_sum_to_one(matrix):
+    out = L1Normalizer().fit_transform(matrix)
+    assert np.allclose(np.abs(out).sum(axis=1), 1.0)
+
+
+def test_minmax_range(matrix):
+    scaler = MinMaxScaler()
+    out = scaler.fit_transform(matrix)
+    assert out.min() == pytest.approx(0.0)
+    assert out.max() == pytest.approx(1.0)
+    assert np.allclose(out.min(axis=0), 0.0)
+    assert np.allclose(out.max(axis=0), 1.0)
+
+
+def test_minmax_constant_column_is_zero():
+    data = np.array([[1.0, 5.0], [1.0, 7.0]])
+    out = MinMaxScaler().fit_transform(data)
+    assert np.allclose(out[:, 0], 0.0)
+
+
+def test_minmax_uses_fitted_statistics():
+    scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+    out = scaler.transform(np.array([[20.0]]))
+    assert out[0, 0] == pytest.approx(2.0)
+
+
+def test_zscore_standardises(matrix):
+    out = StandardScaler().fit_transform(matrix)
+    assert np.allclose(out.mean(axis=0), 0.0, atol=1e-10)
+    assert np.allclose(out.std(axis=0), 1.0)
+
+
+def test_zscore_constant_column():
+    data = np.array([[2.0], [2.0], [2.0]])
+    out = StandardScaler().fit_transform(data)
+    assert np.allclose(out, 0.0)
+
+
+def test_unfitted_scalers_raise(matrix):
+    with pytest.raises(NotFittedError):
+        MinMaxScaler().transform(matrix)
+    with pytest.raises(NotFittedError):
+        StandardScaler().transform(matrix)
+
+
+def test_make_transform_by_name():
+    assert isinstance(make_transform("l2"), L2Normalizer)
+    assert isinstance(make_transform("identity"), IdentityTransform)
+    with pytest.raises(PreprocessError):
+        make_transform("quantile")
+
+
+def test_pipeline_applies_in_order(matrix):
+    pipeline = TransformPipeline(["minmax", "l2"])
+    out = pipeline.fit_transform(matrix)
+    assert np.allclose(np.linalg.norm(out, axis=1), 1.0)
+    assert pipeline.name == "minmax+l2"
+
+
+def test_pipeline_accepts_instances(matrix):
+    pipeline = TransformPipeline([MinMaxScaler(), L2Normalizer()])
+    assert pipeline.fit_transform(matrix).shape == matrix.shape
+
+
+def test_pipeline_transform_reuses_fit(matrix):
+    pipeline = TransformPipeline(["minmax"])
+    pipeline.fit(matrix)
+    out = pipeline.transform(matrix * 2)
+    # Max of doubled data exceeds the fitted max -> values above 1.
+    assert out.max() > 1.0

@@ -1,0 +1,140 @@
+"""Tests for k-fold splitters and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MiningError
+from repro.mining import (
+    DecisionTreeClassifier,
+    KFold,
+    MajorityClassifier,
+    StratifiedKFold,
+    cross_val_score,
+    cross_validate,
+    train_test_split,
+)
+
+
+def test_kfold_partitions_everything():
+    splitter = KFold(n_splits=5, seed=0)
+    seen = []
+    for train, test in splitter.split(53):
+        assert len(np.intersect1d(train, test)) == 0
+        assert len(train) + len(test) == 53
+        seen.extend(test.tolist())
+    assert sorted(seen) == list(range(53))
+
+
+def test_kfold_unshuffled_contiguous():
+    splitter = KFold(n_splits=2, shuffle=False)
+    folds = [test for __, test in splitter.split(10)]
+    assert folds[0].tolist() == [0, 1, 2, 3, 4]
+    assert folds[1].tolist() == [5, 6, 7, 8, 9]
+
+
+def test_kfold_validation():
+    with pytest.raises(MiningError):
+        KFold(n_splits=1)
+    with pytest.raises(MiningError):
+        list(KFold(n_splits=10).split(5))
+
+
+def test_stratified_preserves_class_ratio():
+    labels = np.array([0] * 80 + [1] * 20)
+    for train, test in StratifiedKFold(n_splits=5, seed=1).split(labels):
+        ratio = labels[test].mean()
+        assert ratio == pytest.approx(0.2, abs=0.05)
+
+
+def test_stratified_partitions_everything():
+    labels = np.array([0, 1] * 25)
+    seen = []
+    for __, test in StratifiedKFold(n_splits=5, seed=0).split(labels):
+        seen.extend(test.tolist())
+    assert sorted(seen) == list(range(50))
+
+
+def test_stratified_too_few_samples_raises():
+    with pytest.raises(MiningError):
+        list(StratifiedKFold(n_splits=5).split(np.array([0, 1])))
+
+
+def test_train_test_split_sizes(blobs):
+    data, labels = blobs
+    X_train, X_test, y_train, y_test = train_test_split(
+        data, labels, test_size=0.25, seed=0
+    )
+    assert len(X_test) == pytest.approx(0.25 * len(data), abs=1)
+    assert len(X_train) + len(X_test) == len(data)
+    assert len(y_train) == len(X_train)
+
+
+def test_train_test_split_stratified_keeps_ratio():
+    data = np.zeros((100, 2))
+    labels = np.array([0] * 90 + [1] * 10)
+    __, __, __, y_test = train_test_split(
+        data, labels, test_size=0.2, stratify=True, seed=0
+    )
+    assert 0.05 <= y_test.mean() <= 0.2
+
+
+def test_train_test_split_validation(blobs):
+    data, labels = blobs
+    with pytest.raises(MiningError):
+        train_test_split(data, labels[:-1])
+    with pytest.raises(MiningError):
+        train_test_split(data, labels, test_size=0.0)
+
+
+def test_cross_validate_default_metrics(blobs):
+    data, labels = blobs
+    result = cross_validate(
+        lambda: DecisionTreeClassifier(max_depth=4),
+        data,
+        labels,
+        n_splits=5,
+    )
+    assert set(result) == {"accuracy", "avg_precision", "avg_recall"}
+    assert all(0.9 <= value <= 1.0 for value in result.values())
+
+
+def test_cross_validate_custom_metric(blobs):
+    data, labels = blobs
+    result = cross_validate(
+        lambda: MajorityClassifier(),
+        data,
+        labels,
+        n_splits=5,
+        metrics={"acc": lambda t, p: float((t == p).mean())},
+    )
+    # Majority class on 3 balanced blobs -> ~1/3 accuracy.
+    assert result["acc"] == pytest.approx(1 / 3, abs=0.05)
+
+
+def test_cross_validate_unstratified(blobs):
+    data, labels = blobs
+    result = cross_validate(
+        lambda: DecisionTreeClassifier(max_depth=4),
+        data,
+        labels,
+        n_splits=5,
+        stratified=False,
+    )
+    assert result["accuracy"] > 0.9
+
+
+def test_cross_val_score_per_fold(blobs):
+    data, labels = blobs
+    scores = cross_val_score(
+        lambda: DecisionTreeClassifier(max_depth=4), data, labels, n_splits=5
+    )
+    assert scores.shape == (5,)
+    assert scores.mean() > 0.9
+
+
+def test_cross_validate_deterministic(blobs):
+    data, labels = blobs
+    factory = lambda: DecisionTreeClassifier(max_depth=3, seed=0)
+    a = cross_validate(factory, data, labels, n_splits=4, seed=7)
+    b = cross_validate(factory, data, labels, n_splits=4, seed=7)
+    assert a == b

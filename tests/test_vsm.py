@@ -1,0 +1,100 @@
+"""Tests for the Vector Space Model builder and weighting schemes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PreprocessError
+from repro.preprocess import VSMBuilder, apply_weighting
+
+
+def test_count_weighting_matches_count_matrix(handmade_log):
+    vsm = VSMBuilder("count").build(handmade_log)
+    matrix, ids = handmade_log.count_matrix()
+    assert np.array_equal(vsm.matrix, matrix)
+    assert vsm.patient_ids == ids
+    assert vsm.exam_codes == list(range(8))
+
+
+def test_binary_weighting(handmade_log):
+    vsm = VSMBuilder("binary").build(handmade_log)
+    assert set(np.unique(vsm.matrix)) <= {0.0, 1.0}
+    # Patient 1 (row 0): exams 0 and 1 present.
+    assert vsm.matrix[0, 0] == 1.0 and vsm.matrix[0, 1] == 1.0
+    assert vsm.matrix[0, 2] == 0.0
+
+
+def test_log_weighting_values(handmade_log):
+    vsm = VSMBuilder("log").build(handmade_log)
+    # count 2 -> 1 + ln 2; count 1 -> 1; count 0 -> 0.
+    assert vsm.matrix[0, 0] == pytest.approx(1 + np.log(2))
+    assert vsm.matrix[0, 1] == pytest.approx(1.0)
+    assert vsm.matrix[1, 0] == 0.0
+
+
+def test_tfidf_downweights_common_exams():
+    counts = np.array(
+        [
+            [1.0, 1.0],
+            [1.0, 0.0],
+            [1.0, 0.0],
+            [1.0, 0.0],
+        ]
+    )
+    weighted = apply_weighting(counts, "tfidf")
+    # Column 0 appears in every row -> lower idf than column 1.
+    assert weighted[0, 0] < weighted[0, 1]
+
+
+def test_tfidf_zero_counts_stay_zero(handmade_log):
+    vsm = VSMBuilder("tfidf").build(handmade_log)
+    counts, __ = handmade_log.count_matrix()
+    assert ((vsm.matrix == 0) == (counts == 0)).all()
+
+
+def test_exam_subset_selects_columns(handmade_log):
+    vsm = VSMBuilder("count", exam_codes=[2, 0]).build(handmade_log)
+    assert vsm.exam_codes == [2, 0]
+    assert vsm.matrix.shape == (3, 2)
+    # column 0 is exam 2: patient 3 (row 2) has 3.
+    assert vsm.matrix[2, 0] == 3.0
+    assert vsm.matrix[0, 1] == 2.0
+
+
+def test_exam_subset_out_of_range_raises(handmade_log):
+    with pytest.raises(PreprocessError):
+        VSMBuilder("count", exam_codes=[99]).build(handmade_log)
+
+
+def test_unknown_weighting_raises():
+    with pytest.raises(PreprocessError):
+        VSMBuilder("bm25")
+    with pytest.raises(PreprocessError):
+        apply_weighting(np.ones((2, 2)), "bm25")
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(PreprocessError):
+        apply_weighting(np.array([[-1.0]]), "count")
+
+
+def test_column_and_row_lookup(handmade_log):
+    vsm = VSMBuilder("count", exam_codes=[2, 0]).build(handmade_log)
+    assert vsm.column_of(0) == 1
+    assert vsm.row_of(3) == 2
+    with pytest.raises(PreprocessError):
+        vsm.column_of(5)
+    with pytest.raises(PreprocessError):
+        vsm.row_of(42)
+
+
+def test_sparsity(handmade_log):
+    vsm = VSMBuilder("count").build(handmade_log)
+    # 4 nonzero cells out of 24.
+    assert vsm.sparsity() == pytest.approx(20 / 24)
+
+
+def test_weighting_preserves_shape(small_log):
+    for weighting in ("count", "binary", "log", "tfidf"):
+        vsm = VSMBuilder(weighting).build(small_log)
+        assert vsm.shape == (small_log.n_patients, small_log.n_exam_types)
+        assert (vsm.matrix >= 0).all()
