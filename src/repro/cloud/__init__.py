@@ -1,23 +1,29 @@
 """Execution backends and parameter-sweep service."""
 
 from repro.cloud.executor import (
+    ProcessPoolExecutorBackend,
     SerialExecutor,
     SimulatedClusterExecutor,
     SweepResult,
     TaskFailure,
+    TaskSpec,
     ThreadPoolExecutorBackend,
     make_executor,
+    run_chunked,
 )
 from repro.cloud.sweep import ParameterSweep, SweepPoint, expand_grid
 
 __all__ = [
     "ParameterSweep",
+    "ProcessPoolExecutorBackend",
     "SerialExecutor",
     "SimulatedClusterExecutor",
     "SweepPoint",
     "SweepResult",
     "TaskFailure",
+    "TaskSpec",
     "ThreadPoolExecutorBackend",
     "expand_grid",
     "make_executor",
+    "run_chunked",
 ]

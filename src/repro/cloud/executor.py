@@ -8,6 +8,10 @@ this module abstracts *where* candidate configurations run:
 * :class:`SerialExecutor` — in-process, deterministic ordering;
 * :class:`ThreadPoolExecutorBackend` — local threads (effective because
   the heavy kernels release the GIL inside numpy);
+* :class:`ProcessPoolExecutorBackend` — local worker processes, the
+  real-parallelism backend for CPU-bound sweeps. Tasks cross a process
+  boundary, so they must be picklable: pass :class:`TaskSpec` (a
+  module-level function plus arguments) rather than closures;
 * :class:`SimulatedClusterExecutor` — runs tasks locally but models a
   cluster's scheduling: per-task dispatch latency and a worker count,
   reporting the *simulated* makespan alongside the real results. This
@@ -15,19 +19,41 @@ this module abstracts *where* candidate configurations run:
 
 All backends evaluate ``tasks`` — zero-argument callables — and return
 their results in submission order. A task that raises is reported as a
-:class:`TaskFailure` rather than aborting the sweep.
+:class:`TaskFailure` rather than aborting the sweep. For fan-outs whose
+per-task cost is small relative to dispatch overhead, :func:`run_chunked`
+groups tasks into batches before handing them to any backend.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
 
 Task = Callable[[], Any]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A picklable task: a module-level callable plus its arguments.
+
+    Closures cannot cross a process boundary; a spec can, as long as
+    ``fn`` is importable (module-level) and the arguments pickle. Specs
+    are themselves zero-argument callables, so every backend accepts
+    them interchangeably with plain thunks.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Optional[Dict[str, Any]] = None
+
+    def __call__(self) -> Any:
+        return self.fn(*self.args, **(self.kwargs or {}))
 
 
 @dataclass
@@ -114,6 +140,147 @@ class ThreadPoolExecutorBackend:
         )
 
 
+def _picklable_error(error: Exception) -> Exception:
+    """Return ``error`` if it survives pickling, else a summary of it.
+
+    Worker results travel back through a pipe; an exception holding an
+    unpicklable payload would otherwise poison its whole chunk.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:  # noqa: BLE001 - any pickle failure downgrades
+        return ReproError(f"{type(error).__name__}: {error!r}")
+
+
+def _execute_chunk(tasks: Sequence[Task]) -> List[Any]:
+    """Worker entry point: run a batch of tasks, capturing failures."""
+    results: List[Any] = []
+    for task in tasks:
+        try:
+            results.append(task())
+        except Exception as exc:  # noqa: BLE001 - reported, not lost
+            results.append(TaskFailure(_picklable_error(exc)))
+    return results
+
+
+def _partition(tasks: Sequence[Task], chunk_size: int) -> List[List[Task]]:
+    return [
+        list(tasks[start : start + chunk_size])
+        for start in range(0, len(tasks), chunk_size)
+    ]
+
+
+class ProcessPoolExecutorBackend:
+    """Run tasks on local worker processes (true CPU parallelism).
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.
+    chunk_size:
+        Tasks shipped to a worker per dispatch. Larger chunks amortise
+        the pickle/IPC overhead of small tasks; 1 maximises balance.
+    mp_context:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``) or None for the platform default. Task specs
+        are pickled either way, so both fork and spawn starts work.
+
+    Tasks should be :class:`TaskSpec` instances (or otherwise picklable
+    zero-argument callables). A task that fails to pickle — or raises in
+    the worker — is reported as a :class:`TaskFailure` in its slot;
+    the rest of the sweep is unaffected.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int = 4,
+        chunk_size: int = 1,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ReproError("workers must be >= 1")
+        if chunk_size < 1:
+            raise ReproError("chunk_size must be >= 1")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+
+    def run(self, tasks: Sequence[Task]) -> SweepResult:
+        start = time.perf_counter()
+        chunks = _partition(list(tasks), self.chunk_size)
+        results: List[Any] = []
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context
+            else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=context
+        ) as pool:
+            futures = []
+            for chunk in chunks:
+                try:
+                    futures.append(pool.submit(_execute_chunk, chunk))
+                except Exception as exc:  # noqa: BLE001 - submit-side pickle
+                    futures.append(TaskFailure(_picklable_error(exc)))
+            for future, chunk in zip(futures, chunks):
+                if isinstance(future, TaskFailure):
+                    results.extend([future] * len(chunk))
+                    continue
+                try:
+                    results.extend(future.result())
+                except Exception as exc:  # noqa: BLE001 - worker/pipe death
+                    failure = TaskFailure(_picklable_error(exc))
+                    results.extend([failure] * len(chunk))
+        failures = sum(
+            1 for value in results if isinstance(value, TaskFailure)
+        )
+        return SweepResult(
+            results=results,
+            wall_seconds=time.perf_counter() - start,
+            n_failures=failures,
+        )
+
+
+def run_chunked(
+    executor,
+    fn: Callable[..., Any],
+    items: Sequence[Any],
+    chunk_size: int = 1,
+) -> SweepResult:
+    """Fan ``fn`` out over ``items`` in chunks through any backend.
+
+    Builds one :class:`TaskSpec` per item (so the fan-out is picklable
+    for process backends), partitions them into ``chunk_size`` batches
+    to amortise dispatch overhead, and flattens the batched results back
+    into item order. Per-item failures stay :class:`TaskFailure`s in
+    their slots.
+    """
+    if chunk_size < 1:
+        raise ReproError("chunk_size must be >= 1")
+    specs: List[Task] = [TaskSpec(fn, (item,)) for item in items]
+    batches = _partition(specs, chunk_size)
+    outcome = executor.run(
+        [TaskSpec(_execute_chunk, (batch,)) for batch in batches]
+    )
+    results: List[Any] = []
+    for value, batch in zip(outcome.results, batches):
+        if isinstance(value, TaskFailure):
+            results.extend([value] * len(batch))
+        else:
+            results.extend(value)
+    failures = sum(1 for value in results if isinstance(value, TaskFailure))
+    return SweepResult(
+        results=results,
+        wall_seconds=outcome.wall_seconds,
+        simulated_seconds=outcome.simulated_seconds,
+        n_failures=failures,
+    )
+
+
 class SimulatedClusterExecutor:
     """Local execution with a simulated cluster cost model.
 
@@ -168,6 +335,7 @@ class SimulatedClusterExecutor:
 _BACKENDS = {
     "serial": SerialExecutor,
     "threads": ThreadPoolExecutorBackend,
+    "process": ProcessPoolExecutorBackend,
     "simulated-cluster": SimulatedClusterExecutor,
 }
 

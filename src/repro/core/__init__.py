@@ -18,6 +18,13 @@ from repro.core.architecture import (
     adjacency,
     render_text,
 )
+from repro.core.cache import (
+    AnalysisCache,
+    fingerprint_array,
+    fingerprint_log,
+    fingerprint_params,
+    fingerprint_transactions,
+)
 from repro.core.endgoals import (
     DEFAULT_END_GOALS,
     EndGoal,
@@ -82,6 +89,7 @@ from repro.core.report import render_report, save_report
 
 __all__ = [
     "ADAHealth",
+    "AnalysisCache",
     "AnalysisResult",
     "COMPONENTS",
     "ComplianceReport",
@@ -126,6 +134,10 @@ __all__ = [
     "extract_outlier_item",
     "extract_rule_items",
     "extract_sequence_items",
+    "fingerprint_array",
+    "fingerprint_log",
+    "fingerprint_params",
+    "fingerprint_transactions",
     "goal_features",
     "render_report",
     "render_text",

@@ -1,0 +1,183 @@
+"""Content-addressed memoisation of analysis results.
+
+The paper's cloud vision assumes repeated automated analyses over the
+same collections: every configuration sweep revisits (K, fraction)
+cells, and every re-run of the engine repeats whole goal pipelines on a
+dataset that has not changed. This module makes those repeats free.
+
+A cache entry is addressed by the SHA-256 of three components:
+
+* a **dataset fingerprint** — a digest of the actual content being
+  mined (matrix bytes, log records, transaction lists), so any mutation
+  of the data invalidates every dependent entry automatically;
+* an **algorithm name** — the computation being memoised; and
+* a **parameter fingerprint** — a canonical JSON digest of every knob
+  that influences the result (K, seeds, fold counts, tolerances...).
+
+Entries are stored as documents in a
+:class:`repro.kdb.documentstore.DocumentStore` collection — the same
+substrate as the K-DB — so a cache can live inside a knowledge base,
+persist with it, and be inspected with ordinary store queries. Payloads
+must therefore be JSON-serialisable; helpers on the callers convert
+numpy artefacts (labels, centers) to and from plain lists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.kdb.documentstore import Collection, DocumentStore
+
+#: Default collection name for cache entries inside a document store.
+CACHE_COLLECTION = "analysis_cache"
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def fingerprint_bytes(payload: bytes) -> str:
+    """SHA-256 hex digest of raw bytes."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def fingerprint_array(matrix) -> str:
+    """Content digest of a numpy array (shape, dtype and bytes)."""
+    matrix = np.ascontiguousarray(matrix)
+    header = f"{matrix.shape}|{matrix.dtype.str}|".encode()
+    return fingerprint_bytes(header + matrix.tobytes())
+
+
+def fingerprint_params(params: Any) -> str:
+    """Digest of a JSON-able parameter structure, key-order independent."""
+    encoded = json.dumps(params, sort_keys=True, default=str)
+    return fingerprint_bytes(encoded.encode())
+
+
+def fingerprint_transactions(transactions) -> str:
+    """Digest of a transaction list (order-sensitive, content-exact)."""
+    digest = hashlib.sha256()
+    for transaction in transactions:
+        for item in transaction:
+            digest.update(str(item).encode())
+            digest.update(b"\x1f")
+        digest.update(b"\x1e")
+    return digest.hexdigest()
+
+
+def fingerprint_log(log) -> str:
+    """Content digest of an :class:`repro.data.ExamLog`.
+
+    Hashes every (patient, day, exam) record plus the exam-type count,
+    so appending, removing or editing any record changes the digest.
+    """
+    rows = np.array(
+        [
+            (record.patient_id, record.day, record.exam_code)
+            for record in log.records
+        ],
+        dtype=np.int64,
+    ).reshape(-1, 3)
+    header = f"examlog|{log.n_exam_types}|".encode()
+    return fingerprint_bytes(header + rows.tobytes())
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+class AnalysisCache:
+    """Memoisation cache over a document-store collection.
+
+    Parameters
+    ----------
+    collection:
+        A :class:`Collection` to store entries in; a fresh in-memory
+        store's :data:`CACHE_COLLECTION` by default. Pass a collection
+        of an existing K-DB store to persist the cache with it.
+
+    Entries carry the full addressing triple alongside the key, so
+    :meth:`invalidate_dataset` can drop everything derived from one
+    dataset, and store queries can audit what has been memoised.
+    """
+
+    def __init__(self, collection: Optional[Collection] = None) -> None:
+        if collection is None:
+            collection = DocumentStore().collection(CACHE_COLLECTION)
+        self.collection = collection
+        self.collection.create_index("key")
+        self.collection.create_index("dataset")
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(dataset: str, algorithm: str, params: Any) -> str:
+        """The content address of one computation."""
+        return fingerprint_bytes(
+            f"{dataset}|{algorithm}|{fingerprint_params(params)}".encode()
+        )
+
+    def get(self, dataset: str, algorithm: str, params: Any) -> Any:
+        """The cached payload, or None on a miss."""
+        key = self.key(dataset, algorithm, params)
+        document = self.collection.find_one({"key": key})
+        if document is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return document["payload"]
+
+    def put(
+        self, dataset: str, algorithm: str, params: Any, payload: Any
+    ) -> str:
+        """Store a payload; returns the entry key. Idempotent."""
+        key = self.key(dataset, algorithm, params)
+        if self.collection.find_one({"key": key}) is None:
+            self.collection.insert_one(
+                {
+                    "key": key,
+                    "dataset": dataset,
+                    "algorithm": algorithm,
+                    "params": fingerprint_params(params),
+                    "payload": payload,
+                }
+            )
+        return key
+
+    def memoize(
+        self,
+        dataset: str,
+        algorithm: str,
+        params: Any,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Return the cached payload or compute, store and return it."""
+        cached = self.get(dataset, algorithm, params)
+        if cached is not None:
+            return cached
+        payload = compute()
+        self.put(dataset, algorithm, params, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    def invalidate_dataset(self, dataset: str) -> int:
+        """Drop every entry derived from one dataset fingerprint."""
+        return self.collection.delete_many({"dataset": dataset})
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters survive)."""
+        self.collection.drop()
+
+    def __len__(self) -> int:
+        return len(self.collection)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters and entry count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self.collection),
+        }

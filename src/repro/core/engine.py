@@ -23,11 +23,13 @@ A single call does all of it::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.cloud.executor import TaskFailure, TaskSpec, make_executor
+from repro.core.cache import AnalysisCache, fingerprint_log
 from repro.core.endgoals import (
     DEFAULT_END_GOALS,
     EndGoal,
@@ -83,6 +85,15 @@ class EngineConfig:
     max_goals: Optional[int] = None
     items_per_goal: int = 25
     n_folds: int = 5
+    #: Backend for the per-goal fan-out: "serial" (in-process), "threads",
+    #: "process" (true CPU parallelism; goal pipelines are side-effect
+    #: free so results merge deterministically) or "simulated-cluster".
+    executor: str = "serial"
+    executor_workers: int = 4
+    #: Memoise per-goal results (and the K-means sweeps inside them) in
+    #: an :class:`repro.core.cache.AnalysisCache` keyed on the dataset
+    #: fingerprint, so re-analysing an unchanged log is nearly free.
+    use_cache: bool = False
 
 
 @dataclass
@@ -174,6 +185,11 @@ class ADAHealth:
         Pipeline knobs.
     seed:
         Seed for every stochastic step.
+    cache:
+        Optional :class:`repro.core.cache.AnalysisCache` for memoising
+        per-goal results. When ``config.use_cache`` is set and no cache
+        is given, one is created inside the engine's document store (so
+        ``kdb.save`` persists it alongside the six collections).
     """
 
     def __init__(
@@ -182,6 +198,7 @@ class ADAHealth:
         goals: Sequence[EndGoal] = DEFAULT_END_GOALS,
         config: Optional[EngineConfig] = None,
         seed: int = 0,
+        cache: Optional[AnalysisCache] = None,
     ) -> None:
         if kdb is None:
             from repro.kdb.kdb import KnowledgeBase
@@ -191,6 +208,9 @@ class ADAHealth:
         self.finder = ViableEndGoalFinder(goals)
         self.config = config or EngineConfig()
         self.seed = seed
+        if cache is None and self.config.use_cache:
+            cache = self.kdb.analysis_cache()
+        self.cache = cache
         self.ranker = KnowledgeRanker()
         self.interest_model = EndGoalInterestModel(
             goal_names=[goal.name for goal in goals], seed=seed
@@ -220,9 +240,15 @@ class ADAHealth:
         assessments = self.finder.assess(profile)
         selected = self._select_goals(assessments, profile, goals)
 
-        runs: List[GoalRun] = []
-        for goal in selected:
-            runs.append(self._run_goal(goal, log, profile, dataset_id))
+        runs = self._run_goals(selected, log, profile, dataset_id)
+
+        # Goal pipelines are side-effect free (so they can run in worker
+        # processes and be cached); their deferred K-DB writes happen
+        # here, in goal order.
+        for run in runs:
+            transformation = run.notes.get("transformation")
+            if transformation is not None:
+                self.kdb.store_transformation(dataset_id, transformation)
 
         items: List[KnowledgeItem] = []
         for run in runs:
@@ -279,6 +305,154 @@ class ADAHealth:
                 item.degree = degree_from_score(item.score)
 
     # ------------------------------------------------------------------
+    # Goal fan-out: cache lookups, executor dispatch, ordered merge
+    # ------------------------------------------------------------------
+    def _run_goals(
+        self,
+        selected: List[EndGoal],
+        log: ExamLog,
+        profile,
+        dataset_id,
+    ) -> List[GoalRun]:
+        """Run the selected goals, concurrently where configured.
+
+        End-goal pipelines are independent and side-effect free, so they
+        are dispatched through the configured :mod:`repro.cloud` backend
+        and merged back **in goal order** — results are identical across
+        serial, thread and process execution. With a cache, goals whose
+        (dataset fingerprint, goal, config, seed) key is already known
+        are restored instead of recomputed.
+        """
+        if not selected:
+            return []
+        fingerprint: Optional[str] = None
+        restored: Dict[str, GoalRun] = {}
+        pending = list(selected)
+        if self.cache is not None:
+            fingerprint = fingerprint_log(log)
+            pending = []
+            for goal in selected:
+                hit = self.cache.get(
+                    fingerprint, "engine-goal-run", self._goal_params(goal)
+                )
+                if hit is None:
+                    pending.append(goal)
+                else:
+                    restored[goal.name] = self._goal_run_from_document(
+                        hit, goal, dataset_id
+                    )
+
+        computed: Dict[str, GoalRun] = {}
+        if len(pending) <= 1 or self.config.executor == "serial":
+            for goal in pending:
+                computed[goal.name] = self._run_goal(
+                    goal, log, profile, dataset_id
+                )
+        else:
+            executor = self._goal_executor()
+            tasks = [
+                TaskSpec(
+                    _run_goal_task,
+                    (self, goal.name, log, profile, dataset_id),
+                )
+                for goal in pending
+            ]
+            outcome = executor.run(tasks)
+            for goal, value in zip(pending, outcome.results):
+                if isinstance(value, TaskFailure):
+                    raise value.error
+                computed[goal.name] = value
+
+        # Cache writes stay in the parent process so they survive
+        # process-pool execution.
+        if self.cache is not None and fingerprint is not None:
+            for goal in pending:
+                self.cache.put(
+                    fingerprint,
+                    "engine-goal-run",
+                    self._goal_params(goal),
+                    self._goal_run_to_document(computed[goal.name]),
+                )
+        return [
+            restored[goal.name]
+            if goal.name in restored
+            else computed[goal.name]
+            for goal in selected
+        ]
+
+    def _goal_executor(self):
+        """Build the configured backend for the goal fan-out."""
+        cfg = self.config
+        if cfg.executor == "threads":
+            return make_executor("threads", max_workers=cfg.executor_workers)
+        if cfg.executor == "process":
+            return make_executor("process", workers=cfg.executor_workers)
+        if cfg.executor == "simulated-cluster":
+            return make_executor(
+                "simulated-cluster", n_workers=cfg.executor_workers
+            )
+        return make_executor(cfg.executor)
+
+    def _goal_params(self, goal: EndGoal) -> Dict[str, Any]:
+        """Cache-key parameters for one goal run.
+
+        The execution knobs (``executor*``, ``use_cache``) are excluded:
+        they change *where* the pipeline runs, never its result, so a
+        sweep finished serially is reusable by a process-parallel run.
+        """
+        params = asdict(self.config)
+        for knob in ("executor", "executor_workers", "use_cache"):
+            params.pop(knob, None)
+        return {"goal": goal.name, "config": params, "seed": self.seed}
+
+    @staticmethod
+    def _goal_run_to_document(run: GoalRun) -> Dict[str, Any]:
+        return {
+            "goal": run.goal.name,
+            "items": [item.to_document() for item in run.items],
+            "optimization": (
+                run.optimization.to_document()
+                if run.optimization is not None
+                else None
+            ),
+            "partial": (
+                run.partial.to_document()
+                if run.partial is not None
+                else None
+            ),
+            "notes": dict(run.notes),
+        }
+
+    def _goal_run_from_document(
+        self, document: Dict[str, Any], goal: EndGoal, dataset_id
+    ) -> GoalRun:
+        items = [
+            KnowledgeItem.from_document(doc) for doc in document["items"]
+        ]
+        # Cached items came from an earlier K-DB registration of the
+        # same log; re-point their provenance at this session's dataset.
+        for item in items:
+            if "dataset_id" in item.provenance:
+                item.provenance["dataset_id"] = dataset_id
+        optimization = document.get("optimization")
+        partial = document.get("partial")
+        return GoalRun(
+            goal=goal,
+            items=items,
+            optimization=(
+                OptimizationReport.from_document(optimization)
+                if optimization is not None
+                else None
+            ),
+            partial=(
+                PartialMiningResult.from_document(partial)
+                if partial is not None
+                else None
+            ),
+            notes=dict(document.get("notes", {})),
+        )
+
+    # ------------------------------------------------------------------
     # Per-goal pipelines
     # ------------------------------------------------------------------
     def _run_goal(
@@ -321,6 +495,7 @@ class ADAHealth:
             tolerance=cfg.partial_tolerance,
             weighting=weighting,
             normalize=normalize,
+            cache=self.cache,
             seed=self.seed,
         )
         partial = miner.mine(log)
@@ -331,22 +506,24 @@ class ADAHealth:
             if normalize
             else vsm.matrix
         )
-        self.kdb.store_transformation(
-            dataset_id,
-            {
-                "weighting": weighting,
-                "scaling": "l2" if normalize else "identity",
-                "auto_selected": cfg.auto_transform,
-                "n_features": len(codes),
-                "feature_fraction": partial.selected_fraction,
-            },
-        )
+        # Deferred K-DB write: recorded in the notes and persisted by
+        # ``analyze`` after the fan-out, keeping this pipeline free of
+        # side effects (safe to run in a worker process or restore from
+        # cache).
+        transformation = {
+            "weighting": weighting,
+            "scaling": "l2" if normalize else "identity",
+            "auto_selected": cfg.auto_transform,
+            "n_features": len(codes),
+            "feature_fraction": partial.selected_fraction,
+        }
         k_values = [k for k in cfg.k_values if k < matrix.shape[0]]
         if not k_values:
             raise EngineError("dataset too small for any configured K")
         optimizer = KMeansOptimizer(
             k_values=k_values,
             n_folds=cfg.n_folds,
+            cache=self.cache,
             seed=self.seed,
         )
         report = optimizer.optimize(matrix)
@@ -373,7 +550,11 @@ class ADAHealth:
             },
         )
         return GoalRun(
-            goal=goal, items=items, optimization=report, partial=partial
+            goal=goal,
+            items=items,
+            optimization=report,
+            partial=partial,
+            notes={"transformation": transformation},
         )
 
     def _transactions(self, log: ExamLog) -> List[List[str]]:
@@ -569,6 +750,14 @@ class ADAHealth:
         """Teach the interest model whether a goal was worth running."""
         goal = self.finder.by_name(goal_name)
         self.interest_model.record_interaction(goal, profile, interested)
+
+
+def _run_goal_task(
+    engine: "ADAHealth", goal_name: str, log: ExamLog, profile, dataset_id
+):
+    """Module-level goal task (picklable for process backends)."""
+    goal = engine.finder.by_name(goal_name)
+    return engine._run_goal(goal, log, profile, dataset_id)
 
 
 def _eps_heuristic(

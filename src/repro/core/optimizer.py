@@ -25,11 +25,12 @@ values, pick the one with the best overall classification results
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.cloud.executor import SerialExecutor
+from repro.cloud.executor import SerialExecutor, TaskSpec
+from repro.core.cache import AnalysisCache, fingerprint_array
 from repro.exceptions import MiningError
 from repro.mining.decision_tree import DecisionTreeClassifier
 from repro.mining.kmeans import KMeans
@@ -69,6 +70,41 @@ class OptimizationRow:
             "AVG Recall": self.avg_recall,
         }
 
+    def to_document(self) -> Dict[str, Any]:
+        """JSON-serialisable form (for the analysis cache / K-DB)."""
+        return {
+            "k": self.k,
+            "sse": self.sse,
+            "accuracy": self.accuracy,
+            "avg_precision": self.avg_precision,
+            "avg_recall": self.avg_recall,
+            "overall_similarity": self.overall_similarity,
+            "labels": (
+                None if self.labels is None else self.labels.tolist()
+            ),
+            "centers": (
+                None if self.centers is None else self.centers.tolist()
+            ),
+        }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "OptimizationRow":
+        """Inverse of :meth:`to_document`."""
+        labels = document.get("labels")
+        centers = document.get("centers")
+        return cls(
+            k=int(document["k"]),
+            sse=float(document["sse"]),
+            accuracy=float(document["accuracy"]),
+            avg_precision=float(document["avg_precision"]),
+            avg_recall=float(document["avg_recall"]),
+            overall_similarity=float(document["overall_similarity"]),
+            labels=None if labels is None else np.array(labels, dtype=int),
+            centers=(
+                None if centers is None else np.array(centers, dtype=float)
+            ),
+        )
+
 
 @dataclass
 class OptimizationReport:
@@ -84,6 +120,28 @@ class OptimizationReport:
             if row.k == self.best_k:
                 return row
         raise MiningError("best_k missing from rows")  # pragma: no cover
+
+    def to_document(self) -> Dict[str, Any]:
+        """JSON-serialisable form (for the analysis cache / K-DB)."""
+        return {
+            "rows": [row.to_document() for row in self.rows],
+            "best_k": self.best_k,
+            "sse_plateau": list(self.sse_plateau),
+        }
+
+    @classmethod
+    def from_document(
+        cls, document: Dict[str, Any]
+    ) -> "OptimizationReport":
+        """Inverse of :meth:`to_document`."""
+        return cls(
+            rows=[
+                OptimizationRow.from_document(row)
+                for row in document["rows"]
+            ],
+            best_k=int(document["best_k"]),
+            sse_plateau=[int(k) for k in document["sse_plateau"]],
+        )
 
     def format_table(self) -> str:
         """Render the Table I layout (metrics in percent, as the paper)."""
@@ -121,7 +179,17 @@ class KMeansOptimizer:
     kmeans_params:
         Keyword arguments for :class:`repro.mining.KMeans`.
     executor:
-        Execution backend for the sweep (serial by default).
+        Execution backend for the sweep (serial by default). The sweep's
+        tasks are picklable :class:`repro.cloud.TaskSpec`s, so every
+        backend works, including
+        :class:`repro.cloud.ProcessPoolExecutorBackend` — as long as
+        any custom ``classifier_factory`` itself pickles.
+    cache:
+        Optional :class:`repro.core.cache.AnalysisCache`. Per-K rows are
+        memoised on the data fingerprint and the full sweep parameters;
+        a repeated or extended sweep only computes the new K values.
+        (Skipped when a custom ``classifier_factory`` is supplied — an
+        arbitrary callable cannot be fingerprinted.)
     seed:
         Seed forwarded to K-means and to the CV splitters.
     """
@@ -134,6 +202,7 @@ class KMeansOptimizer:
         classifier_factory: Optional[Callable[[], object]] = None,
         kmeans_params: Optional[Dict] = None,
         executor=None,
+        cache: Optional[AnalysisCache] = None,
         seed: int = 0,
     ) -> None:
         if not k_values:
@@ -149,6 +218,7 @@ class KMeansOptimizer:
         self.kmeans_params = dict(kmeans_params or {})
         self.kmeans_params.setdefault("n_init", 3)
         self.executor = executor or SerialExecutor()
+        self.cache = cache
         self.seed = seed
 
     # ------------------------------------------------------------------
@@ -181,16 +251,44 @@ class KMeansOptimizer:
         )
 
     def optimize(self, data) -> OptimizationReport:
-        """Run the sweep and apply the combined selection rule."""
+        """Run the sweep and apply the combined selection rule.
+
+        Cached K values (same data, same parameters) are restored
+        without recomputation; only the misses are dispatched to the
+        executor, as picklable task specs. Cache writes happen here, in
+        the calling process, so results computed by worker processes
+        are memoised too.
+        """
         data = np.asarray(data, dtype=np.float64)
+        rows: List[OptimizationRow] = []
+        pending = list(self.k_values)
+        fingerprint: Optional[str] = None
+        if self.cache is not None and self.classifier_factory is None:
+            fingerprint = fingerprint_array(data)
+            pending = []
+            for k in self.k_values:
+                hit = self.cache.get(
+                    fingerprint, "kmeans-optimizer-row", self._cell_params(k)
+                )
+                if hit is None:
+                    pending.append(k)
+                else:
+                    rows.append(OptimizationRow.from_document(hit))
         tasks = [
-            (lambda k=k: self.evaluate_k(data, k)) for k in self.k_values
+            TaskSpec(_evaluate_k_task, (self, data, k)) for k in pending
         ]
         outcome = self.executor.run(tasks)
-        rows: List[OptimizationRow] = []
-        for value in outcome.results:
-            if isinstance(value, OptimizationRow):
-                rows.append(value)
+        for k, value in zip(pending, outcome.results):
+            if not isinstance(value, OptimizationRow):
+                continue
+            rows.append(value)
+            if fingerprint is not None:
+                self.cache.put(
+                    fingerprint,
+                    "kmeans-optimizer-row",
+                    self._cell_params(k),
+                    value.to_document(),
+                )
         if not rows:
             raise MiningError("every optimisation run failed")
         rows.sort(key=lambda row: row.k)
@@ -200,6 +298,23 @@ class KMeansOptimizer:
             best_k=best_k,
             sse_plateau=sse_plateau(rows),
         )
+
+    def _cell_params(self, k: int) -> Dict[str, Any]:
+        """Everything that determines one per-K row, for cache keys."""
+        return {
+            "k": k,
+            "n_folds": self.n_folds,
+            "tree_params": self.tree_params,
+            "kmeans_params": self.kmeans_params,
+            "seed": self.seed,
+        }
+
+
+def _evaluate_k_task(
+    optimizer: "KMeansOptimizer", data: np.ndarray, k: int
+) -> OptimizationRow:
+    """Module-level task body so sweeps pickle for process backends."""
+    return optimizer.evaluate_k(data, k)
 
 
 def sse_plateau(

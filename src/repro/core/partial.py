@@ -24,11 +24,12 @@ miner.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.cache import AnalysisCache, fingerprint_array
 from repro.data.records import ExamLog
 from repro.exceptions import MiningError
 from repro.mining.kmeans import KMeans
@@ -74,6 +75,27 @@ class PartialMiningResult:
     def fractions(self) -> List[float]:
         """Distinct feature fractions, ascending."""
         return sorted({run.fraction_features for run in self.runs})
+
+    def to_document(self) -> Dict[str, Any]:
+        """JSON-serialisable form (for the analysis cache / K-DB)."""
+        return {
+            "runs": [asdict(run) for run in self.runs],
+            "selected_fraction": self.selected_fraction,
+            "selected_codes": [int(code) for code in self.selected_codes],
+            "tolerance": self.tolerance,
+        }
+
+    @classmethod
+    def from_document(
+        cls, document: Dict[str, Any]
+    ) -> "PartialMiningResult":
+        """Inverse of :meth:`to_document`."""
+        return cls(
+            runs=[PartialRun(**run) for run in document["runs"]],
+            selected_fraction=float(document["selected_fraction"]),
+            selected_codes=[int(c) for c in document["selected_codes"]],
+            tolerance=float(document["tolerance"]),
+        )
 
     def format_table(self) -> str:
         """Render the §IV-B series: similarity by subset and K."""
@@ -123,6 +145,12 @@ class HorizontalPartialMiner:
     normalize:
         L2-normalise rows before clustering (spherical K-means), the
         natural companion of the cosine-based overall-similarity index.
+    cache:
+        Optional :class:`repro.core.cache.AnalysisCache`. Clusterings
+        are memoised per (subset-matrix fingerprint, K) cell, so a
+        refined session — new fractions or K values over the same log —
+        only pays for the cells it has not seen: the adaptive miner is
+        incremental across calls.
     """
 
     def __init__(
@@ -133,6 +161,7 @@ class HorizontalPartialMiner:
         weighting: str = "binary",
         normalize: bool = True,
         kmeans_params: Optional[Dict] = None,
+        cache: Optional[AnalysisCache] = None,
         seed: int = 0,
     ) -> None:
         fractions = sorted(fractions)
@@ -151,6 +180,7 @@ class HorizontalPartialMiner:
         self.normalize = normalize
         self.kmeans_params = dict(kmeans_params or {})
         self.kmeans_params.setdefault("n_init", 2)
+        self.cache = cache
         self.seed = seed
 
     # ------------------------------------------------------------------
@@ -251,8 +281,25 @@ class HorizontalPartialMiner:
         return vsm.matrix
 
     def _cluster_labels(self, matrix: np.ndarray, k: int) -> np.ndarray:
+        if self.cache is not None:
+            params = {
+                "k": k,
+                "kmeans_params": self.kmeans_params,
+                "seed": self.seed,
+            }
+            fingerprint = fingerprint_array(matrix)
+            hit = self.cache.get(fingerprint, "partial-kmeans", params)
+            if hit is not None:
+                return np.array(hit, dtype=int)
         model = KMeans(k, seed=self.seed, **self.kmeans_params).fit(matrix)
         assert model.labels_ is not None
+        if self.cache is not None:
+            self.cache.put(
+                fingerprint,
+                "partial-kmeans",
+                params,
+                model.labels_.tolist(),
+            )
         return model.labels_
 
 

@@ -215,6 +215,20 @@ class KnowledgeBase:
         return DegreePredictor(tree=tree, feature_names=feature_names)
 
     # ------------------------------------------------------------------
+    # analysis cache
+    # ------------------------------------------------------------------
+    def analysis_cache(self) -> "AnalysisCache":
+        """An analysis cache living inside this knowledge base's store.
+
+        Entries land in the ``analysis_cache`` collection next to the
+        six paper collections, so :meth:`save` / :meth:`load` persist
+        memoised sweep results along with the knowledge they produced.
+        """
+        from repro.core.cache import CACHE_COLLECTION, AnalysisCache
+
+        return AnalysisCache(self.store.collection(CACHE_COLLECTION))
+
+    # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
     def save(self, directory: Union[str, Path]) -> None:

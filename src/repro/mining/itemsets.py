@@ -15,6 +15,17 @@ Two independent miners are provided and tested for equivalence:
   support on the sparse medical logs.
 
 Support is expressed as a fraction of the transaction count.
+
+Both miners share one integer-encoding front end: item strings are
+interned once into a vocabulary (ids assigned in lexicographic order,
+so every ordering decision on ids matches the ordering on the original
+strings), and all inner-loop work — candidate joins, subset tests,
+support counting, FP-tree ordering — runs on small ints instead of
+re-hashing strings per pass. Apriori counts support with per-item
+transaction bitsets (one big int per item; candidate support is a
+popcount of an AND), so no transaction is rescanned after encoding.
+The decoded public output is identical to the historical string-based
+implementation, itemset for itemset.
 """
 
 from __future__ import annotations
@@ -54,6 +65,33 @@ def _validate(
 
 
 # ----------------------------------------------------------------------
+# Integer encoding (shared front end)
+# ----------------------------------------------------------------------
+def _encode(
+    transactions: Sequence[Transaction],
+) -> Tuple[List[str], List[FrozenSet[int]]]:
+    """Intern items into ids assigned in sorted (lexicographic) order.
+
+    Because ids follow the lexicographic order of the item strings,
+    comparisons and sorts over ids reproduce exactly the decisions the
+    string implementation made — tie-breaks included — so decoded
+    output is identical.
+    """
+    vocabulary = sorted({item for t in transactions for item in t})
+    index = {item: i for i, item in enumerate(vocabulary)}
+    encoded = [frozenset(index[item] for item in t) for t in transactions]
+    return vocabulary, encoded
+
+
+def _popcount(mask: int) -> int:
+    """Number of set bits (Python 3.9-compatible spelling)."""
+    try:
+        return mask.bit_count()
+    except AttributeError:  # pragma: no cover - pre-3.10 fallback
+        return bin(mask).count("1")
+
+
+# ----------------------------------------------------------------------
 # Apriori
 # ----------------------------------------------------------------------
 def apriori(
@@ -63,68 +101,72 @@ def apriori(
 ) -> List[Itemset]:
     """Mine frequent itemsets breadth-first (Agrawal & Srikant 1994).
 
+    Support counting is bitset-based: each item owns one big-int mask
+    with bit ``t`` set when transaction ``t`` contains the item; a
+    candidate's support is the popcount of the AND of its items' masks,
+    computed incrementally from its parent in the join step.
+
     Returns itemsets sorted by (length, items) for determinism.
     """
     _validate(transactions, min_support)
     n = len(transactions)
     min_count = _min_count(min_support, n)
-    sets = [frozenset(t) for t in transactions]
+    vocabulary, encoded = _encode(transactions)
 
-    counts: Dict[FrozenSet[str], int] = defaultdict(int)
-    for transaction in sets:
+    item_masks: List[int] = [0] * len(vocabulary)
+    for position, transaction in enumerate(encoded):
+        bit = 1 << position
         for item in transaction:
-            counts[frozenset((item,))] += 1
-    current = {
-        itemset: count
-        for itemset, count in counts.items()
-        if count >= min_count
-    }
-    results: Dict[FrozenSet[str], int] = dict(current)
+            item_masks[item] |= bit
+
+    # L1: per-item masks double as the support index.
+    current: Dict[Tuple[int, ...], int] = {}
+    results: Dict[FrozenSet[int], int] = {}
+    for item, mask in enumerate(item_masks):
+        count = _popcount(mask)
+        if count >= min_count:
+            current[(item,)] = mask
+            results[frozenset((item,))] = count
 
     length = 1
     while current and (max_length is None or length < max_length):
         length += 1
-        candidates = _apriori_gen(list(current), length)
-        if not candidates:
-            break
-        tallies: Dict[FrozenSet[str], int] = defaultdict(int)
-        for transaction in sets:
-            if len(transaction) < length:
-                continue
-            for candidate in candidates:
-                if candidate <= transaction:
-                    tallies[candidate] += 1
-        current = {
-            candidate: count
-            for candidate, count in tallies.items()
-            if count >= min_count
-        }
-        results.update(current)
+        current = _apriori_level(current, item_masks, min_count)
+        for candidate, mask in current.items():
+            results[frozenset(candidate)] = _popcount(mask)
 
-    return _to_itemsets(results, n)
+    return _to_itemsets(results, n, vocabulary)
 
 
-def _apriori_gen(
-    frequent: List[FrozenSet[str]], length: int
-) -> List[FrozenSet[str]]:
-    """Join step + downward-closure prune."""
-    frequent_set = set(frequent)
-    ordered = sorted(tuple(sorted(itemset)) for itemset in frequent)
-    candidates: List[FrozenSet[str]] = []
+def _apriori_level(
+    frequent: Dict[Tuple[int, ...], int],
+    item_masks: List[int],
+    min_count: int,
+) -> Dict[Tuple[int, ...], int]:
+    """One breadth-first level: join, prune, count via bitsets.
+
+    ``frequent`` maps each (k-1)-itemset — a sorted id tuple — to its
+    transaction bitset; the returned mapping holds the frequent
+    k-itemsets with theirs.
+    """
+    frequent_keys = set(frequent)
+    ordered = sorted(frequent)
+    survivors: Dict[Tuple[int, ...], int] = {}
     for i in range(len(ordered)):
         for j in range(i + 1, len(ordered)):
             a, b = ordered[i], ordered[j]
             if a[:-1] != b[:-1]:
                 break  # ordered list: no further joins share the prefix
-            candidate = frozenset(a) | frozenset(b)
-            if len(candidate) != length:
-                continue
-            if all(
-                frozenset(subset) in frequent_set
-                for subset in combinations(sorted(candidate), length - 1)
+            candidate = a + (b[-1],)
+            if not all(
+                subset in frequent_keys
+                for subset in combinations(candidate, len(candidate) - 1)
             ):
-                candidates.append(candidate)
-    return candidates
+                continue
+            mask = frequent[a] & item_masks[b[-1]]
+            if _popcount(mask) >= min_count:
+                survivors[candidate] = mask
+    return survivors
 
 
 # ----------------------------------------------------------------------
@@ -133,21 +175,27 @@ def _apriori_gen(
 class _FPNode:
     __slots__ = ("item", "count", "parent", "children", "link")
 
-    def __init__(self, item: Optional[str], parent: Optional["_FPNode"]):
+    def __init__(self, item: Optional[int], parent: Optional["_FPNode"]):
         self.item = item
         self.count = 0
         self.parent = parent
-        self.children: Dict[str, "_FPNode"] = {}
+        self.children: Dict[int, "_FPNode"] = {}
         self.link: Optional["_FPNode"] = None
 
 
 class _FPTree:
-    """FP-tree with header links, built from (itemlist, count) pairs."""
+    """FP-tree with header links, built from (itemlist, count) pairs.
+
+    Items are vocabulary ids (ints): all ordering and hashing in the
+    projection loop stays in the integer domain. Because ids follow the
+    lexicographic order of the original strings, the frequency order's
+    tie-break ("ties broken lexicographically") is preserved exactly.
+    """
 
     def __init__(
-        self, entries: Iterable[Tuple[Sequence[str], int]], min_count: int
+        self, entries: Iterable[Tuple[Sequence[int], int]], min_count: int
     ) -> None:
-        tallies: Dict[str, int] = defaultdict(int)
+        tallies: Dict[int, int] = defaultdict(int)
         cached = []
         for items, count in entries:
             cached.append((items, count))
@@ -169,7 +217,7 @@ class _FPTree:
             )
         }
         self.root = _FPNode(None, None)
-        self.headers: Dict[str, _FPNode] = {}
+        self.headers: Dict[int, _FPNode] = {}
         for items, count in cached:
             filtered = sorted(
                 (item for item in items if item in self.item_counts),
@@ -178,7 +226,7 @@ class _FPTree:
             if filtered:
                 self._insert(filtered, count)
 
-    def _insert(self, items: Sequence[str], count: int) -> None:
+    def _insert(self, items: Sequence[int], count: int) -> None:
         node = self.root
         for item in items:
             child = node.children.get(item)
@@ -191,9 +239,9 @@ class _FPTree:
             child.count += count
             node = child
 
-    def prefix_paths(self, item: str) -> List[Tuple[List[str], int]]:
+    def prefix_paths(self, item: int) -> List[Tuple[List[int], int]]:
         """Conditional pattern base for ``item``."""
-        paths: List[Tuple[List[str], int]] = []
+        paths: List[Tuple[List[int], int]] = []
         node = self.headers.get(item)
         while node is not None:
             path: List[str] = []
@@ -206,9 +254,9 @@ class _FPTree:
             node = node.link
         return paths
 
-    def single_path(self) -> Optional[List[Tuple[str, int]]]:
+    def single_path(self) -> Optional[List[Tuple[int, int]]]:
         """If the tree is a single chain, return it; else None."""
-        path: List[Tuple[str, int]] = []
+        path: List[Tuple[int, int]] = []
         node = self.root
         while node.children:
             if len(node.children) > 1:
@@ -228,19 +276,18 @@ def fpgrowth(
     _validate(transactions, min_support)
     n = len(transactions)
     min_count = _min_count(min_support, n)
-    tree = _FPTree(
-        ((sorted(set(t)), 1) for t in transactions), min_count
-    )
-    results: Dict[FrozenSet[str], int] = {}
+    vocabulary, encoded = _encode(transactions)
+    tree = _FPTree(((sorted(t), 1) for t in encoded), min_count)
+    results: Dict[FrozenSet[int], int] = {}
     _fp_mine(tree, min_count, frozenset(), results, max_length)
-    return _to_itemsets(results, n)
+    return _to_itemsets(results, n, vocabulary)
 
 
 def _fp_mine(
     tree: _FPTree,
     min_count: int,
-    suffix: FrozenSet[str],
-    results: Dict[FrozenSet[str], int],
+    suffix: FrozenSet[int],
+    results: Dict[FrozenSet[int], int],
     max_length: Optional[int],
 ) -> None:
     chain = tree.single_path()
@@ -279,10 +326,15 @@ def _min_count(min_support: float, n: int) -> int:
 
 
 def _to_itemsets(
-    results: Dict[FrozenSet[str], int], n: int
+    results: Dict[FrozenSet[int], int], n: int, vocabulary: List[str]
 ) -> List[Itemset]:
+    """Decode id-itemsets back to the public string representation."""
     itemsets = [
-        Itemset(items=items, count=count, support=count / n)
+        Itemset(
+            items=frozenset(vocabulary[item] for item in items),
+            count=count,
+            support=count / n,
+        )
         for items, count in results.items()
     ]
     itemsets.sort(key=lambda s: (len(s.items), s.sorted_items()))

@@ -76,38 +76,53 @@ class KDTree:
         self.root = self._build(indexes)
 
     # ------------------------------------------------------------------
-    def _build(self, indexes: np.ndarray) -> KDNode:
+    def _build(self, root_indexes: np.ndarray) -> KDNode:
+        """Bulk build with an explicit work stack.
+
+        Iterative rather than recursive: a pathological median split
+        (heavily duplicated coordinates) can make the tree nearly as
+        deep as the point count, which would overflow Python's
+        recursion limit on large datasets.
+        """
+        root = self._make_node(root_indexes)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            indexes = node.indexes
+            points = self.data[indexes]
+            if len(indexes) <= self.leaf_size or np.all(
+                node.lower == node.upper
+            ):
+                continue
+            spread = node.upper - node.lower
+            split_dim = int(np.argmax(spread))
+            values = points[:, split_dim]
+            split_value = float(np.median(values))
+            left_mask = values <= split_value
+            # A median equal to the max would send everything left;
+            # force a non-degenerate split on the strict side.
+            if left_mask.all():
+                left_mask = values < split_value
+            if not left_mask.any() or left_mask.all():
+                continue
+            node.split_dim = split_dim
+            node.split_value = split_value
+            node.left = self._make_node(indexes[left_mask])
+            node.right = self._make_node(indexes[~left_mask])
+            stack.append(node.right)
+            stack.append(node.left)
+        return root
+
+    def _make_node(self, indexes: np.ndarray) -> KDNode:
         points = self.data[indexes]
-        lower = points.min(axis=0)
-        upper = points.max(axis=0)
-        vector_sum = points.sum(axis=0)
-        sq_sum = float(np.einsum("ij,ij->", points, points))
-        node = KDNode(
-            lower=lower,
-            upper=upper,
+        return KDNode(
+            lower=points.min(axis=0),
+            upper=points.max(axis=0),
             count=len(indexes),
-            vector_sum=vector_sum,
-            sq_sum=sq_sum,
+            vector_sum=points.sum(axis=0),
+            sq_sum=float(np.einsum("ij,ij->", points, points)),
             indexes=indexes,
         )
-        if len(indexes) <= self.leaf_size or np.all(lower == upper):
-            return node
-        spread = upper - lower
-        split_dim = int(np.argmax(spread))
-        values = points[:, split_dim]
-        split_value = float(np.median(values))
-        left_mask = values <= split_value
-        # A median equal to the max would send everything left; force a
-        # non-degenerate split on the strict side.
-        if left_mask.all():
-            left_mask = values < split_value
-        if not left_mask.any() or left_mask.all():
-            return node
-        node.split_dim = split_dim
-        node.split_value = split_value
-        node.left = self._build(indexes[left_mask])
-        node.right = self._build(indexes[~left_mask])
-        return node
 
     # ------------------------------------------------------------------
     # Nearest-neighbour queries
@@ -120,12 +135,16 @@ class KDTree:
         if not 1 <= k <= self.data.shape[0]:
             raise MiningError("k must be in [1, n_points]")
         # Max-heap emulation with a sorted list of (distance, index); k is
-        # small in practice so insertion cost is negligible.
+        # small in practice so insertion cost is negligible. Explicit
+        # stack: near child processed first (pushed last), pruning
+        # re-checked at pop time with the tightened radius.
         best: List[Tuple[float, int]] = []
 
-        def visit(node: KDNode) -> None:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
             if len(best) == k and self._min_dist2(node, point) >= best[-1][0]:
-                return
+                continue
             if node.is_leaf:
                 diffs = self.data[node.indexes] - point
                 dist2 = np.einsum("ij,ij->i", diffs, diffs)
@@ -136,14 +155,13 @@ class KDTree:
                     elif distance < best[-1][0]:
                         best[-1] = (float(distance), int(index))
                         best.sort()
-                return
+                continue
             near, far = node.left, node.right
             if point[node.split_dim] > node.split_value:
                 near, far = far, near
-            visit(near)  # type: ignore[arg-type]
-            visit(far)  # type: ignore[arg-type]
+            stack.append(far)  # type: ignore[arg-type]
+            stack.append(near)  # type: ignore[arg-type]
 
-        visit(self.root)
         distances = np.sqrt(np.array([distance for distance, __ in best]))
         indexes = np.array([index for __, index in best])
         return distances, indexes
@@ -154,9 +172,11 @@ class KDTree:
         radius2 = radius * radius
         hits: List[int] = []
 
-        def visit(node: KDNode) -> None:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
             if self._min_dist2(node, point) > radius2:
-                return
+                continue
             if node.is_leaf:
                 diffs = self.data[node.indexes] - point
                 dist2 = np.einsum("ij,ij->i", diffs, diffs)
@@ -165,11 +185,10 @@ class KDTree:
                     for index, d2 in zip(node.indexes, dist2)
                     if d2 <= radius2
                 )
-                return
-            visit(node.left)  # type: ignore[arg-type]
-            visit(node.right)  # type: ignore[arg-type]
+                continue
+            stack.append(node.right)  # type: ignore[arg-type]
+            stack.append(node.left)  # type: ignore[arg-type]
 
-        visit(self.root)
         return np.array(sorted(hits), dtype=int)
 
     @staticmethod
@@ -184,25 +203,25 @@ class KDTree:
     def leaves(self) -> List[KDNode]:
         """All leaf nodes (left-to-right)."""
         result: List[KDNode] = []
-
-        def visit(node: KDNode) -> None:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
             if node.is_leaf:
                 result.append(node)
             else:
-                visit(node.left)  # type: ignore[arg-type]
-                visit(node.right)  # type: ignore[arg-type]
-
-        visit(self.root)
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
         return result
 
     def depth(self) -> int:
         """Height of the tree (a single leaf has depth 1)."""
-
-        def visit(node: KDNode) -> int:
+        deepest = 0
+        stack: List[Tuple[KDNode, int]] = [(self.root, 1)]
+        while stack:
+            node, level = stack.pop()
             if node.is_leaf:
-                return 1
-            return 1 + max(
-                visit(node.left), visit(node.right)  # type: ignore[arg-type]
-            )
-
-        return visit(self.root)
+                deepest = max(deepest, level)
+            else:
+                stack.append((node.right, level + 1))  # type: ignore[arg-type]
+                stack.append((node.left, level + 1))  # type: ignore[arg-type]
+        return deepest

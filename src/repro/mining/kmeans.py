@@ -190,6 +190,7 @@ class KMeans:
     ) -> Tuple[np.ndarray, np.ndarray, float, int]:
         """One restart: iterate until convergence or ``max_iter``."""
         n_iter = 0
+        converged = False
         for n_iter in range(1, self.max_iter + 1):
             if tree is not None:
                 labels, sums, counts, inertia = _filtering_step(
@@ -208,13 +209,18 @@ class KMeans:
                 distances = squared_euclidean(data, centers[j : j + 1])
                 new_centers[j] = data[int(np.argmax(distances))]
             shift = float(((new_centers - centers) ** 2).sum())
-            centers = new_centers
             if shift <= self.tol:
+                # The update barely moved: labels/inertia from this step
+                # are consistent with `centers` as they stand, so no
+                # final assignment pass is needed.
+                converged = True
                 break
-        if tree is not None:
-            labels, __, __, inertia = _filtering_step(tree, centers)
-        else:
-            labels, __, __, inertia = _lloyd_step(data, centers)
+            centers = new_centers
+        if not converged:
+            if tree is not None:
+                labels, __, __, inertia = _filtering_step(tree, centers)
+            else:
+                labels, __, __, inertia = _lloyd_step(data, centers)
         return centers, labels, float(inertia), n_iter
 
 
@@ -227,8 +233,14 @@ def _lloyd_step(
     inertia = float(distances[np.arange(len(labels)), labels].sum())
     k = centers.shape[0]
     counts = np.bincount(labels, minlength=k).astype(np.float64)
-    sums = np.zeros_like(centers)
-    np.add.at(sums, labels, data)
+    # Per-dimension bincount beats the np.add.at scatter by a wide
+    # margin (add.at's unbuffered fancy indexing is notoriously slow).
+    sums = np.column_stack(
+        [
+            np.bincount(labels, weights=data[:, dim], minlength=k)
+            for dim in range(data.shape[1])
+        ]
+    )
     return labels, sums, counts, inertia
 
 
@@ -239,7 +251,9 @@ def _filtering_step(
 
     Whole cells whose candidate set prunes down to a single centre are
     assigned in O(1) using the cell aggregates (point count, vector sum,
-    sum of squared norms).
+    sum of squared norms). The traversal uses an explicit stack, so deep
+    trees over large or degenerate datasets cannot hit Python's
+    recursion limit.
     """
     k, dims = centers.shape
     labels = np.empty(tree.data.shape[0], dtype=int)
@@ -247,8 +261,9 @@ def _filtering_step(
     counts = np.zeros(k)
     inertia = 0.0
 
-    def visit(node: KDNode, candidates: np.ndarray) -> None:
-        nonlocal inertia
+    stack = [(tree.root, np.arange(k))]
+    while stack:
+        node, candidates = stack.pop()
         if len(candidates) > 1:
             candidates = _filter_candidates(node, centers, candidates)
         if len(candidates) == 1 and not node.is_leaf:
@@ -262,7 +277,7 @@ def _filtering_step(
                 - 2.0 * float(center @ node.vector_sum)
                 + node.count * float(center @ center)
             )
-            return
+            continue
         if node.is_leaf:
             points = tree.data[node.indexes]
             distances = squared_euclidean(points, centers[candidates])
@@ -274,11 +289,10 @@ def _filtering_step(
             inertia += float(
                 distances[np.arange(len(nearest)), nearest].sum()
             )
-            return
-        visit(node.left, candidates)  # type: ignore[arg-type]
-        visit(node.right, candidates)  # type: ignore[arg-type]
+            continue
+        stack.append((node.right, candidates))
+        stack.append((node.left, candidates))
 
-    visit(tree.root, np.arange(k))
     return labels, sums, counts, float(inertia)
 
 
@@ -302,21 +316,22 @@ def filtering_stats(data, centers) -> dict:
         "nodes_visited": 0,
     }
 
-    def visit(node: KDNode, candidates: np.ndarray) -> None:
+    stack = [(tree.root, np.arange(k))]
+    while stack:
+        node, candidates = stack.pop()
         stats["nodes_visited"] += 1
         if len(candidates) > 1:
             candidates = _filter_candidates(node, centers, candidates)
         if len(candidates) == 1 and not node.is_leaf:
             stats["bulk_points"] += node.count
-            return
+            continue
         if node.is_leaf:
             stats["leaf_points"] += node.count
             stats["distance_evaluations"] += node.count * len(candidates)
-            return
-        visit(node.left, candidates)  # type: ignore[arg-type]
-        visit(node.right, candidates)  # type: ignore[arg-type]
+            continue
+        stack.append((node.right, candidates))
+        stack.append((node.left, candidates))
 
-    visit(tree.root, np.arange(k))
     stats["lloyd_distance_evaluations"] = data.shape[0] * k
     stats["bulk_fraction"] = stats["bulk_points"] / data.shape[0]
     return stats

@@ -124,13 +124,41 @@ def train_test_split(
     )
 
 
+def macro_precision(y_true, y_pred) -> float:
+    """Macro-averaged precision (module-level, hence picklable)."""
+    return precision_recall_f1(y_true, y_pred, "macro")[0]
+
+
+def macro_recall(y_true, y_pred) -> float:
+    """Macro-averaged recall (module-level, hence picklable)."""
+    return precision_recall_f1(y_true, y_pred, "macro")[1]
+
+
 #: Metric functions usable with :func:`cross_validate`. Each maps
 #: ``(y_true, y_pred) -> float``.
 DEFAULT_METRICS: Dict[str, Callable] = {
     "accuracy": accuracy,
-    "avg_precision": lambda t, p: precision_recall_f1(t, p, "macro")[0],
-    "avg_recall": lambda t, p: precision_recall_f1(t, p, "macro")[1],
+    "avg_precision": macro_precision,
+    "avg_recall": macro_recall,
 }
+
+
+def _fit_score_fold(
+    model_factory: Callable[[], object],
+    data: np.ndarray,
+    labels: np.ndarray,
+    train: np.ndarray,
+    test: np.ndarray,
+    metrics: Dict[str, Callable],
+) -> Dict[str, float]:
+    """Fit one fold and score it (module-level for process backends)."""
+    model = model_factory()
+    model.fit(data[train], labels[train])  # type: ignore[attr-defined]
+    predicted = model.predict(data[test])  # type: ignore[attr-defined]
+    return {
+        name: float(function(labels[test], predicted))
+        for name, function in metrics.items()
+    }
 
 
 def cross_validate(
@@ -140,6 +168,7 @@ def cross_validate(
     n_splits: int = 10,
     stratified: bool = True,
     metrics: Optional[Dict[str, Callable]] = None,
+    executor=None,
     seed: int = 0,
 ) -> Dict[str, float]:
     """k-fold cross-validation, averaging each metric over folds.
@@ -152,6 +181,12 @@ def cross_validate(
     metrics:
         ``name -> function(y_true, y_pred)``; defaults to the paper's
         Table I metrics (accuracy, average precision, average recall).
+    executor:
+        Optional :mod:`repro.cloud` backend; folds are independent and
+        run through it when given (None keeps the serial in-process
+        path). With a process backend, ``model_factory`` and the metric
+        functions must pickle (the defaults do; ``functools.partial``
+        over a model class is a convenient picklable factory).
 
     Returns
     -------
@@ -166,16 +201,37 @@ def cross_validate(
     else:
         splits = KFold(n_splits, seed=seed).split(len(labels))
 
+    if executor is not None:
+        from repro.cloud.executor import TaskFailure, TaskSpec
+
+        tasks = [
+            TaskSpec(
+                _fit_score_fold,
+                (model_factory, data, labels, train, test, metrics),
+            )
+            for train, test in splits
+        ]
+        outcome = executor.run(tasks)
+        for value in outcome.results:
+            if isinstance(value, TaskFailure):
+                raise value.error
+        fold_scores = outcome.results
+    else:
+        fold_scores = [
+            _fit_score_fold(
+                model_factory, data, labels, train, test, metrics
+            )
+            for train, test in splits
+        ]
+    if not fold_scores:
+        raise MiningError("no folds were evaluated")
     sums = {name: 0.0 for name in metrics}
-    n_folds = 0
-    for train, test in splits:
-        model = model_factory()
-        model.fit(data[train], labels[train])  # type: ignore[attr-defined]
-        predicted = model.predict(data[test])  # type: ignore[attr-defined]
-        for name, function in metrics.items():
-            sums[name] += float(function(labels[test], predicted))
-        n_folds += 1
-    return {name: value / n_folds for name, value in sums.items()}
+    for scores in fold_scores:
+        for name in metrics:
+            sums[name] += scores[name]
+    return {
+        name: value / len(fold_scores) for name, value in sums.items()
+    }
 
 
 def cross_val_score(

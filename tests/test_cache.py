@@ -1,0 +1,225 @@
+"""Tests for the content-addressed analysis cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import (
+    CACHE_COLLECTION,
+    AnalysisCache,
+    fingerprint_array,
+    fingerprint_log,
+    fingerprint_params,
+    fingerprint_transactions,
+)
+from repro.core.optimizer import KMeansOptimizer
+from repro.core.partial import HorizontalPartialMiner
+from repro.data.synthetic import small_dataset
+from repro.kdb.documentstore import DocumentStore
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_array_content_addressed():
+    a = np.arange(12, dtype=np.float64).reshape(3, 4)
+    assert fingerprint_array(a) == fingerprint_array(a.copy())
+    mutated = a.copy()
+    mutated[1, 2] += 1e-9
+    assert fingerprint_array(a) != fingerprint_array(mutated)
+
+
+def test_fingerprint_array_shape_and_dtype_matter():
+    a = np.arange(12, dtype=np.float64)
+    assert fingerprint_array(a) != fingerprint_array(a.reshape(3, 4))
+    assert fingerprint_array(a) != fingerprint_array(a.astype(np.float32))
+
+
+def test_fingerprint_params_key_order_independent():
+    assert fingerprint_params({"a": 1, "b": [2, 3]}) == fingerprint_params(
+        {"b": [2, 3], "a": 1}
+    )
+    assert fingerprint_params({"a": 1}) != fingerprint_params({"a": 2})
+
+
+def test_fingerprint_transactions_sensitive_to_content_and_order():
+    base = [["a", "b"], ["c"]]
+    assert fingerprint_transactions(base) == fingerprint_transactions(
+        [["a", "b"], ["c"]]
+    )
+    assert fingerprint_transactions(base) != fingerprint_transactions(
+        [["c"], ["a", "b"]]
+    )
+    # The separators make ["ab"] distinct from ["a", "b"].
+    assert fingerprint_transactions([["ab"]]) != fingerprint_transactions(
+        [["a", "b"]]
+    )
+
+
+def test_fingerprint_log_changes_when_records_change():
+    log = small_dataset(n_patients=20, seed=1)
+    again = small_dataset(n_patients=20, seed=1)
+    assert fingerprint_log(log) == fingerprint_log(again)
+    other = small_dataset(n_patients=21, seed=1)
+    assert fingerprint_log(log) != fingerprint_log(other)
+
+
+# ----------------------------------------------------------------------
+# cache behaviour
+# ----------------------------------------------------------------------
+def test_cache_miss_put_hit_roundtrip():
+    cache = AnalysisCache()
+    assert cache.get("ds", "algo", {"k": 3}) is None
+    cache.put("ds", "algo", {"k": 3}, {"labels": [0, 1, 0]})
+    assert cache.get("ds", "algo", {"k": 3}) == {"labels": [0, 1, 0]}
+    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+
+def test_cache_distinguishes_all_key_parts():
+    cache = AnalysisCache()
+    cache.put("ds1", "algo", {"k": 3}, "one")
+    assert cache.get("ds2", "algo", {"k": 3}) is None
+    assert cache.get("ds1", "other", {"k": 3}) is None
+    assert cache.get("ds1", "algo", {"k": 4}) is None
+    assert cache.get("ds1", "algo", {"k": 3}) == "one"
+
+
+def test_cache_put_is_idempotent():
+    cache = AnalysisCache()
+    key = cache.put("ds", "algo", {}, "first")
+    assert cache.put("ds", "algo", {}, "second") == key
+    assert cache.get("ds", "algo", {}) == "first"
+    assert len(cache) == 1
+
+
+def test_cache_payloads_are_isolated_copies():
+    cache = AnalysisCache()
+    payload = {"values": [1, 2]}
+    cache.put("ds", "algo", {}, payload)
+    payload["values"].append(3)  # caller mutation must not leak in
+    assert cache.get("ds", "algo", {}) == {"values": [1, 2]}
+    cache.get("ds", "algo", {})["values"].append(4)  # nor out
+    assert cache.get("ds", "algo", {}) == {"values": [1, 2]}
+
+
+def test_cache_memoize_computes_once():
+    cache = AnalysisCache()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"answer": 42}
+
+    assert cache.memoize("ds", "algo", {}, compute) == {"answer": 42}
+    assert cache.memoize("ds", "algo", {}, compute) == {"answer": 42}
+    assert len(calls) == 1
+
+
+def test_cache_invalidate_dataset_scoped():
+    cache = AnalysisCache()
+    cache.put("ds1", "algo", {"k": 1}, "a")
+    cache.put("ds1", "algo", {"k": 2}, "b")
+    cache.put("ds2", "algo", {"k": 1}, "c")
+    assert cache.invalidate_dataset("ds1") == 2
+    assert cache.get("ds1", "algo", {"k": 1}) is None
+    assert cache.get("ds2", "algo", {"k": 1}) == "c"
+
+
+def test_cache_dataset_mutation_invalidates_implicitly():
+    cache = AnalysisCache()
+    data = np.arange(20, dtype=np.float64).reshape(5, 4)
+    cache.put(fingerprint_array(data), "mean", {}, float(data.mean()))
+    mutated = data.copy()
+    mutated[0, 0] = 99.0
+    assert cache.get(fingerprint_array(mutated), "mean", {}) is None
+    assert cache.get(fingerprint_array(data), "mean", {}) is not None
+
+
+def test_cache_clear():
+    cache = AnalysisCache()
+    cache.put("ds", "algo", {}, 1)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("ds", "algo", {}) is None
+
+
+def test_cache_lives_inside_a_document_store():
+    store = DocumentStore()
+    cache = AnalysisCache(store.collection(CACHE_COLLECTION))
+    cache.put("ds", "algo", {}, {"x": 1})
+    documents = store[CACHE_COLLECTION].find({"dataset": "ds"}).to_list()
+    assert len(documents) == 1
+    assert documents[0]["payload"] == {"x": 1}
+
+
+def test_cache_persists_with_the_knowledge_base(tmp_path):
+    from repro.kdb.kdb import KnowledgeBase
+
+    kdb = KnowledgeBase()
+    kdb.analysis_cache().put("ds", "algo", {"k": 2}, [1, 0, 1])
+    kdb.save(tmp_path / "kdb")
+    reloaded = KnowledgeBase.load(tmp_path / "kdb")
+    assert reloaded.analysis_cache().get("ds", "algo", {"k": 2}) == [1, 0, 1]
+
+
+# ----------------------------------------------------------------------
+# cache integration with the sweep machinery
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_matrix():
+    rng = np.random.default_rng(5)
+    return np.vstack(
+        [
+            rng.normal(0.0, 0.3, size=(30, 4)),
+            rng.normal(3.0, 0.3, size=(30, 4)),
+        ]
+    )
+
+
+def test_optimizer_reuses_cached_rows(tiny_matrix):
+    cache = AnalysisCache()
+    first = KMeansOptimizer(
+        k_values=(2, 3), n_folds=2, seed=0, cache=cache
+    ).optimize(tiny_matrix)
+    assert cache.stats()["misses"] == 2
+    assert cache.stats()["entries"] == 2
+
+    second = KMeansOptimizer(
+        k_values=(2, 3), n_folds=2, seed=0, cache=cache
+    ).optimize(tiny_matrix)
+    assert cache.stats()["hits"] == 2
+    assert second.best_k == first.best_k
+    for left, right in zip(first.rows, second.rows):
+        assert left.k == right.k
+        assert left.sse == pytest.approx(right.sse, rel=1e-12)
+        np.testing.assert_array_equal(left.labels, right.labels)
+        np.testing.assert_allclose(left.centers, right.centers)
+
+
+def test_optimizer_cache_extends_to_new_k_only(tiny_matrix):
+    cache = AnalysisCache()
+    KMeansOptimizer(
+        k_values=(2,), n_folds=2, seed=0, cache=cache
+    ).optimize(tiny_matrix)
+    KMeansOptimizer(
+        k_values=(2, 3), n_folds=2, seed=0, cache=cache
+    ).optimize(tiny_matrix)
+    # Second sweep recomputed only the new K=3 cell.
+    assert cache.stats()["entries"] == 2
+    assert cache.stats()["hits"] == 1
+
+
+def test_partial_miner_with_cache_matches_without():
+    log = small_dataset(n_patients=40, seed=2)
+    plain = HorizontalPartialMiner(
+        fractions=(0.5, 1.0), k_values=(3,), seed=0
+    ).mine(log)
+    cache = AnalysisCache()
+    cached_miner = HorizontalPartialMiner(
+        fractions=(0.5, 1.0), k_values=(3,), seed=0, cache=cache
+    )
+    cold = cached_miner.mine(log)
+    warm = cached_miner.mine(log)
+    assert cache.stats()["hits"] > 0
+    for result in (cold, warm):
+        assert result.selected_fraction == plain.selected_fraction
+        assert result.selected_codes == plain.selected_codes

@@ -6,14 +6,42 @@ import pytest
 
 from repro.cloud import (
     ParameterSweep,
+    ProcessPoolExecutorBackend,
     SerialExecutor,
     SimulatedClusterExecutor,
     TaskFailure,
+    TaskSpec,
     ThreadPoolExecutorBackend,
     expand_grid,
     make_executor,
+    run_chunked,
 )
 from repro.exceptions import ReproError
+
+
+# Module-level task bodies: process backends pickle tasks, so they must
+# be importable (closures and lambdas are not).
+def _square(x):
+    return x * x
+
+
+def _add(a, b=0):
+    return a + b
+
+
+def _raise_for_two(x):
+    if x == 2:
+        raise ValueError("two is out")
+    return x
+
+
+class _UnpicklableError(Exception):
+    def __reduce__(self):
+        raise TypeError("cannot pickle this exception")
+
+
+def _raise_unpicklable():
+    raise _UnpicklableError("opaque")
 
 
 def test_serial_preserves_order():
@@ -87,8 +115,105 @@ def test_make_executor_dispatch():
     assert isinstance(
         make_executor("threads", max_workers=2), ThreadPoolExecutorBackend
     )
+    assert isinstance(
+        make_executor("process", workers=2), ProcessPoolExecutorBackend
+    )
     with pytest.raises(ReproError):
         make_executor("quantum")
+
+
+# ----------------------------------------------------------------------
+# TaskSpec and the process backend
+# ----------------------------------------------------------------------
+def test_taskspec_is_callable():
+    assert TaskSpec(_square, (4,))() == 16
+    assert TaskSpec(_add, (1,), {"b": 2})() == 3
+    assert TaskSpec(_add, (5,))() == 5  # kwargs default to none
+
+
+def test_taskspec_runs_on_every_backend():
+    tasks = [TaskSpec(_square, (i,)) for i in range(5)]
+    expected = [0, 1, 4, 9, 16]
+    assert SerialExecutor().run(tasks).results == expected
+    assert ThreadPoolExecutorBackend(2).run(tasks).results == expected
+    assert ProcessPoolExecutorBackend(workers=2).run(tasks).results == (
+        expected
+    )
+
+
+def test_process_backend_preserves_order():
+    backend = ProcessPoolExecutorBackend(workers=2)
+    result = backend.run([TaskSpec(_square, (i,)) for i in range(8)])
+    assert result.results == [i * i for i in range(8)]
+    assert result.n_failures == 0
+
+
+def test_process_backend_captures_failures_in_slot():
+    backend = ProcessPoolExecutorBackend(workers=2)
+    result = backend.run([TaskSpec(_raise_for_two, (i,)) for i in range(4)])
+    assert result.n_failures == 1
+    assert result.successes() == [0, 1, 3]
+    failure = result.results[2]
+    assert isinstance(failure, TaskFailure)
+    assert isinstance(failure.error, ValueError)
+
+
+def test_process_backend_chunked_dispatch():
+    backend = ProcessPoolExecutorBackend(workers=2, chunk_size=3)
+    result = backend.run([TaskSpec(_square, (i,)) for i in range(10)])
+    assert result.results == [i * i for i in range(10)]
+
+
+def test_process_backend_unpicklable_task_fails_cleanly():
+    # A lambda cannot cross the process boundary; its slot must become a
+    # TaskFailure without poisoning the picklable neighbours.
+    backend = ProcessPoolExecutorBackend(workers=1)
+    result = backend.run(
+        [TaskSpec(_square, (3,)), lambda: 1, TaskSpec(_square, (5,))]
+    )
+    assert result.results[0] == 9
+    assert isinstance(result.results[1], TaskFailure)
+    assert result.results[2] == 25
+
+
+def test_process_backend_downgrades_unpicklable_errors():
+    backend = ProcessPoolExecutorBackend(workers=1)
+    result = backend.run([TaskSpec(_raise_unpicklable)])
+    assert result.n_failures == 1
+    assert isinstance(result.results[0], TaskFailure)
+    assert isinstance(result.results[0].error, ReproError)
+    assert "_UnpicklableError" in str(result.results[0].error)
+
+
+def test_process_backend_validation():
+    with pytest.raises(ReproError):
+        ProcessPoolExecutorBackend(workers=0)
+    with pytest.raises(ReproError):
+        ProcessPoolExecutorBackend(chunk_size=0)
+
+
+def test_run_chunked_flattens_in_item_order():
+    for executor in (
+        SerialExecutor(),
+        ProcessPoolExecutorBackend(workers=2),
+    ):
+        outcome = run_chunked(executor, _square, list(range(7)), chunk_size=3)
+        assert outcome.results == [i * i for i in range(7)]
+        assert outcome.n_failures == 0
+
+
+def test_run_chunked_keeps_per_item_failures():
+    outcome = run_chunked(
+        SerialExecutor(), _raise_for_two, [0, 1, 2, 3], chunk_size=2
+    )
+    assert outcome.n_failures == 1
+    assert outcome.successes() == [0, 1, 3]
+    assert isinstance(outcome.results[2], TaskFailure)
+
+
+def test_run_chunked_validation():
+    with pytest.raises(ReproError):
+        run_chunked(SerialExecutor(), _square, [1], chunk_size=0)
 
 
 # ----------------------------------------------------------------------
