@@ -92,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
                 dest="goals",
                 help="restrict to an end-goal (repeatable)",
             )
+            sub.add_argument(
+                "--trace",
+                metavar="FILE",
+                help="write nested execution spans to FILE as JSONL",
+            )
+            sub.add_argument(
+                "--metrics",
+                action="store_true",
+                help="print the metrics snapshot (JSON) after the run",
+            )
         if name == "table1":
             sub.add_argument(
                 "--k",
@@ -167,8 +177,16 @@ def cmd_describe(args) -> int:
 
 
 def cmd_analyze(args) -> int:
+    import json
+
+    from repro.core.engine import EngineConfig
+    from repro.obs import JsonlSink, Metrics, Tracer
+
     log = _load_dataset(args)
-    engine = ADAHealth(seed=args.seed)
+    tracer = Tracer(sinks=[JsonlSink(args.trace)]) if args.trace else None
+    metrics = Metrics() if (args.metrics or args.trace) else None
+    config = EngineConfig(tracer=tracer, metrics=metrics)
+    engine = ADAHealth(config=config, seed=args.seed)
     result = engine.analyze(
         log, name=args.dataset or "synthetic", user=args.user,
         goals=args.goals,
@@ -178,6 +196,11 @@ def cmd_analyze(args) -> int:
     print(f"top {args.top} knowledge items:")
     for rank, item in enumerate(result.top(args.top), start=1):
         print(f"{rank:>3}. {item.describe()}")
+    if args.trace:
+        print(f"\ntrace written to {args.trace}")
+    if args.metrics:
+        print("\nmetrics snapshot:")
+        print(json.dumps(engine.metrics.snapshot(), indent=2))
     return 0
 
 

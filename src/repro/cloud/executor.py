@@ -68,16 +68,39 @@ class TaskFailure:
 
 @dataclass
 class SweepResult:
-    """Results of an executor run plus timing metadata."""
+    """Results of an executor run plus timing metadata.
+
+    ``task_seconds`` aligns with ``results``: the wall time each task
+    spent executing (measured inside the worker for process backends),
+    or None for tasks that never ran. ``queue_seconds`` — dispatch→start
+    latency — is only populated by the pooled backends.
+    """
 
     results: List[Any]
     wall_seconds: float
     simulated_seconds: Optional[float] = None
     n_failures: int = 0
+    task_seconds: Optional[List[Optional[float]]] = None
+    queue_seconds: Optional[List[float]] = None
 
     def successes(self) -> List[Any]:
         """Results of the tasks that did not fail."""
         return [r for r in self.results if not isinstance(r, TaskFailure)]
+
+
+def _observe(metrics, task_seconds, queue_seconds, failures) -> None:
+    """Record one run's telemetry into an obs metrics registry."""
+    if metrics is None:
+        return
+    histogram = metrics.histogram("executor.task_seconds")
+    for seconds in task_seconds or []:
+        if seconds is not None:
+            histogram.observe(seconds)
+    latency = metrics.histogram("executor.queue_seconds")
+    for seconds in queue_seconds or []:
+        latency.observe(seconds)
+    if failures:
+        metrics.counter("executor.task_failures").inc(failures)
 
 
 class SerialExecutor:
@@ -85,20 +108,28 @@ class SerialExecutor:
 
     name = "serial"
 
+    def __init__(self, metrics=None) -> None:
+        self.metrics = metrics
+
     def run(self, tasks: Sequence[Task]) -> SweepResult:
         start = time.perf_counter()
         results: List[Any] = []
+        task_seconds: List[Optional[float]] = []
         failures = 0
         for task in tasks:
+            t0 = time.perf_counter()
             try:
                 results.append(task())
             except Exception as exc:  # noqa: BLE001 - reported, not lost
                 results.append(TaskFailure(exc))
                 failures += 1
+            task_seconds.append(time.perf_counter() - t0)
+        _observe(self.metrics, task_seconds, None, failures)
         return SweepResult(
             results=results,
             wall_seconds=time.perf_counter() - start,
             n_failures=failures,
+            task_seconds=task_seconds,
         )
 
 
@@ -107,36 +138,48 @@ class ThreadPoolExecutorBackend:
 
     name = "threads"
 
-    def __init__(self, max_workers: int = 4) -> None:
+    def __init__(self, max_workers: int = 4, metrics=None) -> None:
         if max_workers < 1:
             raise ReproError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self.metrics = metrics
 
     def run(self, tasks: Sequence[Task]) -> SweepResult:
         start = time.perf_counter()
         results: List[Any] = [None] * len(tasks)
+        task_seconds: List[Optional[float]] = [None] * len(tasks)
+        queue_seconds: List[float] = [0.0] * len(tasks)
         failures = 0
 
-        def wrap(index: int, task: Task):
+        def wrap(index: int, task: Task, submitted: float):
+            begun = time.perf_counter()
             try:
-                return index, task()
+                value = task()
             except Exception as exc:  # noqa: BLE001
-                return index, TaskFailure(exc)
+                value = TaskFailure(exc)
+            return index, value, time.perf_counter() - begun, (
+                begun - submitted
+            )
 
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             futures = [
-                pool.submit(wrap, index, task)
+                pool.submit(wrap, index, task, time.perf_counter())
                 for index, task in enumerate(tasks)
             ]
             for future in futures:
-                index, value = future.result()
+                index, value, seconds, waited = future.result()
                 results[index] = value
+                task_seconds[index] = seconds
+                queue_seconds[index] = max(0.0, waited)
                 if isinstance(value, TaskFailure):
                     failures += 1
+        _observe(self.metrics, task_seconds, queue_seconds, failures)
         return SweepResult(
             results=results,
             wall_seconds=time.perf_counter() - start,
             n_failures=failures,
+            task_seconds=task_seconds,
+            queue_seconds=queue_seconds,
         )
 
 
@@ -153,14 +196,44 @@ def _picklable_error(error: Exception) -> Exception:
         return ReproError(f"{type(error).__name__}: {error!r}")
 
 
-def _execute_chunk(tasks: Sequence[Task]) -> List[Any]:
-    """Worker entry point: run a batch of tasks, capturing failures."""
+@dataclass
+class ChunkReport:
+    """A worker's report for one timed chunk: results plus telemetry.
+
+    ``started_at`` is the worker's ``time.time()`` when it began the
+    chunk — same-machine comparable with the parent's submission stamp,
+    which is how queue latency crosses the process boundary.
+    """
+
+    results: List[Any]
+    task_seconds: List[float]
+    started_at: float
+
+
+def _execute_chunk(tasks: Sequence[Task], timed: bool = False):
+    """Worker entry point: run a batch of tasks, capturing failures.
+
+    With ``timed`` (threaded through the dispatching
+    :class:`TaskSpec`'s arguments, so it crosses the process boundary),
+    per-task wall times and the chunk start stamp come back inside a
+    :class:`ChunkReport` rather than a bare result list.
+    """
+    started_at = time.time()
     results: List[Any] = []
+    task_seconds: List[float] = []
     for task in tasks:
+        t0 = time.perf_counter()
         try:
             results.append(task())
         except Exception as exc:  # noqa: BLE001 - reported, not lost
             results.append(TaskFailure(_picklable_error(exc)))
+        task_seconds.append(time.perf_counter() - t0)
+    if timed:
+        return ChunkReport(
+            results=results,
+            task_seconds=task_seconds,
+            started_at=started_at,
+        )
     return results
 
 
@@ -199,6 +272,7 @@ class ProcessPoolExecutorBackend:
         workers: int = 4,
         chunk_size: int = 1,
         mp_context: Optional[str] = None,
+        metrics=None,
     ) -> None:
         if workers < 1:
             raise ReproError("workers must be >= 1")
@@ -207,41 +281,75 @@ class ProcessPoolExecutorBackend:
         self.workers = workers
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        self.metrics = metrics
 
     def run(self, tasks: Sequence[Task]) -> SweepResult:
         start = time.perf_counter()
         chunks = _partition(list(tasks), self.chunk_size)
         results: List[Any] = []
+        task_seconds: List[Optional[float]] = []
+        queue_seconds: List[float] = []
+        chunk_failures = 0
         context = (
             multiprocessing.get_context(self.mp_context)
             if self.mp_context
             else None
         )
-        with ProcessPoolExecutor(
+        # Not a ``with`` block: on an error (or KeyboardInterrupt)
+        # mid-run, ``__exit__`` would wait for every queued chunk to
+        # finish, leaking busy workers. Cancel what never started, then
+        # wait only for the in-flight chunks.
+        pool = ProcessPoolExecutor(
             max_workers=self.workers, mp_context=context
-        ) as pool:
+        )
+        try:
             futures = []
+            submitted = []
             for chunk in chunks:
                 try:
-                    futures.append(pool.submit(_execute_chunk, chunk))
-                except Exception as exc:  # noqa: BLE001 - submit-side pickle
+                    futures.append(
+                        pool.submit(_execute_chunk, chunk, True)
+                    )
+                except Exception as exc:  # noqa: BLE001 - submit pickle
                     futures.append(TaskFailure(_picklable_error(exc)))
-            for future, chunk in zip(futures, chunks):
+                submitted.append(time.time())
+            for future, chunk, dispatched in zip(
+                futures, chunks, submitted
+            ):
                 if isinstance(future, TaskFailure):
                     results.extend([future] * len(chunk))
+                    task_seconds.extend([None] * len(chunk))
+                    chunk_failures += 1
                     continue
                 try:
-                    results.extend(future.result())
-                except Exception as exc:  # noqa: BLE001 - worker/pipe death
+                    report = future.result()
+                except Exception as exc:  # noqa: BLE001 - worker death
                     failure = TaskFailure(_picklable_error(exc))
                     results.extend([failure] * len(chunk))
+                    task_seconds.extend([None] * len(chunk))
+                    chunk_failures += 1
+                    continue
+                results.extend(report.results)
+                task_seconds.extend(report.task_seconds)
+                queue_seconds.append(
+                    max(0.0, report.started_at - dispatched)
+                )
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
         failures = sum(
             1 for value in results if isinstance(value, TaskFailure)
         )
+        _observe(self.metrics, task_seconds, queue_seconds, failures)
+        if self.metrics is not None and chunk_failures:
+            self.metrics.counter("executor.chunk_failures").inc(
+                chunk_failures
+            )
         return SweepResult(
             results=results,
             wall_seconds=time.perf_counter() - start,
             n_failures=failures,
+            task_seconds=task_seconds,
+            queue_seconds=queue_seconds,
         )
 
 
@@ -294,7 +402,10 @@ class SimulatedClusterExecutor:
     name = "simulated-cluster"
 
     def __init__(
-        self, n_workers: int = 8, dispatch_latency: float = 0.05
+        self,
+        n_workers: int = 8,
+        dispatch_latency: float = 0.05,
+        metrics=None,
     ) -> None:
         if n_workers < 1:
             raise ReproError("n_workers must be >= 1")
@@ -302,6 +413,7 @@ class SimulatedClusterExecutor:
             raise ReproError("dispatch_latency must be >= 0")
         self.n_workers = n_workers
         self.dispatch_latency = dispatch_latency
+        self.metrics = metrics
 
     def run(self, tasks: Sequence[Task]) -> SweepResult:
         start = time.perf_counter()
@@ -316,11 +428,13 @@ class SimulatedClusterExecutor:
                 results.append(TaskFailure(exc))
                 failures += 1
             durations.append(time.perf_counter() - t0)
+        _observe(self.metrics, durations, None, failures)
         return SweepResult(
             results=results,
             wall_seconds=time.perf_counter() - start,
             simulated_seconds=self.simulate_makespan(durations),
             n_failures=failures,
+            task_seconds=list(durations),
         )
 
     def simulate_makespan(self, durations: Sequence[float]) -> float:

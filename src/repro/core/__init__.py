@@ -54,6 +54,7 @@ from repro.core.guidelines import (
     assess_compliance,
     default_diabetes_guidelines,
     extract_compliance_items,
+    past_experience,
 )
 from repro.core.feedback import (
     ExpertProfile,
@@ -139,6 +140,7 @@ __all__ = [
     "fingerprint_params",
     "fingerprint_transactions",
     "goal_features",
+    "past_experience",
     "render_report",
     "render_text",
     "researcher_profile",

@@ -103,7 +103,11 @@ class AnalysisCache:
     dataset, and store queries can audit what has been memoised.
     """
 
-    def __init__(self, collection: Optional[Collection] = None) -> None:
+    def __init__(
+        self,
+        collection: Optional[Collection] = None,
+        metrics: Optional[Any] = None,
+    ) -> None:
         if collection is None:
             collection = DocumentStore().collection(CACHE_COLLECTION)
         self.collection = collection
@@ -111,6 +115,21 @@ class AnalysisCache:
         self.collection.create_index("dataset")
         self.hits = 0
         self.misses = 0
+        self.stores = 0
+        self.metrics = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics: Any) -> "AnalysisCache":
+        """Mirror hit/miss/store counts into a metrics registry.
+
+        Pre-registers the three counters so snapshots always carry
+        them, even before the first lookup.
+        """
+        self.metrics = metrics
+        for name in ("cache.hits", "cache.misses", "cache.stores"):
+            metrics.counter(name)
+        return self
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -126,8 +145,12 @@ class AnalysisCache:
         document = self.collection.find_one({"key": key})
         if document is None:
             self.misses += 1
+            if self.metrics is not None:
+                self.metrics.counter("cache.misses").inc()
             return None
         self.hits += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache.hits").inc()
         return document["payload"]
 
     def put(
@@ -136,6 +159,9 @@ class AnalysisCache:
         """Store a payload; returns the entry key. Idempotent."""
         key = self.key(dataset, algorithm, params)
         if self.collection.find_one({"key": key}) is None:
+            self.stores += 1
+            if self.metrics is not None:
+                self.metrics.counter("cache.stores").inc()
             self.collection.insert_one(
                 {
                     "key": key,
@@ -175,9 +201,10 @@ class AnalysisCache:
         return len(self.collection)
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters and entry count."""
+        """Hit/miss/store counters and entry count."""
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "stores": self.stores,
             "entries": len(self.collection),
         }

@@ -23,7 +23,9 @@ A single call does all of it::
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+import time
+from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -56,6 +58,9 @@ from repro.mining.dbscan import DBSCAN
 from repro.mining.generalized import mine_generalized_itemsets
 from repro.mining.itemsets import mine_frequent_itemsets
 from repro.mining.rules import generate_rules
+from repro.obs.manifest import RunManifestBuilder
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import NULL_TRACER
 from repro.preprocess.characterization import characterize_log
 from repro.preprocess.transforms import L2Normalizer
 from repro.preprocess.vsm import VSMBuilder
@@ -94,6 +99,13 @@ class EngineConfig:
     #: an :class:`repro.core.cache.AnalysisCache` keyed on the dataset
     #: fingerprint, so re-analysing an unchanged log is nearly free.
     use_cache: bool = False
+    #: Telemetry: a :class:`repro.obs.Tracer` emitting nested spans and
+    #: a :class:`repro.obs.Metrics` registry. Defaults resolve to the
+    #: no-op :data:`repro.obs.NULL_TRACER` and a fresh registry. Both
+    #: are excluded from cache keys — they observe the pipeline, never
+    #: change its results.
+    tracer: Optional[Any] = None
+    metrics: Optional[Any] = None
 
 
 @dataclass
@@ -211,6 +223,10 @@ class ADAHealth:
         if cache is None and self.config.use_cache:
             cache = self.kdb.analysis_cache()
         self.cache = cache
+        self.tracer = self.config.tracer or NULL_TRACER
+        self.metrics = self.config.metrics or Metrics()
+        if self.cache is not None:
+            self.cache.bind_metrics(self.metrics)
         self.ranker = KnowledgeRanker()
         self.interest_model = EndGoalInterestModel(
             goal_names=[goal.name for goal in goals], seed=seed
@@ -232,15 +248,66 @@ class ADAHealth:
             Optional explicit goal names; by default every *viable* goal
             is pursued, in the interest model's preference order
             (limited by ``config.max_goals``).
+
+        Every call — traced or not — leaves one run manifest in the
+        K-DB ``runs`` collection: the execution record (goals, timings,
+        cache traffic, failures) that past-experience lookups consult.
+        A failing analysis records a ``"failed"`` manifest and re-raises.
         """
-        profile = characterize_log(log)
-        dataset_id = self.kdb.register_dataset(log, name)
-        self.kdb.store_profile(dataset_id, profile.to_document())
+        manifest = RunManifestBuilder(
+            dataset_fingerprint=fingerprint_log(log),
+            dataset_name=name,
+            user=user,
+            seed=self.seed,
+        )
+        cache_before = (
+            self.cache.stats() if self.cache is not None else None
+        )
+        try:
+            with self.tracer.span("analyze", dataset=name, user=user):
+                result = self._analyze(log, name, user, goals, manifest)
+        except Exception as exc:
+            self._record_cache_traffic(manifest, cache_before)
+            self.kdb.record_run(
+                manifest.fail(
+                    f"{type(exc).__name__}: {exc}",
+                    self.metrics.snapshot(),
+                )
+            )
+            raise
+        self._record_cache_traffic(manifest, cache_before)
+        self.kdb.record_run(
+            manifest.finish(len(result.items), self.metrics.snapshot())
+        )
+        return result
 
-        assessments = self.finder.assess(profile)
-        selected = self._select_goals(assessments, profile, goals)
+    def _analyze(
+        self,
+        log: ExamLog,
+        name: str,
+        user: str,
+        goals: Optional[Sequence[str]],
+        manifest: RunManifestBuilder,
+    ) -> AnalysisResult:
+        """The pipeline body of :meth:`analyze` (runs inside its span)."""
+        with self.tracer.span("characterize"):
+            profile = characterize_log(log)
+            dataset_id = self.kdb.register_dataset(log, name)
+            self.kdb.store_profile(dataset_id, profile.to_document())
+        manifest.dataset["id"] = dataset_id
 
-        runs = self._run_goals(selected, log, profile, dataset_id)
+        with self.tracer.span("assess-goals"):
+            assessments = self.finder.assess(profile)
+            selected = self._select_goals(assessments, profile, goals)
+        for assessment in assessments:
+            manifest.assess_goal(
+                assessment.goal.name, assessment.viable, assessment.reason
+            )
+
+        with self.tracer.span("run-goals", n_goals=len(selected)):
+            runs = self._run_goals(
+                selected, log, profile, dataset_id, manifest
+            )
 
         # Goal pipelines are side-effect free (so they can run in worker
         # processes and be cached); their deferred K-DB writes happen
@@ -250,15 +317,18 @@ class ADAHealth:
             if transformation is not None:
                 self.kdb.store_transformation(dataset_id, transformation)
 
-        items: List[KnowledgeItem] = []
-        for run in runs:
-            items.extend(run.items)
-        score_items(items)
-        self._attach_degrees(items)
-        self.kdb.store_items(items, dataset_id)
-        ranked = self.ranker.rank(items)
-        for rank, item in enumerate(ranked[: self.config.items_per_goal]):
-            self.kdb.select_item(item, rank)
+        with self.tracer.span("score-and-rank"):
+            items: List[KnowledgeItem] = []
+            for run in runs:
+                items.extend(run.items)
+            score_items(items)
+            self._attach_degrees(items)
+            self.kdb.store_items(items, dataset_id)
+            ranked = self.ranker.rank(items)
+            for rank, item in enumerate(
+                ranked[: self.config.items_per_goal]
+            ):
+                self.kdb.select_item(item, rank)
 
         return AnalysisResult(
             dataset_id=dataset_id,
@@ -268,6 +338,23 @@ class ADAHealth:
             items=ranked,
             engine=self,
             user=user,
+        )
+
+    def _record_cache_traffic(
+        self,
+        manifest: RunManifestBuilder,
+        before: Optional[Dict[str, int]],
+    ) -> None:
+        """Record this run's share of the cache counters (deltas)."""
+        if self.cache is None or before is None:
+            manifest.record_cache(False, 0, 0, 0)
+            return
+        after = self.cache.stats()
+        manifest.record_cache(
+            True,
+            after["hits"] - before["hits"],
+            after["misses"] - before["misses"],
+            after["stores"] - before["stores"],
         )
 
     # ------------------------------------------------------------------
@@ -313,6 +400,7 @@ class ADAHealth:
         log: ExamLog,
         profile,
         dataset_id,
+        manifest: Optional[RunManifestBuilder] = None,
     ) -> List[GoalRun]:
         """Run the selected goals, concurrently where configured.
 
@@ -324,6 +412,8 @@ class ADAHealth:
         are restored instead of recomputed.
         """
         if not selected:
+            if manifest is not None:
+                manifest.record_executor("serial", 1, 0)
             return []
         fingerprint: Optional[str] = None
         restored: Dict[str, GoalRun] = {}
@@ -341,13 +431,42 @@ class ADAHealth:
                     restored[goal.name] = self._goal_run_from_document(
                         hit, goal, dataset_id
                     )
+        if manifest is not None:
+            for name, run in restored.items():
+                manifest.add_goal(
+                    name,
+                    wall_s=0.0,
+                    n_items=len(run.items),
+                    cached=True,
+                    algorithms=_run_algorithms(run),
+                )
 
         computed: Dict[str, GoalRun] = {}
         if len(pending) <= 1 or self.config.executor == "serial":
+            if manifest is not None:
+                manifest.record_executor("serial", 1, 0)
             for goal in pending:
-                computed[goal.name] = self._run_goal(
-                    goal, log, profile, dataset_id
-                )
+                with self.tracer.span("goal", goal=goal.name):
+                    t0 = time.perf_counter()
+                    try:
+                        run = self._run_goal(goal, log, profile, dataset_id)
+                    except Exception as exc:
+                        if manifest is not None:
+                            manifest.add_goal(
+                                goal.name,
+                                wall_s=time.perf_counter() - t0,
+                                status="failed",
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        raise
+                computed[goal.name] = run
+                if manifest is not None:
+                    manifest.add_goal(
+                        goal.name,
+                        wall_s=time.perf_counter() - t0,
+                        n_items=len(run.items),
+                        algorithms=_run_algorithms(run),
+                    )
         else:
             executor = self._goal_executor()
             tasks = [
@@ -358,10 +477,47 @@ class ADAHealth:
                 for goal in pending
             ]
             outcome = executor.run(tasks)
-            for goal, value in zip(pending, outcome.results):
+            if manifest is not None:
+                manifest.record_executor(
+                    getattr(executor, "name", self.config.executor),
+                    self.config.executor_workers,
+                    outcome.n_failures,
+                )
+            for index, (goal, value) in enumerate(
+                zip(pending, outcome.results)
+            ):
+                seconds = None
+                if outcome.task_seconds is not None:
+                    seconds = outcome.task_seconds[index]
+                if seconds is not None:
+                    # Goal pipelines ran in workers; replay their
+                    # reported timings as child spans of "run-goals".
+                    self.tracer.record_span(
+                        "goal",
+                        seconds,
+                        goal=goal.name,
+                        failed=isinstance(value, TaskFailure),
+                    )
                 if isinstance(value, TaskFailure):
+                    if manifest is not None:
+                        manifest.add_goal(
+                            goal.name,
+                            wall_s=seconds or 0.0,
+                            status="failed",
+                            error=(
+                                f"{type(value.error).__name__}:"
+                                f" {value.error}"
+                            ),
+                        )
                     raise value.error
                 computed[goal.name] = value
+                if manifest is not None:
+                    manifest.add_goal(
+                        goal.name,
+                        wall_s=seconds or 0.0,
+                        n_items=len(value.items),
+                        algorithms=_run_algorithms(value),
+                    )
 
         # Cache writes stay in the parent process so they survive
         # process-pool execution.
@@ -384,25 +540,46 @@ class ADAHealth:
         """Build the configured backend for the goal fan-out."""
         cfg = self.config
         if cfg.executor == "threads":
-            return make_executor("threads", max_workers=cfg.executor_workers)
+            return make_executor(
+                "threads",
+                max_workers=cfg.executor_workers,
+                metrics=self.metrics,
+            )
         if cfg.executor == "process":
-            return make_executor("process", workers=cfg.executor_workers)
+            return make_executor(
+                "process",
+                workers=cfg.executor_workers,
+                metrics=self.metrics,
+            )
         if cfg.executor == "simulated-cluster":
             return make_executor(
-                "simulated-cluster", n_workers=cfg.executor_workers
+                "simulated-cluster",
+                n_workers=cfg.executor_workers,
+                metrics=self.metrics,
             )
-        return make_executor(cfg.executor)
+        return make_executor(cfg.executor, metrics=self.metrics)
 
     def _goal_params(self, goal: EndGoal) -> Dict[str, Any]:
         """Cache-key parameters for one goal run.
 
-        The execution knobs (``executor*``, ``use_cache``) are excluded:
-        they change *where* the pipeline runs, never its result, so a
-        sweep finished serially is reusable by a process-parallel run.
+        The execution knobs (``executor*``, ``use_cache``) and the
+        telemetry handles (``tracer``, ``metrics``) are excluded: they
+        change *where* the pipeline runs or what observes it, never its
+        result, so a sweep finished serially is reusable by a traced
+        process-parallel run (and vice versa).
         """
-        params = asdict(self.config)
-        for knob in ("executor", "executor_workers", "use_cache"):
-            params.pop(knob, None)
+        excluded = {
+            "executor",
+            "executor_workers",
+            "use_cache",
+            "tracer",
+            "metrics",
+        }
+        params = {
+            spec.name: getattr(self.config, spec.name)
+            for spec in dataclass_fields(self.config)
+            if spec.name not in excluded
+        }
         return {"goal": goal.name, "config": params, "seed": self.seed}
 
     @staticmethod
@@ -525,6 +702,8 @@ class ADAHealth:
             n_folds=cfg.n_folds,
             cache=self.cache,
             seed=self.seed,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         report = optimizer.optimize(matrix)
         best = report.best_row
@@ -563,7 +742,10 @@ class ADAHealth:
     def _run_itemsets(self, goal, log, dataset_id) -> GoalRun:
         transactions = self._transactions(log)
         itemsets = mine_frequent_itemsets(
-            transactions, self.config.min_support, algorithm="fpgrowth"
+            transactions,
+            self.config.min_support,
+            algorithm="fpgrowth",
+            metrics=self.metrics,
         )
         items = extract_itemset_items(
             itemsets,
@@ -582,7 +764,10 @@ class ADAHealth:
     def _run_rules(self, goal, log, dataset_id) -> GoalRun:
         transactions = self._transactions(log)
         itemsets = mine_frequent_itemsets(
-            transactions, self.config.min_support, algorithm="fpgrowth"
+            transactions,
+            self.config.min_support,
+            algorithm="fpgrowth",
+            metrics=self.metrics,
         )
         rules = generate_rules(
             itemsets, min_confidence=self.config.min_confidence
@@ -750,6 +935,17 @@ class ADAHealth:
         """Teach the interest model whether a goal was worth running."""
         goal = self.finder.by_name(goal_name)
         self.interest_model.record_interaction(goal, profile, interested)
+
+
+def _run_algorithms(run: GoalRun) -> List[str]:
+    """Distinct algorithm names recorded in a run's item provenance."""
+    return sorted(
+        {
+            str(item.provenance["algorithm"])
+            for item in run.items
+            if item.provenance.get("algorithm")
+        }
+    )
 
 
 def _run_goal_task(

@@ -251,3 +251,72 @@ def extract_compliance_items(
         )
     )
     return items
+
+
+# ----------------------------------------------------------------------
+# Past experience (execution history from the K-DB runs collection)
+# ----------------------------------------------------------------------
+def past_experience(
+    kdb,
+    goal_name: Optional[str] = None,
+    dataset_fingerprint: Optional[str] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Aggregate real execution history from the ``runs`` collection.
+
+    The paper's automation needs "past experience" to decide what is
+    worth running next; run manifests (see :mod:`repro.obs.manifest`)
+    make that experience concrete. Per goal, this summarises every
+    recorded run: how often it ran, failed or came from cache, the mean
+    wall time of the runs that actually executed, the mean knowledge
+    yield, and which algorithms history used.
+
+    Parameters
+    ----------
+    kdb:
+        A :class:`repro.kdb.KnowledgeBase` with recorded runs.
+    goal_name:
+        Restrict the summary to one end-goal.
+    dataset_fingerprint:
+        Restrict to runs over one dataset's content fingerprint.
+    """
+    experience: Dict[str, Dict[str, object]] = {}
+    tallies: Dict[str, Dict[str, object]] = {}
+    for run in kdb.run_history(dataset_fingerprint=dataset_fingerprint):
+        for goal in run.get("goals", []):
+            name = goal.get("name")
+            if name is None or (
+                goal_name is not None and name != goal_name
+            ):
+                continue
+            entry = tallies.setdefault(
+                name,
+                {
+                    "runs": 0,
+                    "failures": 0,
+                    "cached": 0,
+                    "wall_s": 0.0,
+                    "n_items": 0,
+                    "algorithms": set(),
+                },
+            )
+            entry["runs"] += 1
+            if goal.get("status") != "completed":
+                entry["failures"] += 1
+            if goal.get("cached"):
+                entry["cached"] += 1
+            entry["wall_s"] += float(goal.get("wall_s", 0.0))
+            entry["n_items"] += int(goal.get("n_items", 0))
+            entry["algorithms"].update(goal.get("algorithms", []))
+    for name, entry in tallies.items():
+        executed = entry["runs"] - entry["cached"]
+        experience[name] = {
+            "runs": entry["runs"],
+            "failures": entry["failures"],
+            "cached": entry["cached"],
+            "mean_wall_s": (
+                entry["wall_s"] / executed if executed else 0.0
+            ),
+            "mean_items": entry["n_items"] / entry["runs"],
+            "algorithms": sorted(entry["algorithms"]),
+        }
+    return experience

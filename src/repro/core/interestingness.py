@@ -34,8 +34,16 @@ def score_cluster_item(quality: Dict[str, float]) -> float:
     far the centroid sits from the global centroid, normalised upstream).
     """
     cohesion = _clamp(quality.get("cohesion", 0.0))
-    size_share = _clamp(quality.get("size_share", 0.0))
     distinctiveness = _clamp(quality.get("distinctiveness", 0.0))
+    raw_share = quality.get("size_share")
+    if raw_share is None:
+        # Absent is not zero: an extractor that never measured the
+        # share must not be scored as a vanishing cluster. Renormalise
+        # over the components that were measured.
+        return _clamp(
+            (0.5 * cohesion + 0.3 * distinctiveness) / 0.8
+        )
+    size_share = _clamp(raw_share)
     # Size sweet spot: full credit between 2% and 60% of the cohort.
     if size_share < 0.02:
         size_factor = size_share / 0.02

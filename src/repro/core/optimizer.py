@@ -32,6 +32,7 @@ import numpy as np
 from repro.cloud.executor import SerialExecutor, TaskSpec
 from repro.core.cache import AnalysisCache, fingerprint_array
 from repro.exceptions import MiningError
+from repro.obs.tracer import NULL_TRACER
 from repro.mining.decision_tree import DecisionTreeClassifier
 from repro.mining.kmeans import KMeans
 from repro.mining.metrics import overall_similarity
@@ -204,6 +205,8 @@ class KMeansOptimizer:
         executor=None,
         cache: Optional[AnalysisCache] = None,
         seed: int = 0,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if not k_values:
             raise MiningError("k_values must be non-empty")
@@ -220,6 +223,8 @@ class KMeansOptimizer:
         self.executor = executor or SerialExecutor()
         self.cache = cache
         self.seed = seed
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     def evaluate_k(self, data: np.ndarray, k: int) -> OptimizationRow:
@@ -260,44 +265,74 @@ class KMeansOptimizer:
         are memoised too.
         """
         data = np.asarray(data, dtype=np.float64)
-        rows: List[OptimizationRow] = []
-        pending = list(self.k_values)
-        fingerprint: Optional[str] = None
-        if self.cache is not None and self.classifier_factory is None:
-            fingerprint = fingerprint_array(data)
-            pending = []
-            for k in self.k_values:
-                hit = self.cache.get(
-                    fingerprint, "kmeans-optimizer-row", self._cell_params(k)
-                )
-                if hit is None:
-                    pending.append(k)
-                else:
-                    rows.append(OptimizationRow.from_document(hit))
-        tasks = [
-            TaskSpec(_evaluate_k_task, (self, data, k)) for k in pending
-        ]
-        outcome = self.executor.run(tasks)
-        for k, value in zip(pending, outcome.results):
-            if not isinstance(value, OptimizationRow):
-                continue
-            rows.append(value)
-            if fingerprint is not None:
-                self.cache.put(
-                    fingerprint,
-                    "kmeans-optimizer-row",
-                    self._cell_params(k),
-                    value.to_document(),
-                )
-        if not rows:
-            raise MiningError("every optimisation run failed")
-        rows.sort(key=lambda row: row.k)
-        best_k = max(rows, key=lambda row: row.combined).k
-        return OptimizationReport(
-            rows=rows,
-            best_k=best_k,
-            sse_plateau=sse_plateau(rows),
-        )
+        with self.tracer.span(
+            "kmeans-optimize",
+            n_samples=int(data.shape[0]),
+            k_values=list(self.k_values),
+        ) as sweep_span:
+            rows: List[OptimizationRow] = []
+            pending = list(self.k_values)
+            fingerprint: Optional[str] = None
+            if self.cache is not None and self.classifier_factory is None:
+                fingerprint = fingerprint_array(data)
+                pending = []
+                for k in self.k_values:
+                    hit = self.cache.get(
+                        fingerprint,
+                        "kmeans-optimizer-row",
+                        self._cell_params(k),
+                    )
+                    if hit is None:
+                        pending.append(k)
+                    else:
+                        rows.append(OptimizationRow.from_document(hit))
+            tasks = [
+                TaskSpec(_evaluate_k_task, (self, data, k)) for k in pending
+            ]
+            outcome = self.executor.run(tasks)
+            for index, (k, value) in enumerate(
+                zip(pending, outcome.results)
+            ):
+                seconds = None
+                if outcome.task_seconds is not None:
+                    seconds = outcome.task_seconds[index]
+                if seconds is not None:
+                    # Per-K timings may have been measured in a worker
+                    # process; replay them here as child spans.
+                    self.tracer.record_span(
+                        "kmeans-k",
+                        seconds,
+                        k=k,
+                        failed=not isinstance(value, OptimizationRow),
+                    )
+                    if self.metrics is not None:
+                        self.metrics.histogram(
+                            "optimizer.k_seconds"
+                        ).observe(seconds)
+                if not isinstance(value, OptimizationRow):
+                    continue
+                rows.append(value)
+                if fingerprint is not None:
+                    self.cache.put(
+                        fingerprint,
+                        "kmeans-optimizer-row",
+                        self._cell_params(k),
+                        value.to_document(),
+                    )
+            if not rows:
+                raise MiningError("every optimisation run failed")
+            rows.sort(key=lambda row: row.k)
+            best_k = max(rows, key=lambda row: row.combined).k
+            sweep_span.set(
+                best_k=best_k,
+                n_cached=len(self.k_values) - len(pending),
+                n_failures=outcome.n_failures,
+            )
+            return OptimizationReport(
+                rows=rows,
+                best_k=best_k,
+                sse_plateau=sse_plateau(rows),
+            )
 
     def _cell_params(self, k: int) -> Dict[str, Any]:
         """Everything that determines one per-K row, for cache keys."""

@@ -251,14 +251,46 @@ class _Matcher:
         raise QueryError(f"unknown operator: {operator}")
 
 
+class _OrderedValue:
+    """Total-order wrapper for sort values of one type.
+
+    Same-type values that do not support ``<`` (dicts, mixed-content
+    lists...) fall back to a stable ``repr``-based ordering instead of
+    raising ``TypeError`` out of ``sort``.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_OrderedValue") -> bool:
+        try:
+            return bool(self.value < other.value)
+        except TypeError:
+            return repr(self.value) < repr(other.value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _OrderedValue):
+            return NotImplemented
+        return self.value == other.value
+
+
 class Cursor:
-    """Lazy result set supporting ``sort``/``skip``/``limit`` chaining."""
+    """Lazy result set supporting ``sort``/``skip``/``limit`` chaining.
+
+    The resolved (sorted, sliced) view is memoised: ``len(cursor)``
+    followed by iteration, or repeated ``to_list`` calls, pay the
+    O(n log n) sort once. Chaining ``sort``/``skip``/``limit``
+    invalidates the memo.
+    """
 
     def __init__(self, documents: List[Document]) -> None:
         self._documents = documents
         self._sort_spec: List[Tuple[str, int]] = []
         self._skip = 0
         self._limit: Optional[int] = None
+        self._cache: Optional[List[Document]] = None
 
     def sort(self, key: Union[str, List[Tuple[str, int]]], direction: int = 1):
         """Sort by a dot-path (or list of ``(path, direction)`` pairs)."""
@@ -266,6 +298,7 @@ class Cursor:
             self._sort_spec = [(key, direction)]
         else:
             self._sort_spec = list(key)
+        self._cache = None
         return self
 
     def skip(self, count: int) -> "Cursor":
@@ -273,6 +306,7 @@ class Cursor:
         if count < 0:
             raise QueryError("skip must be non-negative")
         self._skip = count
+        self._cache = None
         return self
 
     def limit(self, count: int) -> "Cursor":
@@ -280,9 +314,12 @@ class Cursor:
         if count < 0:
             raise QueryError("limit must be non-negative")
         self._limit = count
+        self._cache = None
         return self
 
     def _resolved(self) -> List[Document]:
+        if self._cache is not None:
+            return self._cache
         documents = self._documents
         for path, direction in reversed(self._sort_spec):
             parts = path.split(".")
@@ -290,8 +327,13 @@ class Cursor:
             def sort_key(document: Document, parts=parts) -> Tuple:
                 values = _walk_path(document, parts)
                 value = values[0] if values else None
-                # None sorts first; mixed types sort by type name.
-                return (value is not None, type(value).__name__, value)
+                # None sorts first; mixed types sort by type name;
+                # unorderable same-type values by repr (stable).
+                return (
+                    value is not None,
+                    type(value).__name__,
+                    _OrderedValue(value),
+                )
 
             documents = sorted(
                 documents, key=sort_key, reverse=(direction < 0)
@@ -299,7 +341,8 @@ class Cursor:
         end = (
             None if self._limit is None else self._skip + self._limit
         )
-        return documents[self._skip : end]
+        self._cache = documents[self._skip : end]
+        return self._cache
 
     def __iter__(self) -> Iterator[Document]:
         return iter(self._resolved())
@@ -565,7 +608,7 @@ def _resolve_expression(document: Document, expression: Any) -> Any:
 def _sort_key(document: Document, path: str) -> Tuple:
     values = _walk_path(document, path.split("."))
     value = values[0] if values else None
-    return (value is not None, type(value).__name__, value)
+    return (value is not None, type(value).__name__, _OrderedValue(value))
 
 
 def _project(document: Document, spec: Document) -> Document:

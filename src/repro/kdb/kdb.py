@@ -29,6 +29,7 @@ from repro.data.records import ExamLog
 from repro.exceptions import EngineError, StoreError
 from repro.kdb.documentstore import DocumentStore
 from repro.mining.decision_tree import DecisionTreeClassifier
+from repro.obs.manifest import RUNS_COLLECTION, validate_manifest
 
 #: The six collections of the paper's data model.
 RAW_DATASETS = "raw_datasets"
@@ -47,14 +48,24 @@ COLLECTIONS = (
     FEEDBACK,
 )
 
+#: Telemetry collection (run manifests) next to the paper's six.
+RUNS = RUNS_COLLECTION
+
 
 class KnowledgeBase:
-    """Facade over the six-collection knowledge store."""
+    """Facade over the six-collection knowledge store.
+
+    A seventh ``runs`` collection (not part of the paper's data model,
+    hence outside :data:`COLLECTIONS`) stores one execution manifest
+    per analysis, so algorithm and parameter choices can be replayed as
+    past experience.
+    """
 
     def __init__(self, store: Optional[DocumentStore] = None) -> None:
         self.store = store or DocumentStore()
         for name in COLLECTIONS:
             self.store.collection(name)
+        self.store.collection(RUNS)
         self.store[DISCOVERED_KNOWLEDGE].create_index("end_goal")
         self.store[FEEDBACK].create_index("item_id")
 
@@ -213,6 +224,43 @@ class KnowledgeBase:
         )
         tree.fit(rows, labels)
         return DegreePredictor(tree=tree, feature_names=feature_names)
+
+    # ------------------------------------------------------------------
+    # run manifests (execution history)
+    # ------------------------------------------------------------------
+    def record_run(self, manifest: Dict[str, Any]) -> Any:
+        """Persist one analysis run manifest; returns its id.
+
+        The document is validated against the manifest schema first, so
+        the ``runs`` collection only ever holds well-formed history.
+        """
+        document = validate_manifest(dict(manifest))
+        return self.store[RUNS].insert_one(document)
+
+    def run_history(
+        self,
+        dataset_fingerprint: Optional[str] = None,
+        goal: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict]:
+        """Past run manifests, most recent first.
+
+        Optionally filtered to one dataset fingerprint and/or to runs
+        that executed a given end-goal.
+        """
+        query: Dict[str, Any] = {}
+        if dataset_fingerprint is not None:
+            query["dataset.fingerprint"] = dataset_fingerprint
+        if goal is not None:
+            query["goals.name"] = goal
+        cursor = self.store[RUNS].find(query).sort("started_at", -1)
+        if limit is not None:
+            cursor = cursor.limit(limit)
+        return cursor.to_list()
+
+    def run_count(self) -> int:
+        """Number of recorded run manifests."""
+        return len(self.store[RUNS])
 
     # ------------------------------------------------------------------
     # analysis cache

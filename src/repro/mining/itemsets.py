@@ -98,6 +98,7 @@ def apriori(
     transactions: Sequence[Transaction],
     min_support: float,
     max_length: Optional[int] = None,
+    metrics=None,
 ) -> List[Itemset]:
     """Mine frequent itemsets breadth-first (Agrawal & Srikant 1994).
 
@@ -105,6 +106,9 @@ def apriori(
     with bit ``t`` set when transaction ``t`` contains the item; a
     candidate's support is the popcount of the AND of its items' masks,
     computed incrementally from its parent in the join step.
+
+    ``metrics`` (an ``repro.obs.Metrics`` registry) receives per-level
+    candidate/pruned/survivor counters and the overall pruning ratio.
 
     Returns itemsets sorted by (length, items) for determinism.
     """
@@ -129,11 +133,29 @@ def apriori(
             results[frozenset((item,))] = count
 
     length = 1
+    total_candidates = 0
+    total_pruned = 0
     while current and (max_length is None or length < max_length):
         length += 1
-        current = _apriori_level(current, item_masks, min_count)
+        current, stats = _apriori_level(current, item_masks, min_count)
         for candidate, mask in current.items():
             results[frozenset(candidate)] = _popcount(mask)
+        total_candidates += stats["candidates"]
+        total_pruned += stats["pruned"] + stats["infrequent"]
+        if metrics is not None:
+            metrics.counter("apriori.candidates").inc(stats["candidates"])
+            metrics.counter("apriori.pruned").inc(stats["pruned"])
+            metrics.counter("apriori.infrequent").inc(stats["infrequent"])
+            metrics.counter("apriori.survivors").inc(len(current))
+            metrics.histogram("apriori.level_candidates").observe(
+                stats["candidates"]
+            )
+    if metrics is not None:
+        metrics.gauge("apriori.levels").set(length - 1)
+        if total_candidates:
+            metrics.gauge("apriori.pruning_ratio").set(
+                total_pruned / total_candidates
+            )
 
     return _to_itemsets(results, n, vocabulary)
 
@@ -142,31 +164,44 @@ def _apriori_level(
     frequent: Dict[Tuple[int, ...], int],
     item_masks: List[int],
     min_count: int,
-) -> Dict[Tuple[int, ...], int]:
+) -> Tuple[Dict[Tuple[int, ...], int], Dict[str, int]]:
     """One breadth-first level: join, prune, count via bitsets.
 
     ``frequent`` maps each (k-1)-itemset — a sorted id tuple — to its
-    transaction bitset; the returned mapping holds the frequent
-    k-itemsets with theirs.
+    transaction bitset; returns the frequent k-itemsets with theirs,
+    plus the level's mining statistics: ``candidates`` joined,
+    ``pruned`` by downward closure, ``infrequent`` below min support.
     """
     frequent_keys = set(frequent)
     ordered = sorted(frequent)
     survivors: Dict[Tuple[int, ...], int] = {}
+    candidates = 0
+    pruned = 0
+    infrequent = 0
     for i in range(len(ordered)):
         for j in range(i + 1, len(ordered)):
             a, b = ordered[i], ordered[j]
             if a[:-1] != b[:-1]:
                 break  # ordered list: no further joins share the prefix
             candidate = a + (b[-1],)
+            candidates += 1
             if not all(
                 subset in frequent_keys
                 for subset in combinations(candidate, len(candidate) - 1)
             ):
+                pruned += 1
                 continue
             mask = frequent[a] & item_masks[b[-1]]
             if _popcount(mask) >= min_count:
                 survivors[candidate] = mask
-    return survivors
+            else:
+                infrequent += 1
+    stats = {
+        "candidates": candidates,
+        "pruned": pruned,
+        "infrequent": infrequent,
+    }
+    return survivors, stats
 
 
 # ----------------------------------------------------------------------
@@ -271,15 +306,23 @@ def fpgrowth(
     transactions: Sequence[Transaction],
     min_support: float,
     max_length: Optional[int] = None,
+    metrics=None,
 ) -> List[Itemset]:
-    """Mine frequent itemsets with FP-growth (Han, Pei & Yin 2000)."""
+    """Mine frequent itemsets with FP-growth (Han, Pei & Yin 2000).
+
+    ``metrics`` (an ``repro.obs.Metrics`` registry) receives counters
+    for conditional trees built, single-path shortcuts taken and
+    itemsets emitted.
+    """
     _validate(transactions, min_support)
     n = len(transactions)
     min_count = _min_count(min_support, n)
     vocabulary, encoded = _encode(transactions)
     tree = _FPTree(((sorted(t), 1) for t in encoded), min_count)
     results: Dict[FrozenSet[int], int] = {}
-    _fp_mine(tree, min_count, frozenset(), results, max_length)
+    _fp_mine(tree, min_count, frozenset(), results, max_length, metrics)
+    if metrics is not None:
+        metrics.counter("fpgrowth.itemsets").inc(len(results))
     return _to_itemsets(results, n, vocabulary)
 
 
@@ -289,10 +332,13 @@ def _fp_mine(
     suffix: FrozenSet[int],
     results: Dict[FrozenSet[int], int],
     max_length: Optional[int],
+    metrics=None,
 ) -> None:
     chain = tree.single_path()
     if chain is not None:
         # Enumerate all combinations of the single path directly.
+        if metrics is not None:
+            metrics.counter("fpgrowth.single_paths").inc()
         for size in range(1, len(chain) + 1):
             if max_length is not None and len(suffix) + size > max_length:
                 break
@@ -313,8 +359,17 @@ def _fp_mine(
         if max_length is not None and len(new_suffix) >= max_length:
             continue
         conditional = _FPTree(tree.prefix_paths(item), min_count)
+        if metrics is not None:
+            metrics.counter("fpgrowth.conditional_trees").inc()
         if conditional.item_counts:
-            _fp_mine(conditional, min_count, new_suffix, results, max_length)
+            _fp_mine(
+                conditional,
+                min_count,
+                new_suffix,
+                results,
+                max_length,
+                metrics,
+            )
 
 
 # ----------------------------------------------------------------------
@@ -349,6 +404,7 @@ def mine_frequent_itemsets(
     min_support: float,
     algorithm: str = "fpgrowth",
     max_length: Optional[int] = None,
+    metrics=None,
 ) -> List[Itemset]:
     """Facade dispatching to :func:`apriori` or :func:`fpgrowth`."""
     try:
@@ -358,7 +414,9 @@ def mine_frequent_itemsets(
             f"unknown algorithm {algorithm!r};"
             f" choose from {sorted(_ALGORITHMS)}"
         ) from None
-    return miner(transactions, min_support, max_length=max_length)
+    return miner(
+        transactions, min_support, max_length=max_length, metrics=metrics
+    )
 
 
 def itemset_index(

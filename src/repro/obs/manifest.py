@@ -1,0 +1,210 @@
+"""Per-analysis run manifests.
+
+The paper's self-learning loop needs the K-DB to remember not just the
+*knowledge* each analysis produced but the *execution* that produced it
+— which goals were attempted, with which algorithms and parameters,
+what was served from cache, how long each goal took, and how many
+worker tasks failed. A run manifest is that record: one JSON document
+per ``ADAHealth.analyze`` call, persisted into the K-DB ``runs``
+collection (see :meth:`repro.kdb.KnowledgeBase.record_run`) where
+past-experience lookups can query it with ordinary store queries.
+
+This module is dependency-free: the builder only assembles plain dicts;
+persistence belongs to the K-DB layer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+#: Name of the K-DB collection holding run manifests.
+RUNS_COLLECTION = "runs"
+
+#: Schema tag stamped on every manifest (bump on breaking changes).
+MANIFEST_SCHEMA = "ada-health/run-manifest/v1"
+
+#: Top-level fields every well-formed manifest must carry.
+MANIFEST_FIELDS = (
+    "schema",
+    "status",
+    "dataset",
+    "user",
+    "seed",
+    "started_at",
+    "finished_at",
+    "wall_s",
+    "goals_assessed",
+    "goals",
+    "cache",
+    "executor",
+    "metrics",
+    "n_items",
+)
+
+
+class ManifestError(ValueError):
+    """A manifest document failed validation."""
+
+
+def validate_manifest(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Check a manifest is well-formed; returns it (raises otherwise)."""
+    missing = [f for f in MANIFEST_FIELDS if f not in document]
+    if missing:
+        raise ManifestError(f"manifest missing fields: {missing}")
+    if document["schema"] != MANIFEST_SCHEMA:
+        raise ManifestError(
+            f"unknown manifest schema {document['schema']!r}"
+        )
+    if document["status"] not in ("completed", "failed"):
+        raise ManifestError(
+            f"unknown manifest status {document['status']!r}"
+        )
+    if not isinstance(document["goals"], list):
+        raise ManifestError("manifest goals must be a list")
+    for goal in document["goals"]:
+        for field in ("name", "status", "wall_s"):
+            if field not in goal:
+                raise ManifestError(
+                    f"goal record missing {field!r}: {goal}"
+                )
+    return document
+
+
+class RunManifestBuilder:
+    """Accumulates one analysis run's execution record.
+
+    The engine drives it through :meth:`add_goal` /
+    :meth:`record_cache` / :meth:`record_executor`, then calls
+    :meth:`finish` (or :meth:`fail`) to obtain the persistable
+    document.
+    """
+
+    def __init__(
+        self,
+        dataset_fingerprint: str,
+        dataset_name: str,
+        dataset_id: Any = None,
+        user: str = "anonymous",
+        seed: int = 0,
+    ) -> None:
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        self.dataset = {
+            "id": dataset_id,
+            "name": dataset_name,
+            "fingerprint": dataset_fingerprint,
+        }
+        self.user = user
+        self.seed = seed
+        self.goals_assessed: List[Dict[str, Any]] = []
+        self.goals: List[Dict[str, Any]] = []
+        self.cache: Dict[str, Any] = {
+            "enabled": False,
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+        }
+        self.executor: Dict[str, Any] = {
+            "backend": "serial",
+            "workers": 1,
+            "task_failures": 0,
+        }
+
+    # -- accumulation ----------------------------------------------------
+    def assess_goal(self, name: str, viable: bool, reason: str) -> None:
+        """Record one end-goal feasibility assessment."""
+        self.goals_assessed.append(
+            {"name": name, "viable": bool(viable), "reason": reason}
+        )
+
+    def add_goal(
+        self,
+        name: str,
+        wall_s: float,
+        status: str = "completed",
+        n_items: int = 0,
+        cached: bool = False,
+        algorithms: Optional[List[str]] = None,
+        params: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Record one attempted goal pipeline."""
+        self.goals.append(
+            {
+                "name": name,
+                "status": status,
+                "wall_s": float(wall_s),
+                "n_items": int(n_items),
+                "cached": bool(cached),
+                "algorithms": sorted(algorithms or []),
+                "params": params or {},
+                "error": error,
+            }
+        )
+
+    def record_cache(
+        self, enabled: bool, hits: int, misses: int, stores: int
+    ) -> None:
+        """Record the analysis cache's traffic for this run."""
+        self.cache = {
+            "enabled": bool(enabled),
+            "hits": int(hits),
+            "misses": int(misses),
+            "stores": int(stores),
+        }
+
+    def record_executor(
+        self, backend: str, workers: int, task_failures: int = 0
+    ) -> None:
+        """Record the fan-out backend and its failure count."""
+        self.executor = {
+            "backend": backend,
+            "workers": int(workers),
+            "task_failures": int(task_failures),
+        }
+
+    # -- completion ------------------------------------------------------
+    def finish(
+        self,
+        n_items: int,
+        metrics_snapshot: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """The manifest of a completed run."""
+        return self._document(
+            "completed", n_items, metrics_snapshot, error=None
+        )
+
+    def fail(
+        self,
+        error: str,
+        metrics_snapshot: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """The manifest of a run that raised."""
+        return self._document("failed", 0, metrics_snapshot, error=error)
+
+    def _document(
+        self,
+        status: str,
+        n_items: int,
+        metrics_snapshot: Optional[Dict[str, Any]],
+        error: Optional[str],
+    ) -> Dict[str, Any]:
+        document = {
+            "schema": MANIFEST_SCHEMA,
+            "status": status,
+            "dataset": dict(self.dataset),
+            "user": self.user,
+            "seed": self.seed,
+            "started_at": self.started_at,
+            "finished_at": time.time(),
+            "wall_s": time.perf_counter() - self._t0,
+            "goals_assessed": list(self.goals_assessed),
+            "goals": list(self.goals),
+            "cache": dict(self.cache),
+            "executor": dict(self.executor),
+            "metrics": metrics_snapshot or {},
+            "n_items": int(n_items),
+            "error": error,
+        }
+        return validate_manifest(document)

@@ -1,0 +1,335 @@
+"""Execution tracing: nested spans with pluggable sinks.
+
+The ADA-HEALTH engine is meant to *learn from its own runs*, yet a
+black-box `analyze()` gives the K-DB nothing to learn from about where
+the time went. This module provides the span layer of the telemetry
+subsystem: a :class:`Tracer` whose ``span(name, **attrs)`` context
+manager measures monotonic wall time and process CPU time, captures
+exceptions without swallowing them, and emits one flat document per
+finished span (``parent_id`` links reconstruct the nesting) to any
+number of sinks:
+
+* :class:`InMemorySink` — a list of span documents (tests, manifests);
+* :class:`JsonlSink` — one JSON object per line, append-mode (the CLI's
+  ``--trace FILE``);
+* :class:`LoggingSink` — forwards to a stdlib :mod:`logging` logger.
+
+Everything is dependency-free and picklable: tracers ride inside the
+engine when goal pipelines fan out to worker processes, so sinks drop
+their unpicklable state (open handles, thread-locals) on pickling and
+recreate it lazily.
+
+The default tracer everywhere is :data:`NULL_TRACER`, a no-op whose
+``span()`` returns a shared reusable context manager — near-zero
+overhead, so instrumentation can stay unconditionally in hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+Document = Dict[str, Any]
+
+
+class Span:
+    """One timed, attributed unit of work (also its context manager).
+
+    Spans are created through :meth:`Tracer.span`; entering starts the
+    clocks, exiting stops them, records any in-flight exception as
+    ``status="error"`` (the exception still propagates) and emits the
+    finished document to the tracer's sinks.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "depth",
+        "started_at",
+        "wall_s",
+        "cpu_s",
+        "status",
+        "error",
+        "_tracer",
+        "_t0",
+        "_c0",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._tracer = tracer
+        self.trace_id: Optional[int] = None
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.started_at = 0.0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self._t0 = 0.0
+        self._c0 = 0.0
+
+    # -- attributes ------------------------------------------------------
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes on the live span."""
+        self.attrs.update(attrs)
+        return self
+
+    # -- context management ----------------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.process_time() - self._c0
+        if exc_type is not None:
+            self.status = "error"
+            self.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._close(self)
+        return False  # never swallow
+
+    def to_document(self) -> Document:
+        """The flat span document emitted to sinks."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "started_at": self.started_at,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "status": self.status,
+            "error": self.error,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span: the cost of the no-op path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every operation is a near-zero no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(
+        self, name: str, wall_s: float, **attrs: Any
+    ) -> None:
+        return None
+
+    def finished(self) -> List[Document]:
+        return []
+
+
+#: Module-level singleton used wherever no tracer was configured.
+NULL_TRACER = NullTracer()
+
+
+class InMemorySink:
+    """Collects span documents in a list (``.spans``)."""
+
+    def __init__(self) -> None:
+        self.spans: List[Document] = []
+
+    def emit(self, document: Document) -> None:
+        self.spans.append(document)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+
+class JsonlSink:
+    """Appends one JSON object per span to a file.
+
+    The handle is opened lazily and dropped on pickling, so a tracer
+    carrying this sink can cross a process boundary; workers re-open the
+    file in append mode and their whole-line writes interleave safely.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    def emit(self, document: Document) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(document) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"path": self.path}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.path = state["path"]
+        self._handle = None
+
+
+class LoggingSink:
+    """Forwards spans to a stdlib logger (by name, so it pickles)."""
+
+    def __init__(
+        self, logger: str = "repro.obs", level: int = logging.INFO
+    ) -> None:
+        self.logger_name = logger
+        self.level = level
+
+    def emit(self, document: Document) -> None:
+        logging.getLogger(self.logger_name).log(
+            self.level,
+            "span %s wall=%.6fs cpu=%.6fs status=%s attrs=%s",
+            document["name"],
+            document["wall_s"],
+            document["cpu_s"],
+            document["status"],
+            document["attrs"],
+        )
+
+
+class Tracer:
+    """Produces nested spans and emits them to sinks on completion.
+
+    Parameters
+    ----------
+    sinks:
+        Sink objects with an ``emit(document)`` method. Defaults to a
+        single :class:`InMemorySink` (inspect via :meth:`finished`).
+
+    Nesting is tracked per thread: a span opened while another is live
+    on the same thread becomes its child (``parent_id``/``depth``).
+    Spans opened from worker *threads* start fresh traces of their own;
+    worker *processes* get a pickled copy of the tracer whose sinks
+    re-materialise on first use.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Optional[Sequence[Any]] = None) -> None:
+        self.sinks: List[Any] = (
+            list(sinks) if sinks is not None else [InMemorySink()]
+        )
+        self._ids = 0
+        self._lock = threading.Lock()
+        self._stacks = threading.local()
+
+    # -- pickling --------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"sinks": self.sinks, "_ids": self._ids}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.sinks = state["sinks"]
+        self._ids = state["_ids"]
+        self._lock = threading.Lock()
+        self._stacks = threading.local()
+
+    # -- span lifecycle --------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A context manager measuring one named unit of work."""
+        return Span(self, name, attrs)
+
+    def record_span(
+        self, name: str, wall_s: float, **attrs: Any
+    ) -> Document:
+        """Emit an already-measured span (e.g. timings reported back by
+        worker processes), parented to the current live span."""
+        span = Span(self, name, attrs)
+        span.span_id = self._next_id()
+        parent = self._stack()[-1] if self._stack() else None
+        if parent is not None:
+            span.parent_id = parent.span_id
+            span.trace_id = parent.trace_id
+            span.depth = parent.depth + 1
+        else:
+            span.trace_id = span.span_id
+        span.started_at = time.time() - wall_s
+        span.wall_s = float(wall_s)
+        document = span.to_document()
+        self._emit(document)
+        return document
+
+    def finished(self) -> List[Document]:
+        """Span documents collected by in-memory sinks (emission order:
+        children before their parents)."""
+        spans: List[Document] = []
+        for sink in self.sinks:
+            if isinstance(sink, InMemorySink):
+                spans.extend(sink.spans)
+        return spans
+
+    # -- internals -------------------------------------------------------
+    def _next_id(self) -> int:
+        with self._lock:
+            self._ids += 1
+            return self._ids
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id()
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+            span.parent_id = parent.span_id
+            span.trace_id = parent.trace_id
+            span.depth = parent.depth + 1
+        else:
+            span.trace_id = span.span_id
+        stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # defensive: unwound out of order
+            stack.remove(span)
+        self._emit(span.to_document())
+
+    def _emit(self, document: Document) -> None:
+        for sink in self.sinks:
+            sink.emit(document)

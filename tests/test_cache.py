@@ -71,7 +71,12 @@ def test_cache_miss_put_hit_roundtrip():
     assert cache.get("ds", "algo", {"k": 3}) is None
     cache.put("ds", "algo", {"k": 3}, {"labels": [0, 1, 0]})
     assert cache.get("ds", "algo", {"k": 3}) == {"labels": [0, 1, 0]}
-    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+    assert cache.stats() == {
+        "hits": 1,
+        "misses": 1,
+        "stores": 1,
+        "entries": 1,
+    }
 
 
 def test_cache_distinguishes_all_key_parts():

@@ -272,3 +272,83 @@ def test_sweep_with_thread_backend():
     )
     points = sweep.run({"x": list(range(10))})
     assert [p.value for p in points] == list(range(1, 11))
+
+
+# ----------------------------------------------------------------------
+# executor shutdown + per-task telemetry
+# ----------------------------------------------------------------------
+def _sleep_briefly():
+    time.sleep(0.5)
+    return 1
+
+
+def _raise_keyboard_interrupt():
+    raise KeyboardInterrupt()
+
+
+def test_process_backend_interrupt_does_not_orphan_workers():
+    """A KeyboardInterrupt mid-run must cancel queued chunks and join
+    the pool instead of silently draining every pending task."""
+    import multiprocessing
+
+    backend = ProcessPoolExecutorBackend(workers=1)
+    tasks = [TaskSpec(_raise_keyboard_interrupt)] + [
+        TaskSpec(_sleep_briefly) for _ in range(8)
+    ]
+    started = time.perf_counter()
+    with pytest.raises(KeyboardInterrupt):
+        backend.run(tasks)
+    elapsed = time.perf_counter() - started
+    # 8 pending half-second chunks on one worker would take ~4s if they
+    # were drained; cancellation leaves at most one in flight.
+    assert elapsed < 3.0
+    deadline = time.time() + 5.0
+    while multiprocessing.active_children() and time.time() < deadline:
+        time.sleep(0.05)
+    assert not multiprocessing.active_children()
+
+
+def test_serial_reports_task_seconds():
+    result = SerialExecutor().run([TaskSpec(_square, (3,))] * 4)
+    assert result.task_seconds is not None
+    assert len(result.task_seconds) == 4
+    assert all(seconds >= 0.0 for seconds in result.task_seconds)
+
+
+def test_threadpool_reports_task_and_queue_seconds():
+    backend = ThreadPoolExecutorBackend(max_workers=2)
+    result = backend.run([TaskSpec(_square, (i,)) for i in range(6)])
+    assert len(result.task_seconds) == 6
+    assert len(result.queue_seconds) == 6
+    assert all(seconds >= 0.0 for seconds in result.queue_seconds)
+
+
+def test_process_backend_reports_worker_timings():
+    backend = ProcessPoolExecutorBackend(workers=2, chunk_size=2)
+    result = backend.run([TaskSpec(_square, (i,)) for i in range(6)])
+    assert [r for r in result.results] == [0, 1, 4, 9, 16, 25]
+    assert len(result.task_seconds) == 6
+    assert all(seconds is not None for seconds in result.task_seconds)
+    # One queue-latency sample per delivered chunk.
+    assert len(result.queue_seconds) == 3
+    assert all(seconds >= 0.0 for seconds in result.queue_seconds)
+
+
+def test_executor_metrics_recording():
+    from repro.obs import Metrics
+
+    metrics = Metrics()
+    SerialExecutor(metrics=metrics).run(
+        [TaskSpec(_square, (2,)), TaskSpec(_raise_for_two, (2,))]
+    )
+    snapshot = metrics.snapshot()
+    assert snapshot["histograms"]["executor.task_seconds"]["count"] == 2
+    assert snapshot["counters"]["executor.task_failures"] == 1
+
+
+def test_process_backend_failed_task_has_no_timing():
+    backend = ProcessPoolExecutorBackend(workers=2)
+    result = backend.run([TaskSpec(_raise_unpicklable)])
+    assert isinstance(result.results[0], TaskFailure)
+    # The task ran (and raised) in the worker: it still has a duration.
+    assert result.task_seconds[0] is not None

@@ -360,3 +360,65 @@ def test_save_load_preserves_unique_flag(store, tmp_path):
     loaded = DocumentStore.load(tmp_path / "db")
     with pytest.raises(DuplicateKeyError):
         loaded["c"].insert_one({"email": "a@b.c"})
+
+
+# ----------------------------------------------------------------------
+# cursor sorting over unorderable values + memoisation
+# ----------------------------------------------------------------------
+def test_sort_unorderable_same_type_values_no_typeerror(store):
+    collection = store["mixed"]
+    collection.insert_many(
+        [
+            {"v": {"b": 1}},
+            {"v": [2, 1]},
+            {"v": {"a": 1}},
+            {"v": 5},
+            {"v": "s"},
+            {"v": None},
+        ]
+    )
+    documents = collection.find().sort("v").to_list()  # must not raise
+    assert len(documents) == 6
+    assert documents[0]["v"] is None  # None still sorts first
+    # Deterministic: re-sorting yields the identical order.
+    assert collection.find().sort("v").to_list() == documents
+
+
+def test_sort_dicts_fall_back_to_repr_order(store):
+    collection = store["dicts"]
+    collection.insert_many([{"v": {"b": 1}}, {"v": {"a": 1}}])
+    values = [d["v"] for d in collection.find().sort("v").to_list()]
+    assert values == [{"a": 1}, {"b": 1}]
+    values = [d["v"] for d in collection.find().sort("v", -1).to_list()]
+    assert values == [{"b": 1}, {"a": 1}]
+
+
+def test_aggregate_sort_stage_handles_unorderable_values(store):
+    collection = store["aggmixed"]
+    collection.insert_many([{"v": {"b": 1}}, {"v": {"a": 1}}, {"v": None}])
+    result = collection.aggregate([{"$sort": {"v": 1}}])
+    assert [d["v"] for d in result] == [None, {"a": 1}, {"b": 1}]
+
+
+def test_cursor_resolution_is_memoised(people):
+    cursor = people.find().sort("age", -1)
+    first = cursor._resolved()
+    assert cursor._resolved() is first  # repeated access: no re-sort
+    assert len(cursor) == len(first)
+
+
+def test_cursor_memo_invalidated_by_chaining(people):
+    cursor = people.find().sort("age")
+    resolved = cursor._resolved()
+    cursor.limit(2)
+    limited = cursor._resolved()
+    assert limited is not resolved
+    assert len(limited) == 2
+    cursor.skip(1)
+    skipped = cursor._resolved()
+    assert skipped is not limited
+    cursor.sort("name")
+    assert cursor._resolved() is not skipped
+    assert [d["name"] for d in cursor] == sorted(
+        d["name"] for d in people.find()
+    )[1:3]

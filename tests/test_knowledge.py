@@ -170,3 +170,25 @@ def test_degree_rank_ordering():
     assert degree_rank("high") < degree_rank("medium") < degree_rank("low")
     with pytest.raises(EngineError):
         degree_rank("great")
+
+
+def test_cluster_score_absent_share_not_treated_as_zero():
+    """A missing size_share means 'not measured', not 'empty cluster'."""
+    absent = score_cluster_item({"cohesion": 0.8, "distinctiveness": 0.6})
+    zero = score_cluster_item(
+        {"cohesion": 0.8, "distinctiveness": 0.6, "size_share": 0.0}
+    )
+    assert absent > zero
+    # Absent: renormalised over the measured components only.
+    assert absent == pytest.approx((0.5 * 0.8 + 0.3 * 0.6) / 0.8)
+    # Zero: a vanishing cluster earns no size credit.
+    assert zero == pytest.approx(0.5 * 0.8 + 0.3 * 0.6)
+
+
+def test_degree_from_score_exact_cutoffs():
+    assert degree_from_score(0.65) == "high"  # boundary is inclusive
+    assert degree_from_score(0.65 - 1e-9) == "medium"
+    assert degree_from_score(0.4) == "medium"  # boundary is inclusive
+    assert degree_from_score(0.4 - 1e-9) == "low"
+    assert degree_from_score(1.0) == "high"
+    assert degree_from_score(0.0) == "low"
