@@ -8,6 +8,7 @@ Commands
 ``table1``     regenerate the paper's Table I on a log
 ``partial``    regenerate the §IV-B partial-mining experiment
 ``figure1``    print the architecture diagram (paper Figure 1)
+``lint``       run the adalint invariant checks (see :mod:`repro.lint`)
 
 Every command that reads a dataset accepts either a JSONL file produced
 by ``generate --format jsonl`` or a directory produced with
@@ -113,6 +114,22 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--folds", type=int, default=10)
 
     commands.add_parser("figure1", help="print the architecture diagram")
+
+    lint = commands.add_parser(
+        "lint",
+        help="check the engine's determinism/parallelism invariants",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the src/ tree)",
+    )
+    lint.add_argument("--json", action="store_true", dest="as_json")
+    lint.add_argument("--select", default=None)
+    lint.add_argument("--ignore", default=None)
+    lint.add_argument(
+        "--list-rules", action="store_true", dest="list_rules"
+    )
     return parser
 
 
@@ -236,6 +253,21 @@ def cmd_figure1(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv = list(args.paths)
+    if args.as_json:
+        argv.append("--json")
+    if args.select:
+        argv.extend(["--select", args.select])
+    if args.ignore:
+        argv.extend(["--ignore", args.ignore])
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "describe": cmd_describe,
@@ -243,6 +275,7 @@ _COMMANDS = {
     "table1": cmd_table1,
     "partial": cmd_partial,
     "figure1": cmd_figure1,
+    "lint": cmd_lint,
 }
 
 

@@ -266,7 +266,7 @@ class ADAHealth:
         try:
             with self.tracer.span("analyze", dataset=name, user=user):
                 result = self._analyze(log, name, user, goals, manifest)
-        except Exception as exc:
+        except Exception as exc:  # records a "failed" manifest, re-raises
             self._record_cache_traffic(manifest, cache_before)
             self.kdb.record_run(
                 manifest.fail(
@@ -450,7 +450,7 @@ class ADAHealth:
                     t0 = time.perf_counter()
                     try:
                         run = self._run_goal(goal, log, profile, dataset_id)
-                    except Exception as exc:
+                    except Exception as exc:  # goal marked failed, re-raised
                         if manifest is not None:
                             manifest.add_goal(
                                 goal.name,

@@ -231,7 +231,8 @@ class KMeansOptimizer:
         """Cluster with one K and assess the result's robustness."""
         model = KMeans(k, seed=self.seed, **self.kmeans_params).fit(data)
         labels = model.labels_
-        assert labels is not None and model.inertia_ is not None
+        if labels is None or model.inertia_ is None:
+            raise RuntimeError("KMeans fit left labels_/inertia_ unset")
         factory = self.classifier_factory or (
             lambda: DecisionTreeClassifier(
                 seed=self.seed, **self.tree_params

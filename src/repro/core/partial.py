@@ -292,7 +292,8 @@ class HorizontalPartialMiner:
             if hit is not None:
                 return np.array(hit, dtype=int)
         model = KMeans(k, seed=self.seed, **self.kmeans_params).fit(matrix)
-        assert model.labels_ is not None
+        if model.labels_ is None:
+            raise RuntimeError("KMeans fit left labels_ unset")
         if self.cache is not None:
             self.cache.put(
                 fingerprint,
@@ -345,13 +346,17 @@ class VerticalPartialMiner:
             take = max(self.k + 1, int(round(fraction * n)))
             sample = matrix[order[:take]]
             model = KMeans(self.k, seed=self.seed, n_init=2).fit(sample)
-            assert model.labels_ is not None
+            if model.labels_ is None:
+                raise RuntimeError("KMeans fit left labels_ unset")
             similarity = float(overall_similarity(sample, model.labels_))
             if abs(fraction - 1.0) < 1e-9:
                 reference = similarity
                 difference = 0.0
             else:
-                assert reference is not None
+                if reference is None:
+                    raise RuntimeError(
+                        "full-cohort reference similarity missing"
+                    )
                 difference = (
                     abs(reference - similarity) / reference
                     if reference > 0

@@ -1,0 +1,61 @@
+"""adalint: AST-based invariant checks for the ADA-HEALTH engine.
+
+PRs 1-2 made correctness depend on contracts no unit test can see
+directly: goal pipelines must be picklable to fan out through process
+pools, cache keys must be deterministic, miners must draw randomness
+only from seeded generators, and run manifests must conform to
+``ada-health/run-manifest/v1``. This package turns those unwritten
+rules into a zero-dependency static-analysis pass over :mod:`ast`:
+
+========  =============================================================
+ADA001    mining/core randomness only via ``np.random.default_rng(seed)``
+ADA002    no wall-clock reads in mining or cache-key paths
+ADA003    no lambdas/closures handed to ``TaskSpec`` / process pools
+ADA004    no mutable default arguments
+ADA005    no bare ``assert`` for runtime invariants in library code
+ADA006    ``except Exception`` must re-raise, report, or justify
+ADA007    query documents only use operators documentstore implements
+ADA008    manifest keys must exist in ``ada-health/run-manifest/v1``
+========  =============================================================
+
+Run it with ``python -m repro.lint [paths]`` (or ``repro lint``); it
+exits nonzero on findings so it can gate commits. Suppress with
+``# adalint: disable=ADA001`` (line) or
+``# adalint: disable-file=ADA001`` (file), and scope rules per path
+via ``[tool.adalint]`` in pyproject.toml. Writing a new rule is a
+:class:`~repro.lint.base.Rule` subclass plus ``@register``.
+"""
+
+from repro.lint.base import (
+    Rule,
+    RuleContext,
+    all_rules,
+    get_rule,
+    register,
+)
+from repro.lint.config import LintConfig, load_config, path_matches
+from repro.lint.findings import FINDINGS_SCHEMA, Finding, report_document
+from repro.lint.runner import (
+    LintReport,
+    find_project_root,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "FINDINGS_SCHEMA",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "RuleContext",
+    "all_rules",
+    "find_project_root",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "path_matches",
+    "register",
+    "report_document",
+]

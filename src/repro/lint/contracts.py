@@ -1,0 +1,215 @@
+"""Engine contracts the schema rules cross-check against, derived
+statically.
+
+ADA007 needs the operator set :mod:`repro.kdb.documentstore` actually
+implements; ADA008 needs the field sets of the
+``ada-health/run-manifest/v1`` schema from :mod:`repro.obs.manifest`.
+Rather than freezing copies that drift, both are extracted from the
+real modules' *source* (located via :func:`importlib.util.find_spec`,
+parsed with :mod:`ast` — nothing is executed). Baked-in fallbacks keep
+the linter usable if the modules cannot be located.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import os
+import re
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import FrozenSet, Optional
+
+_OPERATOR = re.compile(r"\$\w+\Z")
+
+#: Operator set shipped with documentstore v1, used only as a fallback.
+_DOCSTORE_FALLBACK = frozenset(
+    {
+        "$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$in", "$nin",
+        "$and", "$or", "$nor", "$not", "$exists", "$regex", "$size",
+        "$all", "$elemMatch", "$set", "$unset", "$inc", "$push",
+        "$pull", "$addToSet", "$match", "$group", "$sort", "$limit",
+        "$skip", "$project", "$sum", "$avg", "$min", "$max", "$count",
+    }
+)
+
+
+def _module_tree(module: str) -> Optional[ast.AST]:
+    """Parse a module's source without importing it (None if missing)."""
+    try:
+        spec = importlib.util.find_spec(module)
+    except (ImportError, ValueError):
+        return None
+    if spec is None or not spec.origin or not os.path.isfile(spec.origin):
+        return None
+    try:
+        with open(spec.origin, encoding="utf-8") as handle:
+            return ast.parse(handle.read())
+    except (OSError, SyntaxError):
+        return None
+
+
+@lru_cache(maxsize=1)
+def docstore_operators() -> FrozenSet[str]:
+    """Every ``$operator`` the document store implements.
+
+    Extraction rule: any string constant in
+    ``repro/kdb/documentstore.py`` that is exactly a ``$word`` token.
+    Comparison tables (``_COMPARISONS``), structural-operator branches,
+    update operators and aggregation stages all surface their operators
+    as such constants, so the set tracks the implementation for free.
+    """
+    tree = _module_tree("repro.kdb.documentstore")
+    if tree is None:
+        return _DOCSTORE_FALLBACK
+    found = {
+        node.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and _OPERATOR.match(node.value)
+    }
+    return frozenset(found) if found else _DOCSTORE_FALLBACK
+
+
+@dataclass(frozen=True)
+class ManifestSchema:
+    """Field sets of the ``ada-health/run-manifest/v1`` schema."""
+
+    schema_tag: str = "ada-health/run-manifest/v1"
+    top_fields: FrozenSet[str] = field(default_factory=frozenset)
+    goal_fields: FrozenSet[str] = field(default_factory=frozenset)
+    assessed_fields: FrozenSet[str] = field(default_factory=frozenset)
+    dataset_fields: FrozenSet[str] = field(default_factory=frozenset)
+    cache_fields: FrozenSet[str] = field(default_factory=frozenset)
+    executor_fields: FrozenSet[str] = field(default_factory=frozenset)
+
+    def fields_for_attr(self, attr: str) -> Optional[FrozenSet[str]]:
+        """Known sub-document field set for a builder attribute."""
+        return {
+            "dataset": self.dataset_fields,
+            "cache": self.cache_fields,
+            "executor": self.executor_fields,
+        }.get(attr)
+
+
+_MANIFEST_FALLBACK = ManifestSchema(
+    top_fields=frozenset(
+        {
+            "schema", "status", "dataset", "user", "seed", "started_at",
+            "finished_at", "wall_s", "goals_assessed", "goals", "cache",
+            "executor", "metrics", "n_items", "error",
+        }
+    ),
+    goal_fields=frozenset(
+        {
+            "name", "status", "wall_s", "n_items", "cached",
+            "algorithms", "params", "error",
+        }
+    ),
+    assessed_fields=frozenset({"name", "viable", "reason"}),
+    dataset_fields=frozenset({"id", "name", "fingerprint"}),
+    cache_fields=frozenset({"enabled", "hits", "misses", "stores"}),
+    executor_fields=frozenset({"backend", "workers", "task_failures"}),
+)
+
+
+def _dict_keys(node: ast.AST) -> FrozenSet[str]:
+    """String keys of every dict literal under ``node``."""
+    keys = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Dict):
+            for key in sub.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    keys.add(key.value)
+    return frozenset(keys)
+
+
+@lru_cache(maxsize=1)
+def manifest_schema() -> ManifestSchema:
+    """The run-manifest schema, read out of ``repro/obs/manifest.py``.
+
+    ``MANIFEST_FIELDS`` and ``MANIFEST_SCHEMA`` give the top level;
+    the builder methods' dict literals give each record type:
+    ``add_goal`` the goal records, ``assess_goal`` the assessments,
+    ``record_cache``/``record_executor`` and the ``__init__`` defaults
+    the sub-documents, ``_document`` any extra top-level keys (the
+    ``error`` slot lives only there).
+    """
+    tree = _module_tree("repro.obs.manifest")
+    if tree is None:
+        return _MANIFEST_FALLBACK
+
+    schema_tag = _MANIFEST_FALLBACK.schema_tag
+    top, goal, assessed = set(), set(), set()
+    subs = {"dataset": set(), "cache": set(), "executor": set()}
+    for node in getattr(tree, "body", []):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "MANIFEST_FIELDS" and isinstance(
+                    node.value, (ast.Tuple, ast.List)
+                ):
+                    top.update(
+                        element.value
+                        for element in node.value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    )
+                elif target.id == "MANIFEST_SCHEMA" and isinstance(
+                    node.value, ast.Constant
+                ):
+                    schema_tag = str(node.value.value)
+        elif (
+            isinstance(node, ast.ClassDef)
+            and node.name == "RunManifestBuilder"
+        ):
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                keys = _dict_keys(item)
+                if item.name == "add_goal":
+                    goal.update(keys)
+                elif item.name == "assess_goal":
+                    assessed.update(keys)
+                elif item.name == "record_cache":
+                    subs["cache"].update(keys)
+                elif item.name == "record_executor":
+                    subs["executor"].update(keys)
+                elif item.name == "_document":
+                    top.update(keys)
+                elif item.name == "__init__":
+                    for statement in item.body:
+                        if not isinstance(statement, ast.Assign):
+                            continue
+                        for target in statement.targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and target.attr in subs
+                            ):
+                                subs[target.attr].update(
+                                    _dict_keys(statement.value)
+                                )
+    if not top:
+        return _MANIFEST_FALLBACK
+    top.add("error")  # fail() stores the error string at top level
+    return ManifestSchema(
+        schema_tag=schema_tag,
+        top_fields=frozenset(top),
+        goal_fields=goal and frozenset(goal)
+        or _MANIFEST_FALLBACK.goal_fields,
+        assessed_fields=assessed and frozenset(assessed)
+        or _MANIFEST_FALLBACK.assessed_fields,
+        dataset_fields=subs["dataset"]
+        and frozenset(subs["dataset"])
+        or _MANIFEST_FALLBACK.dataset_fields,
+        cache_fields=subs["cache"]
+        and frozenset(subs["cache"])
+        or _MANIFEST_FALLBACK.cache_fields,
+        executor_fields=subs["executor"]
+        and frozenset(subs["executor"])
+        or _MANIFEST_FALLBACK.executor_fields,
+    )

@@ -1,0 +1,70 @@
+"""The :class:`Finding` model and its serialisations.
+
+A finding is one rule violation at one source location. Findings render
+in two stable formats: the classic compiler-style human line
+(``path:line:col: RULE [severity] message``) and a JSON document
+(schema ``adalint/findings/v1``) whose key set is pinned by
+``tests/test_lint.py`` so downstream tooling can rely on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+#: Recognised severities, most severe first.
+SEVERITIES = ("error", "warning")
+
+#: Schema tag stamped on every JSON report (bump on breaking changes).
+FINDINGS_SCHEMA = "adalint/findings/v1"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one ``file:line:col`` location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        """The human one-liner (compiler style, clickable in editors)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}:"
+            f" {self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serialisable record (stable key set)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+def report_document(
+    findings: List[Finding], files_checked: int
+) -> Dict[str, Any]:
+    """The full JSON report for one lint run."""
+    counts = {severity: 0 for severity in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    return {
+        "schema": FINDINGS_SCHEMA,
+        "files_checked": files_checked,
+        "counts": counts,
+        "findings": [
+            finding.to_dict()
+            for finding in sorted(findings, key=Finding.sort_key)
+        ],
+    }

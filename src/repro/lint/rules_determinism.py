@@ -1,0 +1,138 @@
+"""Determinism rules: seeded randomness (ADA001), no wall-clock (ADA002).
+
+The analysis cache keys runs by content fingerprint + parameters, and
+sweep results must be identical across executor backends. Both break
+the moment a mining or core code path draws entropy from an unseeded
+generator or from the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Rule, dotted_name, register
+
+#: Legacy ``np.random.*`` module-level functions (process-global RNG).
+_LEGACY_NP_RANDOM = frozenset(
+    {
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "shuffle", "permutation", "seed", "bytes",
+        "normal", "uniform", "standard_normal", "beta", "binomial",
+        "poisson", "exponential", "gamma", "laplace", "lognormal",
+        "multinomial", "multivariate_normal", "RandomState",
+    }
+)
+
+#: Engine-scoped paths: the deterministic compute core.
+_DETERMINISTIC_PATHS = ("src/repro/mining", "src/repro/core")
+
+
+@register
+class NoUnseededRandomness(Rule):
+    """ADA001: mining/core randomness must come from a seeded
+    ``np.random.default_rng``.
+
+    Flags ``default_rng()`` with no (or a ``None``) seed, every legacy
+    ``np.random.*`` module-level draw (they share mutable global
+    state), and any import of the stdlib :mod:`random` module.
+    """
+
+    rule_id = "ADA001"
+    name = "no-unseeded-randomness"
+    description = (
+        "mining/core code must draw randomness only from"
+        " np.random.default_rng(seed)"
+    )
+    default_paths = _DETERMINISTIC_PATHS
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        tail = chain.rsplit(".", maxsplit=1)[-1]
+        if tail == "default_rng" and not _is_seeded(node):
+            self.report(
+                node,
+                "unseeded default_rng() — pass an explicit seed so"
+                " runs are reproducible and cache keys stay stable",
+            )
+        elif _is_np_random(chain) and tail in _LEGACY_NP_RANDOM:
+            self.report(
+                node,
+                f"legacy np.random.{tail}() uses the process-global"
+                " RNG; use a seeded np.random.default_rng(seed)"
+                " generator instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.split(".")[0] == "random":
+                self.report(
+                    node,
+                    "stdlib random has process-global state; use"
+                    " np.random.default_rng(seed)",
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.module.split(".")[0] == "random":
+            self.report(
+                node,
+                "stdlib random has process-global state; use"
+                " np.random.default_rng(seed)",
+            )
+
+
+def _is_np_random(chain: str) -> bool:
+    return chain.startswith(("np.random.", "numpy.random."))
+
+
+def _is_seeded(call: ast.Call) -> bool:
+    """Does a ``default_rng`` call receive a non-None seed?"""
+    candidates = list(call.args) + [
+        keyword.value for keyword in call.keywords if keyword.arg == "seed"
+    ]
+    if not candidates:
+        return False
+    first = candidates[0]
+    return not (isinstance(first, ast.Constant) and first.value is None)
+
+
+@register
+class NoWallClock(Rule):
+    """ADA002: no wall-clock reads in deterministic code paths.
+
+    ``time.time``/``datetime.now`` in miner or cache-key code makes
+    output depend on *when* the analysis ran; telemetry lives in
+    ``repro/obs`` and the executors, which are outside this rule's
+    scope (monotonic ``time.perf_counter`` is always fine).
+    """
+
+    rule_id = "ADA002"
+    name = "no-wall-clock"
+    description = (
+        "no time.time()/datetime.now() in mining or cache-key paths"
+        " (telemetry belongs in repro/obs)"
+    )
+    default_paths = _DETERMINISTIC_PATHS
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        parts = chain.split(".")
+        tail = parts[-1]
+        wall_clock = (
+            (tail in ("time", "time_ns") and "time" in parts[:-1])
+            or (
+                tail in ("now", "utcnow")
+                and "datetime" in parts[:-1]
+            )
+            or (
+                tail == "today"
+                and any(p in ("date", "datetime") for p in parts[:-1])
+            )
+        )
+        if wall_clock:
+            self.report(
+                node,
+                f"wall-clock read {chain}() in a deterministic code"
+                " path; results must not depend on when they ran",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,143 @@
+"""Robustness rules: no bare assert (ADA005), disciplined broad
+exception handling (ADA006).
+
+Library invariants guarded by ``assert`` vanish under ``python -O``;
+``except Exception`` that neither re-raises nor reports turns real
+failures into silent wrong answers — the one thing an *automated*
+analysis engine must never do.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Rule, register
+
+#: Minimum comment payload (after ``#``) accepted as a justification.
+_MIN_JUSTIFICATION = 3
+
+#: Call-name fragments that count as "reporting" a swallowed exception.
+_REPORTING_FRAGMENTS = (
+    "log", "warn", "report", "record", "fail", "exception",
+)
+
+
+@register
+class NoBareAssert(Rule):
+    """ADA005: library code must not guard runtime invariants with
+    ``assert``.
+
+    Asserts are compiled away under ``python -O``; an invariant that
+    matters at runtime must raise an explicit exception
+    (``NotFittedError``, ``RuntimeError``...) that survives
+    optimisation.
+    """
+
+    rule_id = "ADA005"
+    name = "no-bare-assert"
+    description = (
+        "runtime invariants must raise explicit exceptions, not"
+        " assert (stripped under python -O)"
+    )
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self.report(
+            node,
+            "assert is stripped under python -O; raise an explicit"
+            " exception (NotFittedError, RuntimeError, ...) instead",
+        )
+        self.generic_visit(node)
+
+
+@register
+class BroadExceptPolicy(Rule):
+    """ADA006: ``except Exception`` must re-raise, report, or justify.
+
+    A broad handler is acceptable when it (a) re-raises, (b) visibly
+    reports the failure (logging / metrics / TaskFailure recording), or
+    (c) carries a same-line justification comment explaining why
+    swallowing is correct. Bare ``except:`` is never acceptable — it
+    also catches ``KeyboardInterrupt``/``SystemExit``.
+    """
+
+    rule_id = "ADA006"
+    name = "broad-except-policy"
+    description = (
+        "except Exception must re-raise, report, or carry a"
+        " justification comment"
+    )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare except also catches KeyboardInterrupt/SystemExit;"
+                " catch Exception (with a justification) at most",
+            )
+        elif _is_broad(node.type) and not (
+            _reraises(node) or _reports(node) or self._justified(node)
+        ):
+            self.report(
+                node,
+                "broad except swallows the failure; re-raise, report"
+                " it, or add a same-line justification comment",
+            )
+        self.generic_visit(node)
+
+    def _justified(self, node: ast.ExceptHandler) -> bool:
+        comment = self.context.comment_on(node.lineno) if (
+            self.context is not None
+        ) else ""
+        return len(comment.lstrip("#").strip()) >= _MIN_JUSTIFICATION
+
+
+def _is_broad(exception_type: ast.AST) -> bool:
+    names = (
+        exception_type.elts
+        if isinstance(exception_type, ast.Tuple)
+        else [exception_type]
+    )
+    return any(
+        isinstance(name, ast.Name)
+        and name.id in ("Exception", "BaseException")
+        for name in names
+    )
+
+
+def _handler_nodes(handler: ast.ExceptHandler):
+    """Walk the handler body without descending into nested defs."""
+    stack = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(node, ast.Raise) for node in _handler_nodes(handler)
+    )
+
+
+def _reports(handler: ast.ExceptHandler) -> bool:
+    """Does the handler visibly record the failure somewhere?"""
+    for node in _handler_nodes(handler):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        name = (
+            callee.attr
+            if isinstance(callee, ast.Attribute)
+            else callee.id
+            if isinstance(callee, ast.Name)
+            else ""
+        ).lower()
+        if any(fragment in name for fragment in _REPORTING_FRAGMENTS):
+            return True
+        if name == "taskfailure":
+            return True
+    return False

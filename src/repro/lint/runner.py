@@ -1,0 +1,269 @@
+"""The lint driver: file discovery, suppression pragmas, rule dispatch.
+
+Suppression syntax
+------------------
+``# adalint: disable=ADA001,ADA005`` on a code line suppresses those
+rules for findings reported *on that line*;
+``# adalint: disable-file=ADA007`` anywhere in a file suppresses the
+rule for the whole file. ``all`` suppresses every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.base import Rule, RuleContext, all_rules
+from repro.lint.config import LintConfig, load_config
+from repro.lint.findings import Finding, report_document
+
+_PRAGMA = re.compile(
+    r"#\s*adalint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+#: Rule id reported for files that fail to parse.
+PARSE_ERROR_ID = "ADA000"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format_human(self) -> str:
+        lines = [
+            finding.format()
+            for finding in sorted(self.findings, key=Finding.sort_key)
+        ]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"{self.files_checked} files checked,"
+            f" {len(self.findings)} {noun}"
+        )
+        return "\n".join(lines)
+
+    def to_document(self) -> Dict:
+        return report_document(self.findings, self.files_checked)
+
+
+@dataclass
+class _Suppressions:
+    file_level: Set[str] = field(default_factory=set)
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppressed(self, finding: Finding) -> bool:
+        for scope in (
+            self.file_level,
+            self.by_line.get(finding.line, ()),
+        ):
+            if "all" in scope or finding.rule_id in scope:
+                return True
+        return False
+
+
+def scan_comments(source: str) -> Dict[int, str]:
+    """``lineno -> comment text`` for every comment token."""
+    comments: Dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # adalint findings will come from ast.parse instead
+    return comments
+
+
+def parse_suppressions(comments: Dict[int, str]) -> _Suppressions:
+    suppressions = _Suppressions()
+    for lineno, comment in comments.items():
+        for match in _PRAGMA.finditer(comment):
+            ids = {
+                rule_id.strip()
+                for rule_id in match.group(2).split(",")
+                if rule_id.strip()
+            }
+            if match.group(1) == "disable-file":
+                suppressions.file_level |= ids
+            else:
+                suppressions.by_line.setdefault(lineno, set()).update(
+                    ids
+                )
+    return suppressions
+
+
+# ----------------------------------------------------------------------
+# Project layout
+# ----------------------------------------------------------------------
+def find_project_root(start: Path) -> Path:
+    """Nearest ancestor holding a pyproject.toml (else ``start``)."""
+    start = start.resolve()
+    probe = start if start.is_dir() else start.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return probe
+
+
+def relative_posix(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+# ----------------------------------------------------------------------
+# Lint entry points
+# ----------------------------------------------------------------------
+def lint_source(
+    source: str,
+    path: str = "<snippet>",
+    relpath: Optional[str] = None,
+    rules: Optional[Sequence[type]] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint one source string (the unit-test surface).
+
+    With explicit ``rules``, exactly those run (path scoping is
+    bypassed — the snippet is judged as if in scope). Otherwise every
+    registered rule runs, scoped by ``config`` against ``relpath``.
+    """
+    config = config or LintConfig()
+    relpath = relpath if relpath is not None else path
+    if rules is None:
+        rule_classes = [
+            rule_class
+            for rule_class in all_rules()
+            if config.rule_applies(rule_class, relpath)
+        ]
+    else:
+        rule_classes = [
+            rule_class
+            for rule_class in rules
+            if config.rule_enabled(rule_class.rule_id)
+        ]
+    return _lint_parsed(source, path, relpath, rule_classes)
+
+
+def _lint_parsed(
+    source: str,
+    path: str,
+    relpath: str,
+    rule_classes: Sequence[type],
+) -> List[Finding]:
+    comments = scan_comments(source)
+    suppressions = parse_suppressions(comments)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1),
+                rule_id=PARSE_ERROR_ID,
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    context = RuleContext(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        comments=comments,
+    )
+    findings: List[Finding] = []
+    for rule_class in rule_classes:
+        rule: Rule = rule_class()
+        findings.extend(rule.run(context))
+    return [
+        finding
+        for finding in findings
+        if not suppressions.suppressed(finding)
+    ]
+
+
+def lint_paths(
+    paths: Sequence,
+    config: Optional[LintConfig] = None,
+    root: Optional[Path] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files/directories; the CLI and tier-1 gate call this.
+
+    ``config`` defaults to the ``[tool.adalint]`` table of the nearest
+    pyproject.toml above the first path. ``select``/``ignore`` narrow
+    the rule set on top of the config.
+    """
+    path_objects = [Path(p) for p in paths]
+    if root is None:
+        root = find_project_root(
+            path_objects[0] if path_objects else Path.cwd()
+        )
+    if config is None:
+        config = load_config(Path(root) / "pyproject.toml")
+    if select:
+        config.select = list(select)
+    if ignore:
+        config.ignore = list(config.ignore) + list(ignore)
+
+    report = LintReport()
+    rule_classes = all_rules()
+    for file_path in iter_python_files(path_objects):
+        relpath = relative_posix(file_path, Path(root))
+        if config.file_excluded(relpath):
+            continue
+        applicable: List[type] = [
+            rule_class
+            for rule_class in rule_classes
+            if config.rule_applies(rule_class, relpath)
+        ]
+        report.files_checked += 1
+        if not applicable:
+            continue
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            report.findings.append(
+                Finding(
+                    path=str(file_path),
+                    line=1,
+                    col=1,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"unreadable file: {error}",
+                )
+            )
+            continue
+        report.findings.extend(
+            _lint_parsed(source, str(file_path), relpath, applicable)
+        )
+    report.findings.sort(key=Finding.sort_key)
+    return report
+
+
+def default_src_paths(root: Optional[Path] = None) -> Tuple[Path, ...]:
+    """The conventional lint target: the project's ``src`` tree."""
+    root = root or find_project_root(Path.cwd())
+    src = Path(root) / "src"
+    return (src,) if src.is_dir() else (Path(root),)

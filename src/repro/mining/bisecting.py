@@ -85,7 +85,8 @@ class BisectingKMeans:
             ).fit(members)
             seed += 1
             sub_labels = splitter.labels_
-            assert sub_labels is not None
+            if sub_labels is None:
+                raise RuntimeError("KMeans split left labels_ unset")
             new_labels = labels.copy()
             member_indexes = np.nonzero(mask)[0]
             new_labels[member_indexes[sub_labels == 1]] = next_label

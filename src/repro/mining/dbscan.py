@@ -16,7 +16,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.exceptions import MiningError
+from repro.exceptions import MiningError, NotFittedError
 from repro.mining.distance import as_matrix, squared_euclidean
 from repro.mining.kdtree import KDTree
 
@@ -111,7 +111,7 @@ class DBSCAN:
     def n_clusters(self) -> int:
         """Number of clusters found (noise excluded)."""
         if self.labels_ is None:
-            raise MiningError("DBSCAN is not fitted")
+            raise NotFittedError("DBSCAN is not fitted")
         unique = set(self.labels_.tolist())
         unique.discard(NOISE)
         return len(unique)
@@ -119,5 +119,5 @@ class DBSCAN:
     def noise_ratio(self) -> float:
         """Fraction of points labelled noise."""
         if self.labels_ is None:
-            raise MiningError("DBSCAN is not fitted")
+            raise NotFittedError("DBSCAN is not fitted")
         return float((self.labels_ == NOISE).mean())

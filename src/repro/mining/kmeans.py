@@ -151,7 +151,8 @@ class KMeans:
             if best is None or inertia < best[0]:
                 best = (inertia, centers, labels, n_iter)
 
-        assert best is not None
+        if best is None:
+            raise RuntimeError("no k-means initialisation succeeded")
         self.inertia_, self.cluster_centers_, self.labels_, self.n_iter_ = (
             best[0],
             best[1],

@@ -87,7 +87,8 @@ class KMedoids:
             medoids, labels, cost = self._iterate(distances, medoids)
             if best is None or cost < best[0]:
                 best = (cost, medoids, labels)
-        assert best is not None
+        if best is None:
+            raise RuntimeError("no k-medoids initialisation succeeded")
         self.inertia_, self.medoid_indices_, self.labels_ = best
         self._data = data
         return self

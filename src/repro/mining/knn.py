@@ -101,7 +101,8 @@ class KNeighborsClassifier:
     def _vote(
         self, distances: np.ndarray, indexes: np.ndarray, n_classes: int
     ) -> np.ndarray:
-        assert self._encoded is not None
+        if self._encoded is None:
+            raise NotFittedError("KNeighborsClassifier is not fitted")
         votes = np.zeros(n_classes)
         neighbour_classes = self._encoded[indexes]
         if self.weights == "uniform":

@@ -325,15 +325,26 @@ def precision_recall_f1(
             0.0,
         )
     if average == "macro":
-        return float(precision.mean()), float(recall.mean()), float(f1.mean())
+        return (
+            _unit(precision.mean()),
+            _unit(recall.mean()),
+            _unit(f1.mean()),
+        )
     if average == "weighted":
+        # The weights sum to 1 only up to float error, so the dot
+        # product of all-1.0 scores can overshoot 1 by ~1e-16; clamp.
         weights = actual / actual.sum()
         return (
-            float(precision @ weights),
-            float(recall @ weights),
-            float(f1 @ weights),
+            _unit(precision @ weights),
+            _unit(recall @ weights),
+            _unit(f1 @ weights),
         )
     raise MiningError(f"unknown average: {average!r}")
+
+
+def _unit(value) -> float:
+    """Clamp an averaged score into the closed unit interval."""
+    return min(1.0, max(0.0, float(value)))
 
 
 def classification_report(y_true, y_pred) -> Dict[str, Dict[str, float]]:

@@ -55,7 +55,8 @@ class GaussianNaiveBayes:
         return self
 
     def _joint_log_likelihood(self, data: np.ndarray) -> np.ndarray:
-        assert self.theta_ is not None and self.var_ is not None
+        if self.theta_ is None or self.var_ is None:
+            raise NotFittedError("GaussianNaiveBayes is not fitted")
         outputs = []
         for j in range(len(self.classes_)):  # type: ignore[arg-type]
             log_det = -0.5 * np.log(2.0 * np.pi * self.var_[j]).sum()

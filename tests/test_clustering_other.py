@@ -159,5 +159,7 @@ def test_dbscan_validation(blobs):
         DBSCAN(eps=0.0)
     with pytest.raises(MiningError):
         DBSCAN(eps=1.0, min_samples=0)
-    with pytest.raises(MiningError):
+    with pytest.raises(NotFittedError):
         DBSCAN(eps=1.0).n_clusters()
+    with pytest.raises(NotFittedError):
+        DBSCAN(eps=1.0).noise_ratio()

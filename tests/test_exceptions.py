@@ -1,8 +1,10 @@
 """Tests for the exception hierarchy."""
 
+import numpy as np
 import pytest
 
 from repro import exceptions as exc
+from repro import mining
 
 
 def test_everything_derives_from_repro_error():
@@ -37,3 +39,46 @@ def test_catching_the_base_class():
 
 def test_convergence_warning_is_a_warning():
     assert issubclass(exc.ConvergenceWarning, UserWarning)
+
+
+@pytest.mark.parametrize(
+    "call",
+    [
+        lambda X: mining.KMeans(2, seed=0).predict(X),
+        lambda X: mining.KMeans(2, seed=0).transform(X),
+        lambda X: mining.KMedoids(2, seed=0).predict(X),
+        lambda X: mining.BisectingKMeans(2, seed=0).predict(X),
+        lambda X: mining.AgglomerativeClustering(2).dendrogram_heights(),
+        lambda X: mining.DBSCAN(eps=1.0).n_clusters(),
+        lambda X: mining.DBSCAN(eps=1.0).noise_ratio(),
+        lambda X: mining.GaussianNaiveBayes().predict(X),
+        lambda X: mining.MultinomialNaiveBayes().predict(X),
+        lambda X: mining.KNeighborsClassifier(1).predict(X),
+        lambda X: mining.DecisionTreeClassifier().predict(X),
+        lambda X: mining.MajorityClassifier().predict(X),
+    ],
+    ids=[
+        "kmeans-predict",
+        "kmeans-transform",
+        "kmedoids-predict",
+        "bisecting-predict",
+        "agglomerative-heights",
+        "dbscan-n-clusters",
+        "dbscan-noise-ratio",
+        "gaussian-nb-predict",
+        "multinomial-nb-predict",
+        "knn-predict",
+        "tree-predict",
+        "majority-predict",
+    ],
+)
+def test_unfitted_estimators_raise_not_fitted(call):
+    """Unfitted estimators raise NotFittedError, never AssertionError.
+
+    The fit-state guards are real raises (visible under ``python -O``,
+    catchable as :class:`~repro.exceptions.ReproError`) rather than
+    bare asserts — the invariant adalint rule ADA005 enforces.
+    """
+    X = np.zeros((4, 3))
+    with pytest.raises(exc.NotFittedError):
+        call(X)

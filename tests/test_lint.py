@@ -1,0 +1,625 @@
+"""Tests for adalint, the AST-based invariant checker (repro.lint).
+
+Covers every shipped rule on bad/good fixture snippets, the
+suppression pragmas, ``[tool.adalint]`` config behaviour, the JSON
+report schema, the CLI exit codes, and — the tier-1 gate — that the
+repository's own ``src/`` tree is clean.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    FINDINGS_SCHEMA,
+    Finding,
+    LintConfig,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    load_config,
+    path_matches,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.contracts import docstore_operators, manifest_schema
+from repro.lint.rules_determinism import NoUnseededRandomness, NoWallClock
+from repro.lint.rules_parallelism import NoMutableDefault, NoUnpicklableTask
+from repro.lint.rules_robustness import BroadExceptPolicy, NoBareAssert
+from repro.lint.rules_schema import DocstoreOperatorSet, ManifestSchemaKeys
+from repro.lint.runner import PARSE_ERROR_ID
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_rule(rule_class, source):
+    return lint_source(textwrap.dedent(source), rules=[rule_class])
+
+
+# ----------------------------------------------------------------------
+# The tier-1 gate: the repository's own source tree is clean
+# ----------------------------------------------------------------------
+def test_repo_is_clean():
+    report = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    assert report.files_checked > 50
+    assert report.findings == [], "\n" + report.format_human()
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+def test_registry_ships_the_eight_rules():
+    ids = [rule.rule_id for rule in all_rules()]
+    assert ids == [f"ADA00{n}" for n in range(1, 9)]
+    assert all(r.severity in ("error", "warning") for r in all_rules())
+
+
+def test_get_rule_round_trips():
+    assert get_rule("ADA004") is NoMutableDefault
+    with pytest.raises(KeyError):
+        get_rule("ADA999")
+
+
+# ----------------------------------------------------------------------
+# Per-rule fixtures: each rule fires on bad code, stays silent on good
+# ----------------------------------------------------------------------
+_BAD = {
+    NoUnseededRandomness: """
+        import numpy as np
+
+        def draw(values):
+            rng = np.random.default_rng()
+            return np.random.choice(values)
+        """,
+    NoWallClock: """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    NoUnpicklableTask: """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run(items):
+            with ProcessPoolExecutor() as pool:
+                return [pool.submit(lambda x: x + 1, i) for i in items]
+        """,
+    NoMutableDefault: """
+        def collect(item, bucket=[]):
+            bucket.append(item)
+            return bucket
+        """,
+    NoBareAssert: """
+        def check(x):
+            assert x > 0
+            return x
+        """,
+    BroadExceptPolicy: """
+        def run(work):
+            try:
+                work()
+            except Exception:
+                pass
+        """,
+    DocstoreOperatorSet: """
+        QUERY = {"age": {"$gte": 10, "$nearby": 1}}
+        """,
+    ManifestSchemaKeys: """
+        def read_manifest(manifest):
+            return manifest["goal_list"]
+        """,
+}
+
+_GOOD = {
+    NoUnseededRandomness: """
+        import numpy as np
+
+        def draw(values, seed):
+            rng = np.random.default_rng(seed)
+            return rng.choice(values)
+        """,
+    NoWallClock: """
+        import time
+
+        def stamp():
+            return time.perf_counter()
+        """,
+    NoUnpicklableTask: """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def work(x):
+            return x + 1
+
+        def run(items):
+            with ProcessPoolExecutor() as pool:
+                return [pool.submit(work, i) for i in items]
+        """,
+    NoMutableDefault: """
+        def collect(item, bucket=None):
+            bucket = [] if bucket is None else bucket
+            bucket.append(item)
+            return bucket
+        """,
+    NoBareAssert: """
+        def check(x):
+            if x <= 0:
+                raise ValueError("x must be positive")
+            return x
+        """,
+    BroadExceptPolicy: """
+        def run(work, log):
+            try:
+                work()
+            except Exception as exc:
+                log.warning("work failed: %s", exc)
+        """,
+    DocstoreOperatorSet: """
+        QUERY = {"age": {"$gte": 10, "$lte": 80}, "sex": {"$in": ["F"]}}
+        """,
+    ManifestSchemaKeys: """
+        def read_manifest(manifest):
+            return manifest["goals"], manifest["wall_s"]
+        """,
+}
+
+
+@pytest.mark.parametrize(
+    "rule_class", list(_BAD), ids=lambda r: r.rule_id
+)
+def test_rule_fires_on_bad_snippet(rule_class):
+    findings = run_rule(rule_class, _BAD[rule_class])
+    assert findings, f"{rule_class.rule_id} missed its bad snippet"
+    assert all(f.rule_id == rule_class.rule_id for f in findings)
+    assert all(f.line > 0 and f.col > 0 for f in findings)
+
+
+@pytest.mark.parametrize(
+    "rule_class", list(_GOOD), ids=lambda r: r.rule_id
+)
+def test_rule_silent_on_good_snippet(rule_class):
+    findings = run_rule(rule_class, _GOOD[rule_class])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Rule-specific edges
+# ----------------------------------------------------------------------
+def test_ada001_flags_stdlib_random_and_legacy_np():
+    findings = run_rule(
+        NoUnseededRandomness,
+        """
+        import random
+        import numpy as np
+
+        STATE = np.random.RandomState(0)
+        """,
+    )
+    assert len(findings) == 2
+
+
+def test_ada001_accepts_seed_keyword():
+    findings = run_rule(
+        NoUnseededRandomness,
+        """
+        import numpy as np
+
+        def draw(seed):
+            return np.random.default_rng(seed=seed)
+        """,
+    )
+    assert findings == []
+
+
+def test_ada001_rejects_explicit_none_seed():
+    findings = run_rule(
+        NoUnseededRandomness,
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(None)
+        """,
+    )
+    assert len(findings) == 1
+
+
+def test_ada002_flags_datetime_now_but_not_perf_counter():
+    findings = run_rule(
+        NoWallClock,
+        """
+        import time
+        from datetime import datetime
+
+        def run():
+            start = time.perf_counter()
+            stamp = datetime.now()
+            return stamp, time.perf_counter() - start
+        """,
+    )
+    assert len(findings) == 1
+    assert "datetime.now" in findings[0].message
+
+
+def test_ada003_thread_pool_closures_are_fine():
+    findings = run_rule(
+        NoUnpicklableTask,
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        def run(items):
+            with ThreadPoolExecutor() as pool:
+                return [pool.submit(lambda x: x, i) for i in items]
+        """,
+    )
+    assert findings == []
+
+
+def test_ada003_flags_nested_def_handed_to_taskspec():
+    findings = run_rule(
+        NoUnpicklableTask,
+        """
+        from repro.cloud.executor import TaskSpec
+
+        def build(goal):
+            def helper(matrix):
+                return goal, matrix
+            return TaskSpec(helper, ())
+        """,
+    )
+    assert len(findings) == 1
+    assert "helper" in findings[0].message
+
+
+def test_ada004_flags_lambda_and_call_defaults():
+    findings = run_rule(
+        NoMutableDefault,
+        """
+        pick = lambda xs, seen=set(): [x for x in xs if x not in seen]
+
+        def merge(a, b=dict()):
+            return {**a, **b}
+        """,
+    )
+    assert len(findings) == 2
+
+
+def test_ada006_reraise_and_justification_pass():
+    findings = run_rule(
+        BroadExceptPolicy,
+        """
+        def strict(work):
+            try:
+                work()
+            except Exception:
+                raise
+
+        def lenient(work):
+            try:
+                work()
+            except Exception:  # probing an optional backend
+                return None
+        """,
+    )
+    assert findings == []
+
+
+def test_ada006_bare_except_always_flagged():
+    findings = run_rule(
+        BroadExceptPolicy,
+        """
+        def run(work):
+            try:
+                work()
+            except:  # even a comment does not excuse a bare except
+                raise
+        """,
+    )
+    assert len(findings) == 1
+
+
+def test_ada008_schema_stamped_literal_checked():
+    findings = run_rule(
+        ManifestSchemaKeys,
+        """
+        MANIFEST_SCHEMA = "ada-health/run-manifest/v1"
+
+        def build():
+            return {"schema": MANIFEST_SCHEMA, "goal_list": []}
+        """,
+    )
+    assert len(findings) == 1
+    assert "goal_list" in findings[0].message
+
+
+def test_ada008_goal_loop_fields():
+    findings = run_rule(
+        ManifestSchemaKeys,
+        """
+        def summarize_manifest(manifest):
+            names = []
+            for goal in manifest["goals"]:
+                names.append(goal["algorithm_names"])
+            return names
+        """,
+    )
+    assert len(findings) == 1
+
+
+# ----------------------------------------------------------------------
+# Contract extraction mirrors the real modules
+# ----------------------------------------------------------------------
+def test_docstore_operator_contract_matches_module():
+    operators = docstore_operators()
+    assert {"$eq", "$gt", "$in", "$and", "$or", "$exists"} <= operators
+    assert "$nearby" not in operators
+
+
+def test_manifest_contract_matches_module():
+    from repro.obs.manifest import MANIFEST_FIELDS, MANIFEST_SCHEMA
+
+    schema = manifest_schema()
+    assert schema.schema_tag == MANIFEST_SCHEMA
+    assert set(MANIFEST_FIELDS) <= schema.top_fields
+    assert {"name", "status", "algorithms"} <= schema.goal_fields
+
+
+# ----------------------------------------------------------------------
+# Suppression pragmas
+# ----------------------------------------------------------------------
+def test_line_pragma_suppresses_only_that_line():
+    findings = run_rule(
+        NoBareAssert,
+        """
+        def check(x, y):
+            assert x > 0  # adalint: disable=ADA005
+            assert y > 0
+            return x + y
+        """,
+    )
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_file_pragma_suppresses_whole_file():
+    findings = run_rule(
+        NoBareAssert,
+        """
+        # adalint: disable-file=ADA005
+        def check(x, y):
+            assert x > 0
+            assert y > 0
+        """,
+    )
+    assert findings == []
+
+
+def test_all_wildcard_suppresses_every_rule():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            def check(x, bucket=[]):
+                assert x > 0  # adalint: disable=all
+                return bucket
+            """
+        ),
+        rules=[NoBareAssert, NoMutableDefault],
+    )
+    assert [f.rule_id for f in findings] == ["ADA004"]
+
+
+def test_pragma_with_unrelated_rule_does_not_suppress():
+    findings = run_rule(
+        NoBareAssert,
+        """
+        def check(x):
+            assert x > 0  # adalint: disable=ADA001
+            return x
+        """,
+    )
+    assert len(findings) == 1
+
+
+# ----------------------------------------------------------------------
+# Config: path scoping, select/ignore, exclusion
+# ----------------------------------------------------------------------
+def test_default_paths_scope_determinism_rules():
+    source = textwrap.dedent(
+        """
+        import numpy as np
+
+        rng = np.random.default_rng()
+        """
+    )
+    in_scope = lint_source(
+        source, relpath="src/repro/mining/kmeans.py"
+    )
+    out_of_scope = lint_source(
+        source, relpath="src/repro/obs/tracing.py"
+    )
+    assert [f.rule_id for f in in_scope] == ["ADA001"]
+    assert out_of_scope == []
+
+
+def test_config_paths_override_rule_scope():
+    config = LintConfig(paths={"ADA005": ["src/repro/kdb"]})
+    source = textwrap.dedent(
+        """
+        def check(x):
+            assert x > 0
+        """
+    )
+    hit = lint_source(
+        source, relpath="src/repro/kdb/kdb.py", config=config
+    )
+    miss = lint_source(
+        source, relpath="src/repro/mining/kmeans.py", config=config
+    )
+    assert "ADA005" in [f.rule_id for f in hit]
+    assert "ADA005" not in [f.rule_id for f in miss]
+
+
+def test_config_select_and_ignore():
+    source = textwrap.dedent(
+        """
+        def check(x, bucket=[]):
+            assert x > 0
+        """
+    )
+    only_004 = lint_source(
+        source, config=LintConfig(select=["ADA004"])
+    )
+    without_004 = lint_source(
+        source, config=LintConfig(ignore=["ADA004"])
+    )
+    assert [f.rule_id for f in only_004] == ["ADA004"]
+    assert "ADA004" not in [f.rule_id for f in without_004]
+
+
+def test_path_matches_globs_and_prefixes():
+    assert path_matches("src/repro/mining/kmeans.py", "src/repro/mining")
+    assert path_matches("src/repro/mining/kmeans.py", "**/kmeans.py")
+    assert not path_matches("src/repro/obs/tracing.py", "src/repro/mining")
+
+
+def test_load_config_reads_tool_adalint(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        textwrap.dedent(
+            """
+            [tool.adalint]
+            ignore = ["ADA004"]
+            exclude = ["src/vendored"]
+
+            [tool.adalint.paths]
+            ADA005 = ["src/repro/kdb"]
+            """
+        ),
+        encoding="utf-8",
+    )
+    config = load_config(pyproject)
+    assert config.ignore == ["ADA004"]
+    assert config.file_excluded("src/vendored/thing.py")
+    assert config.paths["ADA005"] == ["src/repro/kdb"]
+
+
+def test_repo_pyproject_scopes_determinism_rules():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    assert config.paths["ADA001"] == ["src/repro/mining", "src/repro/core"]
+    assert config.paths["ADA002"] == ["src/repro/mining", "src/repro/core"]
+
+
+# ----------------------------------------------------------------------
+# Findings, JSON report schema, syntax errors
+# ----------------------------------------------------------------------
+def test_finding_format_is_path_line_col():
+    finding = Finding(
+        path="src/x.py", line=3, col=7, rule_id="ADA005",
+        message="no bare assert",
+    )
+    assert finding.format() == (
+        "src/x.py:3:7: ADA005 [error] no bare assert"
+    )
+
+
+def test_json_document_schema_is_stable(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x, b=[]):\n    assert x\n", encoding="utf-8")
+    report = lint_paths([bad], config=LintConfig(), root=tmp_path)
+    document = report.to_document()
+    assert document["schema"] == FINDINGS_SCHEMA == "adalint/findings/v1"
+    assert sorted(document) == [
+        "counts", "files_checked", "findings", "schema",
+    ]
+    assert document["files_checked"] == 1
+    assert set(document["counts"]) == {"error", "warning"}
+    for entry in document["findings"]:
+        assert sorted(entry) == [
+            "col", "line", "message", "path", "rule", "severity",
+        ]
+    json.dumps(document)  # must be serialisable as-is
+
+
+def test_syntax_error_becomes_parse_finding():
+    findings = lint_source("def broken(:\n    pass\n")
+    assert [f.rule_id for f in findings] == [PARSE_ERROR_ID]
+
+
+# ----------------------------------------------------------------------
+# CLI: exit codes and output formats
+# ----------------------------------------------------------------------
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("VALUE = 1\n", encoding="utf-8")
+    assert lint_main([str(clean)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_findings_exit_one_and_print_location(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x):\n    assert x\n", encoding="utf-8")
+    assert lint_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "bad.py:2:5: ADA005" in out
+
+
+def test_cli_json_output_parses(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x):\n    assert x\n", encoding="utf-8")
+    assert lint_main(["--json", str(bad)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == FINDINGS_SCHEMA
+    assert document["counts"]["error"] == 1
+
+
+def test_cli_missing_path_exits_two(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "nope.py")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_select_and_ignore(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x, b=[]):\n    assert x\n", encoding="utf-8")
+    assert lint_main(["--select", "ADA001", str(bad)]) == 0
+    assert lint_main(["--ignore", "ADA004,ADA005", str(bad)]) == 0
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_class in all_rules():
+        assert rule_class.rule_id in out
+
+
+def test_repro_cli_lint_subcommand(tmp_path, capsys):
+    from repro.cli import main as repro_main
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x):\n    assert x\n", encoding="utf-8")
+    assert repro_main(["lint", "--json", str(bad)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["counts"]["error"] == 1
+
+
+# ----------------------------------------------------------------------
+# Extensibility: a custom Rule plugs into the same machinery
+# ----------------------------------------------------------------------
+def test_custom_rule_subclass_runs_through_lint_source():
+    import ast
+
+    from repro.lint import Rule
+
+    class NoPrint(Rule):
+        rule_id = "XYZ001"
+        name = "no-print"
+        description = "print() is for humans, not libraries"
+
+        def visit_Call(self, node):
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                self.report(node, "use logging instead of print()")
+            self.generic_visit(node)
+
+    findings = lint_source("print('hi')\n", rules=[NoPrint])
+    assert [f.rule_id for f in findings] == ["XYZ001"]
