@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# The repository gate: adalint, then the tier-1 test suite.
+# Usage: scripts/check.sh [extra pytest args...]
+# Mirrors .github/workflows/check.yml so local runs and CI agree.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> adalint (src/ benchmarks/ examples/)"
+PYTHONPATH=src python -m repro.lint --stats
+
+echo "==> tier-1 tests"
+PYTHONPATH=src python -m pytest -x -q "$@"

@@ -122,13 +122,23 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (default: the src/ tree)",
+        help="files or directories to lint (default: src,"
+        " benchmarks and examples)",
     )
     lint.add_argument("--json", action="store_true", dest="as_json")
     lint.add_argument("--select", default=None)
     lint.add_argument("--ignore", default=None)
     lint.add_argument(
         "--list-rules", action="store_true", dest="list_rules"
+    )
+    lint.add_argument("--jobs", type=int, default=1)
+    lint.add_argument(
+        "--backend",
+        choices=("serial", "threads", "process"),
+        default="threads",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true", dest="no_cache"
     )
     return parser
 
@@ -265,6 +275,12 @@ def cmd_lint(args) -> int:
         argv.extend(["--ignore", args.ignore])
     if args.list_rules:
         argv.append("--list-rules")
+    if args.jobs != 1:
+        argv.extend(["--jobs", str(args.jobs)])
+    if args.backend != "threads":
+        argv.extend(["--backend", args.backend])
+    if args.no_cache:
+        argv.append("--no-cache")
     return lint_main(argv)
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Type
+from typing import Any, Dict, List, Optional, Tuple, Type
 
 from repro.lint.findings import SEVERITIES, Finding
 
@@ -39,6 +39,12 @@ class RuleContext:
     #: ``lineno -> comment text`` (including the leading ``#``), from
     #: tokenize — so rules can honour justification comments.
     comments: Dict[int, str] = field(default_factory=dict)
+    #: Whole-program view (:class:`repro.lint.graph.ProjectGraph`) when
+    #: the runner built one; inter-procedural rules fall back to a
+    #: single-file graph when absent (the unit-test path).
+    project: Optional[Any] = None
+    #: Dotted module name of this file within the project graph.
+    module: str = ""
 
     def comment_on(self, lineno: int) -> str:
         return self.comments.get(lineno, "")
@@ -143,6 +149,7 @@ def all_rules() -> List[Type[Rule]]:
     """Every registered rule class, ordered by id."""
     # Importing the bundled rule modules registers them on first use.
     from repro.lint import (  # noqa: F401 - imported for side effect
+        rules_dataflow,
         rules_determinism,
         rules_parallelism,
         rules_robustness,

@@ -1,0 +1,107 @@
+"""Content-addressed cache for incremental linting.
+
+Two stores under one directory (default ``.adalint-cache/`` at the
+project root, git-ignored):
+
+``summaries/``
+    Per-module :class:`~repro.lint.graph.ModuleSummary` documents,
+    keyed on graph-format version + path + file content hash. A warm
+    run rebuilds the whole project graph without parsing a single
+    file.
+``findings/``
+    Per-file finding lists, keyed on ruleset version + file hash +
+    the file's import-closure fingerprint + config fingerprint + the
+    applicable rule ids. The closure fingerprint folds in the content
+    hash of every transitively imported module, so editing
+    ``core/cache.py`` re-lints ``core/engine.py`` even though the
+    engine file itself is unchanged.
+
+Entries are JSON, one file per key; corrupt or unreadable entries are
+treated as misses (the cache is an accelerator, never a source of
+truth).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.lint.findings import Finding
+
+#: Directory name used when the caller does not pick one.
+DEFAULT_CACHE_DIR = ".adalint-cache"
+
+
+def content_hash(source: str) -> str:
+    """Stable hash of one file's content."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def key_of(*parts: str) -> str:
+    """One cache key from ordered string components."""
+    joined = "\x1f".join(parts)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Filesystem-backed store for summaries and findings."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.summary_hits = 0
+        self.finding_hits = 0
+
+    # -- internals ------------------------------------------------------
+    def _path(self, kind: str, key: str) -> Path:
+        return self.directory / kind / f"{key}.json"
+
+    def _read(self, kind: str, key: str) -> Optional[Any]:
+        path = self._path(kind, key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def _write(self, kind: str, key: str, document: Any) -> None:
+        path = self._path(kind, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            with tmp.open("w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            tmp.replace(path)
+        except OSError:
+            pass  # cache writes are best-effort
+
+    # -- summaries ------------------------------------------------------
+    def get_summary(self, key: str) -> Optional[Dict[str, Any]]:
+        document = self._read("summaries", key)
+        if isinstance(document, dict):
+            self.summary_hits += 1
+            return document
+        return None
+
+    def put_summary(self, key: str, document: Dict[str, Any]) -> None:
+        self._write("summaries", key, document)
+
+    # -- findings -------------------------------------------------------
+    def get_findings(self, key: str) -> Optional[List[Finding]]:
+        document = self._read("findings", key)
+        if not isinstance(document, list):
+            return None
+        try:
+            findings = [Finding(**entry) for entry in document]
+        except TypeError:
+            return None
+        self.finding_hits += 1
+        return findings
+
+    def put_findings(self, key: str, findings: List[Finding]) -> None:
+        self._write(
+            "findings",
+            key,
+            [finding.__dict__ for finding in findings],
+        )

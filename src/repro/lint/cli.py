@@ -60,6 +60,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files in parallel over N workers (default: 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "threads", "process"),
+        default="threads",
+        help="repro.cloud executor backend for --jobs (default:"
+        " threads)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (.adalint-cache/)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="incremental cache directory (default:"
+        " <root>/.adalint-cache)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print parse/cache statistics to stderr",
+    )
     return parser
 
 
@@ -110,17 +140,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.config:
         config = load_config(Path(args.config))
 
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir:
+        cache = args.cache_dir
+    else:
+        cache = True
+
     report = lint_paths(
         paths,
         config=config,
         root=root,
         select=_split_ids(args.select),
         ignore=_split_ids(args.ignore),
+        jobs=max(1, args.jobs),
+        backend=args.backend,
+        cache=cache,
     )
     if args.json:
         print(json.dumps(report.to_document(), indent=2, sort_keys=True))
     else:
         print(report.format_human())
+    if args.stats:
+        print(report.format_stats(), file=sys.stderr)
     return 0 if report.ok else 1
 
 

@@ -134,26 +134,34 @@ def config_from_table(table: Dict[str, Any]) -> LintConfig:
 def _parse_toml_subset(text: str) -> Dict[str, Any]:
     """Tiny TOML-subset parser for interpreters without :mod:`tomllib`.
 
-    Handles dotted table headers, ``key = value`` pairs whose values are
-    strings, booleans, integers, floats or (possibly multi-line) arrays
-    of those. Anything fancier is silently skipped — adalint's own
-    config never needs more.
+    Handles dotted table headers, ``key = value`` pairs whose values
+    are single- or double-quoted strings, booleans, integers, floats,
+    (possibly multi-line) arrays with trailing commas, and one-line
+    inline tables ``{ k = v }``. Comments — including inline comments
+    after a value — are stripped quote-awarely, so a ``#`` inside a
+    string survives. Anything fancier is silently skipped — adalint's
+    own config never needs more, and ``tests/test_lint.py`` pins this
+    fallback against :mod:`tomllib` on the repo's own pyproject.toml.
     """
     root: Dict[str, Any] = {}
     current = root
     pending_key: Optional[str] = None
     pending_value = ""
     for raw in text.splitlines():
-        line = raw.strip()
+        line = _strip_comment(raw).strip()
         if pending_key is not None:
             pending_value += " " + line
             if _brackets_balanced(pending_value):
                 current[pending_key] = _parse_value(pending_value)
                 pending_key = None
             continue
-        if not line or line.startswith("#"):
+        if not line:
             continue
-        if line.startswith("[") and line.endswith("]"):
+        if (
+            line.startswith("[")
+            and line.endswith("]")
+            and "=" not in line
+        ):
             current = root
             for part in line.strip("[]").split("."):
                 part = part.strip().strip('"').strip("'")
@@ -174,15 +182,89 @@ def _parse_toml_subset(text: str) -> Dict[str, Any]:
     return root
 
 
+def _iter_outside_strings(value: str):
+    """Yield ``(index, char)`` for characters outside string literals.
+
+    Tracks TOML's two quote styles: basic strings (``"``, with ``\\``
+    escapes) and literal strings (``'``, no escapes).
+    """
+    quote = ""
+    escaped = False
+    for index, char in enumerate(value):
+        if quote:
+            if escaped:
+                escaped = False
+            elif quote == '"' and char == "\\":
+                escaped = True
+            elif char == quote:
+                quote = ""
+            continue
+        if char in "\"'":
+            quote = char
+            continue
+        yield index, char
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment unless the ``#`` sits inside a string."""
+    for index, char in _iter_outside_strings(line):
+        if char == "#":
+            return line[:index]
+    return line
+
+
 def _brackets_balanced(value: str) -> bool:
-    return value.count("[") <= value.count("]")
+    depth = 0
+    for _, char in _iter_outside_strings(value):
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+    return depth <= 0
+
+
+def _split_top_level(value: str) -> List[str]:
+    """Split on commas not nested in strings, arrays or inline tables."""
+    parts: List[str] = []
+    depth = 0
+    cut = 0
+    for index, char in _iter_outside_strings(value):
+        if char in "[{":
+            depth += 1
+        elif char in "]}":
+            depth -= 1
+        elif char == "," and depth == 0:
+            parts.append(value[cut:index])
+            cut = index + 1
+    parts.append(value[cut:])
+    return [part.strip() for part in parts]
 
 
 def _parse_value(value: str) -> Any:
     value = value.strip()
+    if value.endswith(","):
+        value = value[:-1].rstrip()
     if value in ("true", "false"):
         return value == "true"
-    value = value.rstrip(",")
+    if value.startswith("[") and value.endswith("]"):
+        inner = value[1:-1].strip()
+        if not inner:
+            return []
+        return [
+            _parse_value(element)
+            for element in _split_top_level(inner)
+            if element
+        ]
+    if value.startswith("{") and value.endswith("}"):
+        table: Dict[str, Any] = {}
+        inner = value[1:-1].strip()
+        for pair in _split_top_level(inner):
+            if "=" not in pair:
+                continue
+            key, __, item = pair.partition("=")
+            key = key.strip().strip('"').strip("'")
+            table[key] = _parse_value(item)
+        return table
     try:
         return _ast.literal_eval(value)
     except (ValueError, SyntaxError):

@@ -1,0 +1,32 @@
+"""Whole-program analysis layer for adalint.
+
+``summary`` extracts serialisable per-module facts from ``ast`` (the
+target modules are never imported); ``project`` links them into a
+:class:`ProjectGraph` with cross-module call resolution, an import
+graph and a transitive effect fixed point. The dataflow rules
+(ADA009–ADA012) and the incremental runner cache are built on top.
+"""
+
+from repro.lint.graph.project import ProjectGraph
+from repro.lint.graph.summary import (
+    GRAPH_VERSION,
+    CallSite,
+    ClassInfo,
+    Effect,
+    FunctionInfo,
+    ModuleSummary,
+    extract_summary,
+    module_name_for,
+)
+
+__all__ = [
+    "GRAPH_VERSION",
+    "CallSite",
+    "ClassInfo",
+    "Effect",
+    "FunctionInfo",
+    "ModuleSummary",
+    "ProjectGraph",
+    "extract_summary",
+    "module_name_for",
+]

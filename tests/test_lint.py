@@ -41,20 +41,27 @@ def run_rule(rule_class, source):
 
 
 # ----------------------------------------------------------------------
-# The tier-1 gate: the repository's own source tree is clean
+# The tier-1 gate: the repository's own trees are clean
 # ----------------------------------------------------------------------
 def test_repo_is_clean():
-    report = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
-    assert report.files_checked > 50
+    report = lint_paths(
+        [
+            REPO_ROOT / "src",
+            REPO_ROOT / "benchmarks",
+            REPO_ROOT / "examples",
+        ],
+        root=REPO_ROOT,
+    )
+    assert report.files_checked > 80
     assert report.findings == [], "\n" + report.format_human()
 
 
 # ----------------------------------------------------------------------
 # Rule registry
 # ----------------------------------------------------------------------
-def test_registry_ships_the_eight_rules():
+def test_registry_ships_the_twelve_rules():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == [f"ADA00{n}" for n in range(1, 9)]
+    assert ids == [f"ADA{n:03d}" for n in range(1, 13)]
     assert all(r.severity in ("error", "warning") for r in all_rules())
 
 
@@ -509,6 +516,51 @@ def test_repo_pyproject_scopes_determinism_rules():
     config = load_config(REPO_ROOT / "pyproject.toml")
     assert config.paths["ADA001"] == ["src/repro/mining", "src/repro/core"]
     assert config.paths["ADA002"] == ["src/repro/mining", "src/repro/core"]
+
+
+# ----------------------------------------------------------------------
+# The py<3.11 TOML-subset fallback agrees with tomllib
+# ----------------------------------------------------------------------
+_TOML_CASES = {
+    "inline-comment": 'select = ["ADA001"]  # trailing words\n',
+    "hash-inside-string": 'exclude = ["src/#gen", "x # y"]\n',
+    "single-quoted-strings": "ignore = ['ADA004', 'ADA005']\n",
+    "trailing-comma": 'select = [\n    "ADA001",\n    "ADA002",\n]\n',
+    "comments-in-multiline-array": (
+        "select = [\n"
+        '    "ADA001",  # first\n'
+        "    # a full-line comment\n"
+        '    "ADA002",\n'
+        "]\n"
+    ),
+    "inline-table": 'license = { text = "MIT", osi = true }\n',
+    "scalars": 'flag = true\noff = false\ncount = 3\nratio = 0.5\n',
+    "nested-tables": (
+        "[tool.adalint]\n"
+        'select = ["ADA001"]\n'
+        "[tool.adalint.paths]\n"
+        'ADA005 = ["src"]\n'
+    ),
+}
+
+
+@pytest.mark.parametrize("case", sorted(_TOML_CASES))
+def test_toml_fallback_matches_tomllib(case):
+    import tomllib
+
+    from repro.lint.config import _parse_toml_subset
+
+    text = _TOML_CASES[case]
+    assert _parse_toml_subset(text) == tomllib.loads(text)
+
+
+def test_toml_fallback_parses_repo_pyproject_like_tomllib():
+    import tomllib
+
+    from repro.lint.config import _parse_toml_subset
+
+    text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert _parse_toml_subset(text) == tomllib.loads(text)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,160 @@
+"""Tests for adalint's incremental cache and parallel execution.
+
+The contract under test (see repro/lint/runner.py): an unchanged tree
+re-lints with zero parses and identical findings; touching one file
+re-parses it plus its import-graph dependents only; bumping the
+ruleset version or changing the config invalidates cached findings;
+and serial, threaded and process-pool runs all report the same sorted
+findings.
+"""
+
+import pytest
+
+import repro.lint.runner as runner_module
+from repro.lint import LintConfig, lint_paths
+from repro.lint.cache import LintCache, content_hash, key_of
+
+pytestmark = pytest.mark.lint
+
+
+@pytest.fixture()
+def project(tmp_path):
+    """A three-module project: app -> helper, plus a findings magnet."""
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "helper.py").write_text(
+        "def add(x):\n    return x + 1\n", encoding="utf-8"
+    )
+    (src / "app.py").write_text(
+        "from helper import add\n"
+        "\n"
+        "def run(values):\n"
+        "    return [add(v) for v in values]\n",
+        encoding="utf-8",
+    )
+    (src / "bad.py").write_text(
+        "def f(x, bucket=[]):\n    assert x\n    return bucket\n",
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+def lint(project, cache, **kwargs):
+    return lint_paths(
+        [project / "src"],
+        config=LintConfig(),
+        root=project,
+        cache=cache,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cold / warm
+# ----------------------------------------------------------------------
+def test_warm_run_parses_nothing_and_reports_identically(project):
+    cache = LintCache(project / ".cache")
+    cold = lint(project, cache)
+    assert cold.files_checked == 3
+    assert cold.files_parsed == 3
+    assert cold.cache_hits == 0
+    assert cold.findings  # bad.py: mutable default + bare assert
+
+    warm = lint(project, cache)
+    assert warm.files_parsed == 0
+    assert warm.cache_hits == 3
+    assert warm.findings == cold.findings
+    assert warm.to_document() == cold.to_document()
+
+
+def test_touching_a_file_relints_it_and_its_dependents(project):
+    cache = LintCache(project / ".cache")
+    cold = lint(project, cache)
+    (project / "src" / "helper.py").write_text(
+        "def add(x):\n    return x + 2\n", encoding="utf-8"
+    )
+    warm = lint(project, cache)
+    # helper changed; app imports helper, so its closure fingerprint
+    # moved too. bad.py is untouched and served from cache.
+    assert warm.files_parsed == 2
+    assert warm.cache_hits == 1
+    assert warm.findings == cold.findings
+
+
+def test_ruleset_version_bump_invalidates_findings(
+    project, monkeypatch
+):
+    cache = LintCache(project / ".cache")
+    cold = lint(project, cache)
+    monkeypatch.setattr(
+        runner_module, "RULESET_VERSION", "adalint/test-bump"
+    )
+    warm = lint(project, cache)
+    assert warm.cache_hits == 0
+    assert warm.findings == cold.findings
+
+
+def test_config_change_invalidates_findings(project):
+    cache = LintCache(project / ".cache")
+    cold = lint(project, cache)
+    narrowed = lint_paths(
+        [project / "src"],
+        config=LintConfig(ignore=["ADA004"]),
+        root=project,
+        cache=cache,
+    )
+    assert narrowed.cache_hits == 0
+    assert "ADA004" not in [f.rule_id for f in narrowed.findings]
+    assert len(narrowed.findings) < len(cold.findings)
+
+    # returning to the original config still hits the original entries
+    warm = lint(project, cache)
+    assert warm.cache_hits == 3
+    assert warm.findings == cold.findings
+
+
+def test_corrupt_cache_entries_degrade_to_misses(project):
+    cache = LintCache(project / ".cache")
+    lint(project, cache)
+    for entry in (project / ".cache").rglob("*.json"):
+        entry.write_text("{ not json", encoding="utf-8")
+    rerun = lint(project, LintCache(project / ".cache"))
+    assert rerun.cache_hits == 0
+    assert rerun.files_parsed == 3
+
+
+# ----------------------------------------------------------------------
+# Parallel execution: identical findings on every backend
+# ----------------------------------------------------------------------
+def test_threaded_run_matches_serial(project):
+    serial = lint(project, cache=None)
+    threaded = lint(
+        project, cache=None, jobs=4, backend="threads"
+    )
+    assert threaded.to_document() == serial.to_document()
+
+
+def test_process_run_matches_serial(project):
+    serial = lint(project, cache=None)
+    fanned = lint(project, cache=None, jobs=2, backend="process")
+    assert fanned.to_document() == serial.to_document()
+
+
+def test_parallel_warm_run_uses_the_cache(project):
+    cache = LintCache(project / ".cache")
+    cold = lint(project, cache, jobs=4, backend="threads")
+    warm = lint(project, cache, jobs=4, backend="threads")
+    assert warm.files_parsed == 0
+    assert warm.cache_hits == 3
+    assert warm.findings == cold.findings
+
+
+# ----------------------------------------------------------------------
+# Cache primitives
+# ----------------------------------------------------------------------
+def test_content_hash_and_key_are_stable():
+    assert content_hash("x = 1\n") == content_hash("x = 1\n")
+    assert content_hash("x = 1\n") != content_hash("x = 2\n")
+    assert key_of("a", "b") == key_of("a", "b")
+    assert key_of("a", "b") != key_of("ab")
+    assert key_of("a", "b") != key_of("b", "a")
