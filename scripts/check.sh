@@ -9,5 +9,8 @@ cd "$(dirname "$0")/.."
 echo "==> adalint (src/ benchmarks/ examples/)"
 PYTHONPATH=src python -m repro.lint --stats
 
+echo "==> chaos suite (seeded fault injection)"
+PYTHONPATH=src python -m pytest -x -q -m faults
+
 echo "==> tier-1 tests"
 PYTHONPATH=src python -m pytest -x -q "$@"

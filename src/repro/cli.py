@@ -103,6 +103,30 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="print the metrics snapshot (JSON) after the run",
             )
+            sub.add_argument(
+                "--on-goal-error",
+                choices=("raise", "degrade"),
+                default="raise",
+                dest="on_goal_error",
+                help="degrade: record a failing goal in the manifest"
+                " and keep the surviving goals (default: raise)",
+            )
+            sub.add_argument(
+                "--retries",
+                type=int,
+                default=0,
+                help="per-task retry attempts beyond the first"
+                " (seeded backoff jitter; default: 0)",
+            )
+            sub.add_argument(
+                "--task-timeout",
+                type=float,
+                default=None,
+                dest="task_timeout",
+                metavar="SECONDS",
+                help="per-task wall-clock budget for pooled"
+                " backends; hung tasks fail with TaskTimeoutError",
+            )
         if name == "table1":
             sub.add_argument(
                 "--k",
@@ -212,7 +236,13 @@ def cmd_analyze(args) -> int:
     log = _load_dataset(args)
     tracer = Tracer(sinks=[JsonlSink(args.trace)]) if args.trace else None
     metrics = Metrics() if (args.metrics or args.trace) else None
-    config = EngineConfig(tracer=tracer, metrics=metrics)
+    config = EngineConfig(
+        tracer=tracer,
+        metrics=metrics,
+        on_goal_error=args.on_goal_error,
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+    )
     engine = ADAHealth(config=config, seed=args.seed)
     result = engine.analyze(
         log, name=args.dataset or "synthetic", user=args.user,

@@ -1,4 +1,4 @@
-"""Execution backends and parameter-sweep service."""
+"""Execution backends, parameter-sweep service and fault tolerance."""
 
 from repro.cloud.executor import (
     ProcessPoolExecutorBackend,
@@ -11,11 +11,23 @@ from repro.cloud.executor import (
     make_executor,
     run_chunked,
 )
+from repro.cloud.resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    ResilientExecutor,
+    RetryOutcome,
+    RetryPolicy,
+)
 from repro.cloud.sweep import ParameterSweep, SweepPoint, expand_grid
 
 __all__ = [
+    "CircuitBreaker",
+    "FaultInjector",
     "ParameterSweep",
     "ProcessPoolExecutorBackend",
+    "ResilientExecutor",
+    "RetryOutcome",
+    "RetryPolicy",
     "SerialExecutor",
     "SimulatedClusterExecutor",
     "SweepPoint",

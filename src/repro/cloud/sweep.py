@@ -49,15 +49,20 @@ class ParameterSweep:
         Callable evaluated at each grid point.
     executor:
         Backend from :mod:`repro.cloud.executor`; serial by default.
+    retry:
+        Optional :class:`repro.cloud.resilience.RetryPolicy` for the
+        default serial backend (ignored when ``executor`` is given —
+        configure retries on the backend itself in that case).
     """
 
     def __init__(
         self,
         function: Callable[..., Any],
         executor=None,
+        retry=None,
     ) -> None:
         self.function = function
-        self.executor = executor or SerialExecutor()
+        self.executor = executor or SerialExecutor(retry=retry)
 
     def run(self, grid: Dict[str, Sequence[Any]]) -> List[SweepPoint]:
         """Expand the grid and evaluate every point."""
@@ -79,8 +84,15 @@ class ParameterSweep:
         maximize: bool = True,
     ) -> SweepPoint:
         """Run the sweep and return the best-scoring successful point."""
-        points = [point for point in self.run(grid) if not point.failed]
-        if not points:
-            raise ReproError("every sweep point failed")
+        points = self.run(grid)
+        survivors = [point for point in points if not point.failed]
+        if not survivors:
+            errors = sorted(
+                {type(point.value.error).__name__ for point in points}
+            )
+            raise ReproError(
+                "every sweep point failed"
+                + (f" ({', '.join(errors)})" if errors else "")
+            )
         chooser = max if maximize else min
-        return chooser(points, key=lambda point: key(point.value))
+        return chooser(survivors, key=lambda point: key(point.value))

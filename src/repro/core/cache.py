@@ -116,6 +116,7 @@ class AnalysisCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
         self.metrics = None
         if metrics is not None:
             self.bind_metrics(metrics)
@@ -123,11 +124,16 @@ class AnalysisCache:
     def bind_metrics(self, metrics: Any) -> "AnalysisCache":
         """Mirror hit/miss/store counts into a metrics registry.
 
-        Pre-registers the three counters so snapshots always carry
-        them, even before the first lookup.
+        Pre-registers the counters so snapshots always carry them,
+        even before the first lookup.
         """
         self.metrics = metrics
-        for name in ("cache.hits", "cache.misses", "cache.stores"):
+        for name in (
+            "cache.hits",
+            "cache.misses",
+            "cache.stores",
+            "cache.corrupt",
+        ):
             metrics.counter(name)
         return self
 
@@ -139,19 +145,54 @@ class AnalysisCache:
             f"{dataset}|{algorithm}|{fingerprint_params(params)}".encode()
         )
 
-    def get(self, dataset: str, algorithm: str, params: Any) -> Any:
-        """The cached payload, or None on a miss."""
+    def get(
+        self,
+        dataset: str,
+        algorithm: str,
+        params: Any,
+        decode: Optional[Callable[[Any], Any]] = None,
+    ) -> Any:
+        """The cached payload, or None on a miss.
+
+        With ``decode``, the stored payload is passed through it and
+        the decoded value is returned instead. A corrupt entry — no
+        payload, or a payload ``decode`` rejects — is *not* an error:
+        the entry is dropped, ``cache.corrupt`` is counted, and the
+        lookup degrades to a miss so the caller recomputes and the
+        subsequent :meth:`put` overwrites the damage.
+        """
         key = self.key(dataset, algorithm, params)
         document = self.collection.find_one({"key": key})
         if document is None:
-            self.misses += 1
-            if self.metrics is not None:
-                self.metrics.counter("cache.misses").inc()
-            return None
+            return self._miss()
+        if "payload" not in document:
+            return self._drop_corrupt(key, "entry has no payload")
+        payload = document["payload"]
+        if decode is not None:
+            try:
+                payload = decode(payload)
+            except Exception as exc:  # degrade corrupt entry to a miss
+                return self._drop_corrupt(
+                    key, f"{type(exc).__name__}: {exc}"
+                )
         self.hits += 1
         if self.metrics is not None:
             self.metrics.counter("cache.hits").inc()
-        return document["payload"]
+        return payload
+
+    def _miss(self) -> None:
+        self.misses += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache.misses").inc()
+        return None
+
+    def _drop_corrupt(self, key: str, reason: str) -> None:
+        """Record and evict a corrupt entry, degrading to a miss."""
+        self.corrupt += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache.corrupt").inc()
+        self.collection.delete_many({"key": key})
+        return self._miss()
 
     def put(
         self, dataset: str, algorithm: str, params: Any, payload: Any
@@ -201,10 +242,11 @@ class AnalysisCache:
         return len(self.collection)
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/store counters and entry count."""
+        """Hit/miss/store/corrupt counters and entry count."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corrupt": self.corrupt,
             "entries": len(self.collection),
         }

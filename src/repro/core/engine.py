@@ -31,6 +31,11 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.cloud.executor import TaskFailure, TaskSpec, make_executor
+from repro.cloud.resilience import (
+    CircuitBreaker,
+    ResilientExecutor,
+    RetryPolicy,
+)
 from repro.core.cache import AnalysisCache, fingerprint_log
 from repro.core.endgoals import (
     DEFAULT_END_GOALS,
@@ -106,17 +111,43 @@ class EngineConfig:
     #: change its results.
     tracer: Optional[Any] = None
     metrics: Optional[Any] = None
+    #: What to do when one goal pipeline raises: ``"raise"`` aborts the
+    #: whole analysis (default); ``"degrade"`` records the goal as a
+    #: failed :class:`GoalRun` in the manifest and carries on — the
+    #: surviving goals still rank and persist, and the run manifest is
+    #: stamped ``"degraded"``.
+    on_goal_error: str = "raise"
+    #: Per-task retry attempts beyond the first inside the goal fan-out
+    #: (and the K-means sweep) — 0 disables retrying. Backoff jitter is
+    #: seeded from the engine seed, so retried runs stay reproducible.
+    retries: int = 0
+    #: Per-task wall-clock budget (seconds) for the pooled backends; a
+    #: hung task is failed with ``TaskTimeoutError`` and its siblings
+    #: are respawned rather than lost. None disables timeouts.
+    task_timeout: Optional[float] = None
+    #: Consecutive infrastructure failures (timeouts, worker crashes,
+    #: backend errors) before the fan-out backend is tripped and work
+    #: falls back to a serial executor.
+    breaker_threshold: int = 3
 
 
 @dataclass
 class GoalRun:
-    """Everything produced while pursuing one end-goal."""
+    """Everything produced while pursuing one end-goal.
+
+    ``status`` is ``"completed"`` for a normal run or ``"failed"`` for
+    a goal that raised under ``on_goal_error="degrade"`` (its ``error``
+    then carries the ``"ExcType: message"`` summary and ``items`` is
+    empty).
+    """
 
     goal: EndGoal
     items: List[KnowledgeItem]
     optimization: Optional[OptimizationReport] = None
     partial: Optional[PartialMiningResult] = None
     notes: Dict[str, Any] = field(default_factory=dict)
+    status: str = "completed"
+    error: Optional[str] = None
 
 
 @dataclass
@@ -142,6 +173,17 @@ class AnalysisResult:
                 return run
         raise EndGoalError(f"goal {goal_name!r} was not run")
 
+    def failed_goals(self) -> List[str]:
+        """Names of goals that failed under degraded-mode analysis."""
+        return [
+            run.goal.name for run in self.runs if run.status == "failed"
+        ]
+
+    @property
+    def degraded(self) -> bool:
+        """Did any goal fail (results cover only the survivors)?"""
+        return bool(self.failed_goals())
+
     def navigate(self, page_size: int = 10) -> NavigationSession:
         """Open an interactive navigation session over the items.
 
@@ -165,15 +207,23 @@ class AnalysisResult:
             "end-goals:",
         ]
         ran = {run.goal.name for run in self.runs}
+        failed = set(self.failed_goals())
         for assessment in self.assessments:
-            status = (
-                "ran"
-                if assessment.goal.name in ran
-                else ("viable" if assessment.viable else "not viable")
-            )
+            name = assessment.goal.name
+            if name in failed:
+                status = "FAILED"
+            elif name in ran:
+                status = "ran"
+            else:
+                status = "viable" if assessment.viable else "not viable"
             lines.append(
-                f"  - {assessment.goal.name}: {status}"
-                f" ({assessment.reason})"
+                f"  - {name}: {status} ({assessment.reason})"
+            )
+        if failed:
+            lines.append(
+                "degraded analysis: "
+                + ", ".join(sorted(failed))
+                + " failed; items below cover the surviving goals"
             )
         lines.append(f"knowledge items: {len(self.items)}")
         for item in self.top(5):
@@ -225,6 +275,26 @@ class ADAHealth:
         self.cache = cache
         self.tracer = self.config.tracer or NULL_TRACER
         self.metrics = self.config.metrics or Metrics()
+        if self.config.on_goal_error not in ("raise", "degrade"):
+            raise EngineError(
+                "on_goal_error must be 'raise' or 'degrade', got"
+                f" {self.config.on_goal_error!r}"
+            )
+        if self.config.retries < 0:
+            raise EngineError("retries must be >= 0")
+        # Built once so every fan-out (and the optimizer's K sweep)
+        # shares one policy and one breaker state across the session.
+        self.retry_policy = (
+            RetryPolicy(
+                max_attempts=self.config.retries + 1, seed=seed
+            )
+            if self.config.retries > 0
+            else None
+        )
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            metrics=self.metrics,
+        )
         if self.cache is not None:
             self.cache.bind_metrics(self.metrics)
         self.ranker = KnowledgeRanker()
@@ -263,11 +333,13 @@ class ADAHealth:
         cache_before = (
             self.cache.stats() if self.cache is not None else None
         )
+        resilience_before = _resilience_counters(self.metrics)
         try:
             with self.tracer.span("analyze", dataset=name, user=user):
                 result = self._analyze(log, name, user, goals, manifest)
         except Exception as exc:  # records a "failed" manifest, re-raises
             self._record_cache_traffic(manifest, cache_before)
+            self._record_resilience(manifest, resilience_before)
             self.kdb.record_run(
                 manifest.fail(
                     f"{type(exc).__name__}: {exc}",
@@ -276,6 +348,7 @@ class ADAHealth:
             )
             raise
         self._record_cache_traffic(manifest, cache_before)
+        self._record_resilience(manifest, resilience_before)
         self.kdb.record_run(
             manifest.finish(len(result.items), self.metrics.snapshot())
         )
@@ -338,6 +411,28 @@ class ADAHealth:
             items=ranked,
             engine=self,
             user=user,
+        )
+
+    def _record_resilience(
+        self,
+        manifest: RunManifestBuilder,
+        before: Dict[str, int],
+    ) -> None:
+        """Record this run's share of the resilience counters (deltas)
+        plus the breaker's end-of-run state."""
+        after = _resilience_counters(self.metrics)
+        manifest.record_resilience(
+            retries=after["resilience.retries"]
+            - before["resilience.retries"],
+            timeouts=after["resilience.timeouts"]
+            - before["resilience.timeouts"],
+            worker_crashes=after["resilience.worker_crashes"]
+            - before["resilience.worker_crashes"],
+            fallbacks=after["resilience.fallbacks"]
+            - before["resilience.fallbacks"],
+            faults_injected=after["resilience.faults_injected"]
+            - before["resilience.faults_injected"],
+            breaker=self.breaker.snapshot(),
         )
 
     def _record_cache_traffic(
@@ -422,15 +517,22 @@ class ADAHealth:
             fingerprint = fingerprint_log(log)
             pending = []
             for goal in selected:
+                # Corrupt stored runs decode-fail into a miss and the
+                # goal is recomputed (cache.corrupt counts them).
                 hit = self.cache.get(
-                    fingerprint, "engine-goal-run", self._goal_params(goal)
+                    fingerprint,
+                    "engine-goal-run",
+                    self._goal_params(goal),
+                    decode=lambda payload, goal=goal: (
+                        self._goal_run_from_document(
+                            payload, goal, dataset_id
+                        )
+                    ),
                 )
                 if hit is None:
                     pending.append(goal)
                 else:
-                    restored[goal.name] = self._goal_run_from_document(
-                        hit, goal, dataset_id
-                    )
+                    restored[goal.name] = hit
         if manifest is not None:
             for name, run in restored.items():
                 manifest.add_goal(
@@ -442,23 +544,28 @@ class ADAHealth:
                 )
 
         computed: Dict[str, GoalRun] = {}
+        degrade = self.config.on_goal_error == "degrade"
         if len(pending) <= 1 or self.config.executor == "serial":
             if manifest is not None:
                 manifest.record_executor("serial", 1, 0)
             for goal in pending:
-                with self.tracer.span("goal", goal=goal.name):
-                    t0 = time.perf_counter()
-                    try:
+                t0 = time.perf_counter()
+                try:
+                    with self.tracer.span("goal", goal=goal.name):
                         run = self._run_goal(goal, log, profile, dataset_id)
-                    except Exception as exc:  # goal marked failed, re-raised
-                        if manifest is not None:
-                            manifest.add_goal(
-                                goal.name,
-                                wall_s=time.perf_counter() - t0,
-                                status="failed",
-                                error=f"{type(exc).__name__}: {exc}",
-                            )
+                except Exception as exc:  # goal marked failed; degraded
+                    # mode swallows it, raise mode re-raises
+                    if manifest is not None:
+                        manifest.add_goal(
+                            goal.name,
+                            wall_s=time.perf_counter() - t0,
+                            status="failed",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    if not degrade:
                         raise
+                    computed[goal.name] = _failed_goal_run(goal, exc)
+                    continue
                 computed[goal.name] = run
                 if manifest is not None:
                     manifest.add_goal(
@@ -509,7 +616,12 @@ class ADAHealth:
                                 f" {value.error}"
                             ),
                         )
-                    raise value.error
+                    if not degrade:
+                        raise value.error
+                    computed[goal.name] = _failed_goal_run(
+                        goal, value.error
+                    )
+                    continue
                 computed[goal.name] = value
                 if manifest is not None:
                     manifest.add_goal(
@@ -520,14 +632,18 @@ class ADAHealth:
                     )
 
         # Cache writes stay in the parent process so they survive
-        # process-pool execution.
+        # process-pool execution. Failed (degraded) goals are never
+        # cached: a transient fault must not poison future runs.
         if self.cache is not None and fingerprint is not None:
             for goal in pending:
+                run = computed[goal.name]
+                if run.status != "completed":
+                    continue
                 self.cache.put(
                     fingerprint,
                     "engine-goal-run",
                     self._goal_params(goal),
-                    self._goal_run_to_document(computed[goal.name]),
+                    self._goal_run_to_document(run),
                 )
         return [
             restored[goal.name]
@@ -537,36 +653,59 @@ class ADAHealth:
         ]
 
     def _goal_executor(self):
-        """Build the configured backend for the goal fan-out."""
+        """Build the configured backend for the goal fan-out.
+
+        Non-serial backends carry the engine's retry policy and task
+        timeout and are wrapped in a breaker-guarded
+        :class:`~repro.cloud.resilience.ResilientExecutor`, so repeated
+        infrastructure failures downgrade the fan-out to a serial
+        fallback instead of aborting the analysis.
+        """
         cfg = self.config
         if cfg.executor == "threads":
-            return make_executor(
+            backend = make_executor(
                 "threads",
                 max_workers=cfg.executor_workers,
                 metrics=self.metrics,
+                retry=self.retry_policy,
+                task_timeout=cfg.task_timeout,
             )
-        if cfg.executor == "process":
-            return make_executor(
+        elif cfg.executor == "process":
+            backend = make_executor(
                 "process",
                 workers=cfg.executor_workers,
                 metrics=self.metrics,
+                retry=self.retry_policy,
+                task_timeout=cfg.task_timeout,
             )
-        if cfg.executor == "simulated-cluster":
-            return make_executor(
+        elif cfg.executor == "simulated-cluster":
+            backend = make_executor(
                 "simulated-cluster",
                 n_workers=cfg.executor_workers,
                 metrics=self.metrics,
+                retry=self.retry_policy,
             )
-        return make_executor(cfg.executor, metrics=self.metrics)
+        else:
+            return make_executor(
+                cfg.executor,
+                metrics=self.metrics,
+                retry=self.retry_policy,
+            )
+        return ResilientExecutor(
+            backend, breaker=self.breaker, metrics=self.metrics
+        )
 
     def _goal_params(self, goal: EndGoal) -> Dict[str, Any]:
         """Cache-key parameters for one goal run.
 
-        The execution knobs (``executor*``, ``use_cache``) and the
-        telemetry handles (``tracer``, ``metrics``) are excluded: they
-        change *where* the pipeline runs or what observes it, never its
-        result, so a sweep finished serially is reusable by a traced
-        process-parallel run (and vice versa).
+        The execution knobs (``executor*``, ``use_cache``), the
+        telemetry handles (``tracer``, ``metrics``) and the fault-
+        tolerance knobs (``on_goal_error``, ``retries``,
+        ``task_timeout``, ``breaker_threshold``) are excluded: they
+        change *where* the pipeline runs, what observes it or how it
+        recovers, never its result, so a sweep finished serially is
+        reusable by a traced, retry-hardened process-parallel run (and
+        vice versa).
         """
         excluded = {
             "executor",
@@ -574,6 +713,10 @@ class ADAHealth:
             "use_cache",
             "tracer",
             "metrics",
+            "on_goal_error",
+            "retries",
+            "task_timeout",
+            "breaker_threshold",
         }
         params = {
             spec.name: getattr(self.config, spec.name)
@@ -935,6 +1078,35 @@ class ADAHealth:
         """Teach the interest model whether a goal was worth running."""
         goal = self.finder.by_name(goal_name)
         self.interest_model.record_interaction(goal, profile, interested)
+
+
+#: Counters whose per-run deltas land in the manifest's resilience
+#: section (emitted by the executor backends and the breaker wrapper).
+_RESILIENCE_COUNTERS = (
+    "resilience.retries",
+    "resilience.timeouts",
+    "resilience.worker_crashes",
+    "resilience.fallbacks",
+    "resilience.faults_injected",
+)
+
+
+def _resilience_counters(metrics) -> Dict[str, int]:
+    """Current values of the resilience counters (0 when untouched)."""
+    return {
+        name: metrics.counter_value(name)
+        for name in _RESILIENCE_COUNTERS
+    }
+
+
+def _failed_goal_run(goal: EndGoal, error: Exception) -> GoalRun:
+    """The degraded-mode placeholder for a goal whose pipeline raised."""
+    return GoalRun(
+        goal=goal,
+        items=[],
+        status="failed",
+        error=f"{type(error).__name__}: {error}",
+    )
 
 
 def _run_algorithms(run: GoalRun) -> List[str]:

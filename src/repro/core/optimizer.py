@@ -114,6 +114,9 @@ class OptimizationReport:
     rows: List[OptimizationRow]
     best_k: int
     sse_plateau: List[int]
+    #: K values whose evaluation failed (empty on a clean sweep). The
+    #: selection rule runs over the surviving rows only.
+    failed_k: List[int] = field(default_factory=list)
 
     @property
     def best_row(self) -> OptimizationRow:
@@ -128,6 +131,7 @@ class OptimizationReport:
             "rows": [row.to_document() for row in self.rows],
             "best_k": self.best_k,
             "sse_plateau": list(self.sse_plateau),
+            "failed_k": list(self.failed_k),
         }
 
     @classmethod
@@ -142,6 +146,8 @@ class OptimizationReport:
             ],
             best_k=int(document["best_k"]),
             sse_plateau=[int(k) for k in document["sse_plateau"]],
+            # Documents cached before failed_k existed lack the key.
+            failed_k=[int(k) for k in document.get("failed_k", [])],
         )
 
     def format_table(self) -> str:
@@ -193,6 +199,11 @@ class KMeansOptimizer:
         arbitrary callable cannot be fingerprinted.)
     seed:
         Seed forwarded to K-means and to the CV splitters.
+    retry:
+        Optional :class:`repro.cloud.RetryPolicy` applied per task by
+        the default serial executor. Ignored when an explicit
+        ``executor`` is supplied — configure retries on that backend
+        instead.
     """
 
     def __init__(
@@ -207,6 +218,7 @@ class KMeansOptimizer:
         seed: int = 0,
         tracer=None,
         metrics=None,
+        retry=None,
     ) -> None:
         if not k_values:
             raise MiningError("k_values must be non-empty")
@@ -220,7 +232,7 @@ class KMeansOptimizer:
         self.classifier_factory = classifier_factory
         self.kmeans_params = dict(kmeans_params or {})
         self.kmeans_params.setdefault("n_init", 3)
-        self.executor = executor or SerialExecutor()
+        self.executor = executor or SerialExecutor(retry=retry)
         self.cache = cache
         self.seed = seed
         self.tracer = tracer or NULL_TRACER
@@ -278,19 +290,23 @@ class KMeansOptimizer:
                 fingerprint = fingerprint_array(data)
                 pending = []
                 for k in self.k_values:
+                    # Corrupt stored rows decode-fail into a miss and
+                    # are recomputed below (cache.corrupt counts them).
                     hit = self.cache.get(
                         fingerprint,
                         "kmeans-optimizer-row",
                         self._cell_params(k),
+                        decode=OptimizationRow.from_document,
                     )
                     if hit is None:
                         pending.append(k)
                     else:
-                        rows.append(OptimizationRow.from_document(hit))
+                        rows.append(hit)
             tasks = [
                 TaskSpec(_evaluate_k_task, (self, data, k)) for k in pending
             ]
             outcome = self.executor.run(tasks)
+            failed_k: List[int] = []
             for index, (k, value) in enumerate(
                 zip(pending, outcome.results)
             ):
@@ -311,6 +327,7 @@ class KMeansOptimizer:
                             "optimizer.k_seconds"
                         ).observe(seconds)
                 if not isinstance(value, OptimizationRow):
+                    failed_k.append(k)
                     continue
                 rows.append(value)
                 if fingerprint is not None:
@@ -321,7 +338,10 @@ class KMeansOptimizer:
                         value.to_document(),
                     )
             if not rows:
-                raise MiningError("every optimisation run failed")
+                raise MiningError(
+                    "every optimisation run failed"
+                    f" (K values: {sorted(failed_k)})"
+                )
             rows.sort(key=lambda row: row.k)
             best_k = max(rows, key=lambda row: row.combined).k
             sweep_span.set(
@@ -333,6 +353,7 @@ class KMeansOptimizer:
                 rows=rows,
                 best_k=best_k,
                 sse_plateau=sse_plateau(rows),
+                failed_k=sorted(failed_k),
             )
 
     def _cell_params(self, k: int) -> Dict[str, Any]:

@@ -44,6 +44,14 @@ PAPER_FRACTIONS = (0.2, 0.4, 1.0)
 PAPER_TOLERANCE = 0.05
 
 
+def _decode_labels(payload: Any) -> np.ndarray:
+    """Decode a cached label list (raising on corrupt payloads)."""
+    labels = np.array(payload, dtype=int)
+    if labels.ndim != 1:
+        raise ValueError("cached labels must be one-dimensional")
+    return labels
+
+
 @dataclass
 class PartialRun:
     """One (subset, K) evaluation."""
@@ -288,9 +296,16 @@ class HorizontalPartialMiner:
                 "seed": self.seed,
             }
             fingerprint = fingerprint_array(matrix)
-            hit = self.cache.get(fingerprint, "partial-kmeans", params)
+            # Corrupt stored labels decode-fail into a miss and the
+            # clustering is recomputed (cache.corrupt counts them).
+            hit = self.cache.get(
+                fingerprint,
+                "partial-kmeans",
+                params,
+                decode=_decode_labels,
+            )
             if hit is not None:
-                return np.array(hit, dtype=int)
+                return hit
         model = KMeans(k, seed=self.seed, **self.kmeans_params).fit(matrix)
         if model.labels_ is None:
             raise RuntimeError("KMeans fit left labels_ unset")

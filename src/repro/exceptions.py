@@ -53,6 +53,29 @@ class ConvergenceWarning(UserWarning):
     """An iterative algorithm stopped before meeting its tolerance."""
 
 
+class ExecutionError(ReproError):
+    """Base class for execution-backend infrastructure failures.
+
+    Task-level exceptions (a miner raising on bad parameters) are the
+    *task's* fault and surface unchanged inside ``TaskFailure``; an
+    ``ExecutionError`` subclass means the *infrastructure* misbehaved —
+    a hung worker, a dead process — which is what retry policies and
+    circuit breakers react to.
+    """
+
+
+class TaskTimeoutError(ExecutionError):
+    """A task exceeded its per-task wall-clock budget and was killed."""
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died (segfault, OOM kill, ``os._exit``...)."""
+
+
+class InjectedFault(ExecutionError):
+    """A fault deliberately injected by the chaos-testing layer."""
+
+
 class EngineError(ReproError):
     """The ADA-HEALTH engine was driven through an invalid state."""
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import copy
 import json
+import os
 import re
 from pathlib import Path
 from typing import (
@@ -767,6 +768,9 @@ class DocumentStore:
 
     def __init__(self) -> None:
         self._collections: Dict[str, Collection] = {}
+        #: One human-readable line per corrupt JSONL line skipped by
+        #: the most recent :meth:`load` (empty after a clean load).
+        self.load_warnings: List[str] = []
 
     def collection(self, name: str) -> Collection:
         """Get or create the named collection."""
@@ -797,24 +801,39 @@ class DocumentStore:
         """Persist every collection as ``<name>.jsonl`` under ``directory``.
 
         Indexes are saved in a side-car manifest and rebuilt on load.
+        Every file is written to a temporary sibling and moved into
+        place with :func:`os.replace`, so a crash mid-save leaves the
+        previous complete file (or no file), never a truncated one.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         manifest = {}
         for name, collection in self._collections.items():
-            with open(directory / f"{name}.jsonl", "w") as handle:
-                for document in collection._documents.values():
-                    handle.write(json.dumps(document, sort_keys=True) + "\n")
+            _atomic_write(
+                directory / f"{name}.jsonl",
+                "".join(
+                    json.dumps(document, sort_keys=True) + "\n"
+                    for document in collection._documents.values()
+                ),
+            )
             manifest[name] = [
                 {"path": path, "unique": unique}
                 for path, unique, __ in collection._indexes.values()
             ]
-        with open(directory / "_manifest.json", "w") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
+        _atomic_write(
+            directory / "_manifest.json",
+            json.dumps(manifest, indent=2, sort_keys=True),
+        )
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "DocumentStore":
-        """Load a store previously written by :meth:`save`."""
+        """Load a store previously written by :meth:`save`.
+
+        Truncated or otherwise corrupt JSONL lines (a crash mid-append,
+        a chopped download) are skipped rather than aborting the load;
+        each skip is recorded in :attr:`load_warnings` so callers can
+        audit what was lost.
+        """
         directory = Path(directory)
         manifest_path = directory / "_manifest.json"
         if not manifest_path.exists():
@@ -827,11 +846,30 @@ class DocumentStore:
             data_path = directory / f"{name}.jsonl"
             if data_path.exists():
                 with open(data_path) as handle:
-                    for line in handle:
-                        if line.strip():
-                            collection.insert_one(json.loads(line))
+                    for lineno, line in enumerate(handle, start=1):
+                        if not line.strip():
+                            continue
+                        try:
+                            document = json.loads(line)
+                        except json.JSONDecodeError as exc:
+                            store.load_warnings.append(
+                                f"{data_path.name}:{lineno}: skipped"
+                                f" corrupt line ({exc.msg})"
+                            )
+                            continue
+                        collection.insert_one(document)
             for index in indexes:
                 collection.create_index(
                     index["path"], unique=index["unique"]
                 )
         return store
+
+
+def _atomic_write(path: Path, content: str) -> None:
+    """Write ``content`` to ``path`` via a temp file and ``os.replace``."""
+    temporary = path.with_name(path.name + ".tmp")
+    with open(temporary, "w") as handle:
+        handle.write(content)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)

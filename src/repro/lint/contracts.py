@@ -2,8 +2,8 @@
 statically.
 
 ADA007 needs the operator set :mod:`repro.kdb.documentstore` actually
-implements; ADA008 needs the field sets of the
-``ada-health/run-manifest/v1`` schema from :mod:`repro.obs.manifest`.
+implements; ADA008 needs the field sets of the current
+``ada-health/run-manifest`` schema from :mod:`repro.obs.manifest`.
 Rather than freezing copies that drift, both are extracted from the
 real modules' *source* (located via :func:`importlib.util.find_spec`,
 parsed with :mod:`ast` — nothing is executed). Baked-in fallbacks keep
@@ -74,15 +74,16 @@ def docstore_operators() -> FrozenSet[str]:
 
 @dataclass(frozen=True)
 class ManifestSchema:
-    """Field sets of the ``ada-health/run-manifest/v1`` schema."""
+    """Field sets of the ``ada-health/run-manifest`` schema."""
 
-    schema_tag: str = "ada-health/run-manifest/v1"
+    schema_tag: str = "ada-health/run-manifest/v2"
     top_fields: FrozenSet[str] = field(default_factory=frozenset)
     goal_fields: FrozenSet[str] = field(default_factory=frozenset)
     assessed_fields: FrozenSet[str] = field(default_factory=frozenset)
     dataset_fields: FrozenSet[str] = field(default_factory=frozenset)
     cache_fields: FrozenSet[str] = field(default_factory=frozenset)
     executor_fields: FrozenSet[str] = field(default_factory=frozenset)
+    resilience_fields: FrozenSet[str] = field(default_factory=frozenset)
 
     def fields_for_attr(self, attr: str) -> Optional[FrozenSet[str]]:
         """Known sub-document field set for a builder attribute."""
@@ -90,6 +91,7 @@ class ManifestSchema:
             "dataset": self.dataset_fields,
             "cache": self.cache_fields,
             "executor": self.executor_fields,
+            "resilience": self.resilience_fields,
         }.get(attr)
 
 
@@ -98,7 +100,7 @@ _MANIFEST_FALLBACK = ManifestSchema(
         {
             "schema", "status", "dataset", "user", "seed", "started_at",
             "finished_at", "wall_s", "goals_assessed", "goals", "cache",
-            "executor", "metrics", "n_items", "error",
+            "executor", "metrics", "n_items", "resilience", "error",
         }
     ),
     goal_fields=frozenset(
@@ -111,6 +113,12 @@ _MANIFEST_FALLBACK = ManifestSchema(
     dataset_fields=frozenset({"id", "name", "fingerprint"}),
     cache_fields=frozenset({"enabled", "hits", "misses", "stores"}),
     executor_fields=frozenset({"backend", "workers", "task_failures"}),
+    resilience_fields=frozenset(
+        {
+            "retries", "timeouts", "worker_crashes", "fallbacks",
+            "faults_injected", "breaker", "degraded_goals",
+        }
+    ),
 )
 
 
@@ -144,7 +152,12 @@ def manifest_schema() -> ManifestSchema:
 
     schema_tag = _MANIFEST_FALLBACK.schema_tag
     top, goal, assessed = set(), set(), set()
-    subs = {"dataset": set(), "cache": set(), "executor": set()}
+    subs = {
+        "dataset": set(),
+        "cache": set(),
+        "executor": set(),
+        "resilience": set(),
+    }
     for node in getattr(tree, "body", []):
         if isinstance(node, ast.Assign):
             for target in node.targets:
@@ -179,6 +192,8 @@ def manifest_schema() -> ManifestSchema:
                     subs["cache"].update(keys)
                 elif item.name == "record_executor":
                     subs["executor"].update(keys)
+                elif item.name == "record_resilience":
+                    subs["resilience"].update(keys)
                 elif item.name == "_document":
                     top.update(keys)
                 elif item.name == "__init__":
@@ -212,4 +227,7 @@ def manifest_schema() -> ManifestSchema:
         executor_fields=subs["executor"]
         and frozenset(subs["executor"])
         or _MANIFEST_FALLBACK.executor_fields,
+        resilience_fields=subs["resilience"]
+        and frozenset(subs["resilience"])
+        or _MANIFEST_FALLBACK.resilience_fields,
     )

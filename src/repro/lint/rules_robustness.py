@@ -1,17 +1,20 @@
 """Robustness rules: no bare assert (ADA005), disciplined broad
-exception handling (ADA006).
+exception handling (ADA006), no ad-hoc retry sleeping (ADA013).
 
 Library invariants guarded by ``assert`` vanish under ``python -O``;
 ``except Exception`` that neither re-raises nor reports turns real
 failures into silent wrong answers — the one thing an *automated*
-analysis engine must never do.
+analysis engine must never do. And hand-rolled ``time.sleep`` retry
+loops bypass the seeded, bounded backoff of
+:class:`repro.cloud.resilience.RetryPolicy`, losing both determinism
+and the retry/timeout telemetry.
 """
 
 from __future__ import annotations
 
 import ast
 
-from repro.lint.base import Rule, register
+from repro.lint.base import Rule, RuleContext, dotted_name, register
 
 #: Minimum comment payload (after ``#``) accepted as a justification.
 _MIN_JUSTIFICATION = 3
@@ -89,6 +92,71 @@ class BroadExceptPolicy(Rule):
             self.context is not None
         ) else ""
         return len(comment.lstrip("#").strip()) >= _MIN_JUSTIFICATION
+
+
+@register
+class NoAdHocRetrySleep(Rule):
+    """ADA013: no bare ``time.sleep`` retry loops outside the
+    resilience layer.
+
+    A ``time.sleep`` inside a ``while``/``for`` body is the signature
+    of a hand-rolled retry/backoff loop: unbounded, unseeded and
+    invisible to the resilience counters. Backoff belongs to
+    :class:`repro.cloud.resilience.RetryPolicy` (whose ``sleep`` is
+    the one sanctioned home of retry sleeping), so
+    ``cloud/resilience.py`` itself is exempt.
+    """
+
+    rule_id = "ADA013"
+    name = "no-adhoc-retry-sleep"
+    description = (
+        "retry backoff must go through resilience.RetryPolicy, not a"
+        " time.sleep loop"
+    )
+
+    #: The one module allowed to sleep for backoff purposes.
+    _EXEMPT_SUFFIX = "cloud/resilience.py"
+
+    def run(self, context: RuleContext):
+        if context.relpath.endswith(self._EXEMPT_SUFFIX):
+            return []
+        self._loop_depth = 0
+        return super().run(context)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_def(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_def(node)
+
+    def _visit_def(self, node: ast.AST) -> None:
+        # A function defined inside a loop body starts its own scope:
+        # its sleeps only loop if *it* loops.
+        outer = self._loop_depth
+        self._loop_depth = 0
+        self.generic_visit(node)
+        self._loop_depth = outer
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        if self._loop_depth and chain in ("time.sleep", "sleep"):
+            self.report(
+                node,
+                "time.sleep in a loop is an ad-hoc retry/backoff;"
+                " use repro.cloud.resilience.RetryPolicy instead",
+            )
+        self.generic_visit(node)
 
 
 def _is_broad(exception_type: ast.AST) -> bool:

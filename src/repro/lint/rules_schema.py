@@ -60,7 +60,7 @@ class DocstoreOperatorSet(Rule):
 @register
 class ManifestSchemaKeys(Rule):
     """ADA008: string-literal keys on run-manifest documents must exist
-    in the ``ada-health/run-manifest/v1`` schema.
+    in the current ``ada-health/run-manifest`` schema.
 
     Tracks, per function: parameters/variables named ``manifest``,
     results of ``.finish()``/``.fail()``/``validate_manifest()``, and
@@ -74,7 +74,7 @@ class ManifestSchemaKeys(Rule):
     rule_id = "ADA008"
     name = "manifest-schema-keys"
     description = (
-        "manifest keys must exist in the ada-health/run-manifest/v1"
+        "manifest keys must exist in the current ada-health/run-manifest"
         " schema"
     )
 

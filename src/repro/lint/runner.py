@@ -210,7 +210,7 @@ def _pragma_findings(
                     message=(
                         f"unknown rule id {entry.rule_id!r} in"
                         " suppression pragma (known ids:"
-                        " ADA001..ADA012, ADA000, all)"
+                        " ADA001..ADA013, ADA000, all)"
                     ),
                     severity="warning",
                 )

@@ -24,8 +24,11 @@ switched on.
 """
 
 from repro.obs.manifest import (
+    KNOWN_MANIFEST_SCHEMAS,
     MANIFEST_FIELDS,
     MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_V1,
+    RESILIENCE_FIELDS,
     RUNS_COLLECTION,
     ManifestError,
     RunManifestBuilder,
@@ -56,8 +59,11 @@ __all__ = [
     "InMemorySink",
     "JsonlSink",
     "LoggingSink",
+    "KNOWN_MANIFEST_SCHEMAS",
     "MANIFEST_FIELDS",
     "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_V1",
+    "RESILIENCE_FIELDS",
     "ManifestError",
     "Metrics",
     "NULL_TRACER",

@@ -21,10 +21,18 @@ from typing import Any, Dict, List, Optional
 #: Name of the K-DB collection holding run manifests.
 RUNS_COLLECTION = "runs"
 
-#: Schema tag stamped on every manifest (bump on breaking changes).
-MANIFEST_SCHEMA = "ada-health/run-manifest/v1"
+#: Schema tag of pre-resilience manifests (still accepted on read).
+MANIFEST_SCHEMA_V1 = "ada-health/run-manifest/v1"
 
-#: Top-level fields every well-formed manifest must carry.
+#: Schema tag stamped on every new manifest (bump on breaking changes).
+#: v2 adds the ``resilience`` section and the ``"degraded"`` status.
+MANIFEST_SCHEMA = "ada-health/run-manifest/v2"
+
+#: Every schema ``validate_manifest`` accepts.
+KNOWN_MANIFEST_SCHEMAS = (MANIFEST_SCHEMA_V1, MANIFEST_SCHEMA)
+
+#: Top-level fields every well-formed (current-schema) manifest must
+#: carry; v1 documents predate ``resilience`` and are exempt from it.
 MANIFEST_FIELDS = (
     "schema",
     "status",
@@ -40,6 +48,18 @@ MANIFEST_FIELDS = (
     "executor",
     "metrics",
     "n_items",
+    "resilience",
+)
+
+#: Keys of the manifest's ``resilience`` section (v2+).
+RESILIENCE_FIELDS = (
+    "retries",
+    "timeouts",
+    "worker_crashes",
+    "fallbacks",
+    "faults_injected",
+    "breaker",
+    "degraded_goals",
 )
 
 
@@ -48,15 +68,23 @@ class ManifestError(ValueError):
 
 
 def validate_manifest(document: Dict[str, Any]) -> Dict[str, Any]:
-    """Check a manifest is well-formed; returns it (raises otherwise)."""
-    missing = [f for f in MANIFEST_FIELDS if f not in document]
+    """Check a manifest is well-formed; returns it (raises otherwise).
+
+    Accepts both manifest schemas: v1 (no ``resilience`` section) and
+    v2 (``resilience`` required, ``"degraded"`` status allowed).
+    """
+    schema = document.get("schema")
+    if schema not in KNOWN_MANIFEST_SCHEMAS:
+        raise ManifestError(f"unknown manifest schema {schema!r}")
+    required = [
+        name
+        for name in MANIFEST_FIELDS
+        if not (schema == MANIFEST_SCHEMA_V1 and name == "resilience")
+    ]
+    missing = [f for f in required if f not in document]
     if missing:
         raise ManifestError(f"manifest missing fields: {missing}")
-    if document["schema"] != MANIFEST_SCHEMA:
-        raise ManifestError(
-            f"unknown manifest schema {document['schema']!r}"
-        )
-    if document["status"] not in ("completed", "failed"):
+    if document["status"] not in ("completed", "degraded", "failed"):
         raise ManifestError(
             f"unknown manifest status {document['status']!r}"
         )
@@ -68,6 +96,15 @@ def validate_manifest(document: Dict[str, Any]) -> Dict[str, Any]:
                 raise ManifestError(
                     f"goal record missing {field!r}: {goal}"
                 )
+    if schema != MANIFEST_SCHEMA_V1:
+        resilience = document["resilience"]
+        if not isinstance(resilience, dict):
+            raise ManifestError("manifest resilience must be a dict")
+        absent = [f for f in RESILIENCE_FIELDS if f not in resilience]
+        if absent:
+            raise ManifestError(
+                f"resilience section missing fields: {absent}"
+            )
     return document
 
 
@@ -109,6 +146,15 @@ class RunManifestBuilder:
             "backend": "serial",
             "workers": 1,
             "task_failures": 0,
+        }
+        self.resilience: Dict[str, Any] = {
+            "retries": 0,
+            "timeouts": 0,
+            "worker_crashes": 0,
+            "fallbacks": 0,
+            "faults_injected": 0,
+            "breaker": None,
+            "degraded_goals": [],
         }
 
     # -- accumulation ----------------------------------------------------
@@ -164,13 +210,40 @@ class RunManifestBuilder:
             "task_failures": int(task_failures),
         }
 
+    def record_resilience(
+        self,
+        retries: int = 0,
+        timeouts: int = 0,
+        worker_crashes: int = 0,
+        fallbacks: int = 0,
+        faults_injected: int = 0,
+        breaker: Optional[Dict[str, Any]] = None,
+        degraded_goals: Optional[List[str]] = None,
+    ) -> None:
+        """Record this run's fault-tolerance activity (v2 section)."""
+        self.resilience = {
+            "retries": int(retries),
+            "timeouts": int(timeouts),
+            "worker_crashes": int(worker_crashes),
+            "fallbacks": int(fallbacks),
+            "faults_injected": int(faults_injected),
+            "breaker": dict(breaker) if breaker is not None else None,
+            "degraded_goals": list(degraded_goals or []),
+        }
+
     # -- completion ------------------------------------------------------
     def finish(
         self,
         n_items: int,
         metrics_snapshot: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
-        """The manifest of a completed run."""
+        """The manifest of a completed run.
+
+        A run that finished with failed goal records (degraded-mode
+        analysis) is stamped ``"degraded"`` rather than
+        ``"completed"``, with the failed goal names listed under
+        ``resilience["degraded_goals"]``.
+        """
         return self._document(
             "completed", n_items, metrics_snapshot, error=None
         )
@@ -190,6 +263,19 @@ class RunManifestBuilder:
         metrics_snapshot: Optional[Dict[str, Any]],
         error: Optional[str],
     ) -> Dict[str, Any]:
+        resilience = dict(self.resilience)
+        failed = [
+            goal["name"]
+            for goal in self.goals
+            if goal.get("status") == "failed"
+        ]
+        degraded = list(resilience.get("degraded_goals") or [])
+        degraded.extend(
+            name for name in failed if name not in degraded
+        )
+        resilience["degraded_goals"] = degraded
+        if status == "completed" and degraded:
+            status = "degraded"
         document = {
             "schema": MANIFEST_SCHEMA,
             "status": status,
@@ -205,6 +291,7 @@ class RunManifestBuilder:
             "executor": dict(self.executor),
             "metrics": metrics_snapshot or {},
             "n_items": int(n_items),
+            "resilience": resilience,
             "error": error,
         }
         return validate_manifest(document)

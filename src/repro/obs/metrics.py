@@ -210,6 +210,17 @@ class Metrics:
                 instrument = self._counters[name] = Counter()
             return instrument
 
+    def counter_value(self, name: str) -> int:
+        """The named counter's current value (0 when never created).
+
+        Unlike :meth:`counter`, this never creates the instrument —
+        safe for delta snapshots around a phase that may or may not
+        touch the counter.
+        """
+        with self._lock:
+            instrument = self._counters.get(name)
+            return instrument.value if instrument is not None else 0
+
     def gauge(self, name: str) -> Gauge:
         """Get or create the named gauge."""
         with self._lock:

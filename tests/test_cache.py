@@ -75,6 +75,7 @@ def test_cache_miss_put_hit_roundtrip():
         "hits": 1,
         "misses": 1,
         "stores": 1,
+        "corrupt": 0,
         "entries": 1,
     }
 

@@ -27,7 +27,11 @@ from repro.lint.cli import main as lint_main
 from repro.lint.contracts import docstore_operators, manifest_schema
 from repro.lint.rules_determinism import NoUnseededRandomness, NoWallClock
 from repro.lint.rules_parallelism import NoMutableDefault, NoUnpicklableTask
-from repro.lint.rules_robustness import BroadExceptPolicy, NoBareAssert
+from repro.lint.rules_robustness import (
+    BroadExceptPolicy,
+    NoAdHocRetrySleep,
+    NoBareAssert,
+)
 from repro.lint.rules_schema import DocstoreOperatorSet, ManifestSchemaKeys
 from repro.lint.runner import PARSE_ERROR_ID
 
@@ -59,9 +63,9 @@ def test_repo_is_clean():
 # ----------------------------------------------------------------------
 # Rule registry
 # ----------------------------------------------------------------------
-def test_registry_ships_the_twelve_rules():
+def test_registry_ships_the_thirteen_rules():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == [f"ADA{n:03d}" for n in range(1, 13)]
+    assert ids == [f"ADA{n:03d}" for n in range(1, 14)]
     assert all(r.severity in ("error", "warning") for r in all_rules())
 
 
@@ -119,6 +123,17 @@ _BAD = {
         def read_manifest(manifest):
             return manifest["goal_list"]
         """,
+    NoAdHocRetrySleep: """
+        import time
+
+        def fetch(client):
+            for attempt in range(5):
+                try:
+                    return client.get()
+                except ConnectionError:
+                    time.sleep(2 ** attempt)
+            raise TimeoutError("gave up")
+        """,
 }
 
 _GOOD = {
@@ -170,6 +185,16 @@ _GOOD = {
     ManifestSchemaKeys: """
         def read_manifest(manifest):
             return manifest["goals"], manifest["wall_s"]
+        """,
+    NoAdHocRetrySleep: """
+        import time
+
+        from repro.cloud.resilience import RetryPolicy
+
+        def fetch(client):
+            outcome = RetryPolicy(max_attempts=5).execute(client.get)
+            time.sleep(0.1)  # a one-off settle delay, not a loop
+            return outcome
         """,
 }
 

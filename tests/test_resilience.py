@@ -1,0 +1,616 @@
+"""Chaos suite for the fault-tolerant execution layer.
+
+Everything here is *seeded*: fault schedules come from
+``default_rng(seed)`` and backoff jitter from
+``default_rng((seed, task_index, attempt))``, so every test asserts
+exact recovery behaviour — the acceptance bar is byte-identical
+results between a faulty run (with enough retries) and a fault-free
+one, on every backend.
+"""
+
+import os
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    CircuitBreaker,
+    FaultInjector,
+    ProcessPoolExecutorBackend,
+    ResilientExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    SimulatedClusterExecutor,
+    ThreadPoolExecutorBackend,
+)
+from repro.cloud.executor import SweepResult, TaskFailure, TaskSpec
+from repro.core import ADAHealth, EngineConfig
+from repro.core.cache import AnalysisCache
+from repro.exceptions import (
+    InjectedFault,
+    ReproError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.kdb.documentstore import DocumentStore
+from repro.obs import Metrics, validate_manifest
+from repro.obs.manifest import MANIFEST_SCHEMA, MANIFEST_SCHEMA_V1
+
+pytestmark = pytest.mark.faults
+
+
+def _square(x):
+    return x * x
+
+
+def _hang_forever():
+    time.sleep(30.0)
+    return "never"
+
+
+def _exit_hard(x):
+    if x == 1:
+        os._exit(13)
+    return x * x
+
+
+def _raise_value_error(x):
+    if x == 2:
+        raise ValueError("task 2 is broken")
+    return x * x
+
+
+class _Flaky:
+    """Fails the first ``n`` calls, then heals (stays in-process)."""
+
+    def __init__(self, n):
+        self.n = n
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.n:
+            raise ConnectionError(f"transient (call {self.calls})")
+        return "healed"
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+def test_retry_policy_recovers_transient_failures():
+    outcome = RetryPolicy(max_attempts=3, base_delay=0.0).execute(
+        _Flaky(2)
+    )
+    assert outcome.ok
+    assert outcome.value == "healed"
+    assert outcome.attempts == 3
+    assert len(outcome.history) == 2
+    assert all("transient" in line for line in outcome.history)
+
+
+def test_retry_policy_exhausts_attempts():
+    outcome = RetryPolicy(max_attempts=2, base_delay=0.0).execute(
+        _Flaky(99)
+    )
+    assert not outcome.ok
+    assert isinstance(outcome.error, ConnectionError)
+    assert outcome.attempts == 2
+    assert len(outcome.history) == 2
+
+
+def test_retry_policy_respects_retryable_predicate():
+    policy = RetryPolicy(
+        max_attempts=5,
+        base_delay=0.0,
+        retryable=lambda exc: not isinstance(exc, ConnectionError),
+    )
+    outcome = policy.execute(_Flaky(1))
+    assert not outcome.ok
+    assert outcome.attempts == 1  # predicate vetoed the retry
+
+
+def test_retry_policy_backoff_is_seeded_and_bounded():
+    a = RetryPolicy(max_attempts=4, seed=7)
+    b = RetryPolicy(max_attempts=4, seed=7)
+    delays = [a.delay_for(attempt, 3) for attempt in (1, 2, 3)]
+    assert delays == [b.delay_for(attempt, 3) for attempt in (1, 2, 3)]
+    assert all(0.0 < d <= a.max_delay * (1.0 + a.jitter) for d in delays)
+    # Different task index -> decorrelated jitter stream.
+    assert a.delay_for(1, 3) != a.delay_for(1, 4)
+    # Different seed -> different delays.
+    assert delays != [
+        RetryPolicy(max_attempts=4, seed=8).delay_for(n, 3)
+        for n in (1, 2, 3)
+    ]
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ReproError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ReproError):
+        RetryPolicy(backoff=0.5)
+    with pytest.raises(ReproError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ReproError):
+        RetryPolicy(base_delay=-1.0)
+
+
+def test_task_failure_carries_attempt_history():
+    backend = SerialExecutor(
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0)
+    )
+    result = backend.run(
+        [TaskSpec(_raise_value_error, (2,)), TaskSpec(_square, (3,))]
+    )
+    failure = result.results[0]
+    assert isinstance(failure, TaskFailure)
+    assert failure.attempts == 2
+    assert len(failure.history) == 2
+    assert result.results[1] == 9
+    assert result.n_failures == 1
+
+
+# ----------------------------------------------------------------------
+# FaultInjector: seeded schedules and exact recovery
+# ----------------------------------------------------------------------
+def test_fault_schedule_is_deterministic():
+    kwargs = dict(raise_rate=0.3, hang_rate=0.2, drop_rate=0.2, seed=42)
+    first = FaultInjector(SerialExecutor(), **kwargs).schedule(30)
+    second = FaultInjector(SerialExecutor(), **kwargs).schedule(30)
+    assert first == second
+    assert any(fault is not None for fault in first)
+    other = FaultInjector(
+        SerialExecutor(), raise_rate=0.3, hang_rate=0.2, drop_rate=0.2,
+        seed=43,
+    ).schedule(30)
+    assert first != other
+
+
+def test_fault_injector_validation():
+    with pytest.raises(ReproError):
+        FaultInjector(SerialExecutor(), raise_rate=0.8, drop_rate=0.4)
+    with pytest.raises(ReproError):
+        FaultInjector(SerialExecutor(), raise_rate=-0.1)
+    with pytest.raises(ReproError):
+        FaultInjector(SerialExecutor(), max_failures=0)
+
+
+def _backend(name, retry):
+    if name == "serial":
+        return SerialExecutor(retry=retry)
+    if name == "threads":
+        return ThreadPoolExecutorBackend(max_workers=2, retry=retry)
+    if name == "process":
+        return ProcessPoolExecutorBackend(
+            workers=2, chunk_size=3, retry=retry
+        )
+    return SimulatedClusterExecutor(
+        n_workers=2, dispatch_latency=0.0, retry=retry
+    )
+
+
+@pytest.mark.parametrize(
+    "name", ["serial", "threads", "process", "simulated-cluster"]
+)
+def test_faulty_run_recovers_byte_identical_results(name):
+    """The acceptance bar: faults + enough retries == fault-free run."""
+    tasks = [TaskSpec(_square, (i,)) for i in range(12)]
+    clean = _backend(name, None).run(tasks)
+    retry = RetryPolicy(max_attempts=4, base_delay=0.001, max_delay=0.01)
+    injector = FaultInjector(
+        _backend(name, retry),
+        raise_rate=0.3,
+        drop_rate=0.2,
+        max_failures=2,
+        seed=5,
+    )
+    faulty = injector.run(tasks)
+    assert faulty.n_failures == 0
+    assert pickle.dumps(faulty.results) == pickle.dumps(clean.results)
+
+
+def test_dropped_results_fail_without_redelivery():
+    injector = FaultInjector(
+        SerialExecutor(), drop_rate=1.0, redeliver=False, seed=0
+    )
+    result = injector.run([TaskSpec(_square, (i,)) for i in range(3)])
+    assert result.n_failures == 3
+    assert all(
+        isinstance(value, TaskFailure)
+        and isinstance(value.error, InjectedFault)
+        for value in result.results
+    )
+
+
+def test_injected_fault_count_is_metered():
+    metrics = Metrics()
+    FaultInjector(
+        SerialExecutor(),
+        raise_rate=1.0,
+        max_failures=1,
+        seed=0,
+        metrics=metrics,
+    ).run([TaskSpec(_square, (i,)) for i in range(4)])
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]["resilience.faults_injected"] == 4
+
+
+# ----------------------------------------------------------------------
+# Timeouts: hung tasks are killed, siblings survive
+# ----------------------------------------------------------------------
+def test_thread_backend_times_out_hung_task():
+    backend = ThreadPoolExecutorBackend(
+        max_workers=4, task_timeout=0.25
+    )
+    result = backend.run(
+        [
+            TaskSpec(_square, (2,)),
+            lambda: time.sleep(1.0) or "late",
+            TaskSpec(_square, (3,)),
+        ]
+    )
+    assert result.results[0] == 4
+    assert result.results[2] == 9
+    failure = result.results[1]
+    assert isinstance(failure, TaskFailure)
+    assert isinstance(failure.error, TaskTimeoutError)
+    assert result.n_failures == 1
+
+
+def test_process_backend_times_out_and_respawns():
+    """A hung worker kills only its task; chunk siblings re-run."""
+    metrics = Metrics()
+    backend = ProcessPoolExecutorBackend(
+        workers=2, chunk_size=2, task_timeout=1.0, metrics=metrics
+    )
+    result = backend.run(
+        [
+            TaskSpec(_square, (2,)),
+            TaskSpec(_hang_forever),
+            TaskSpec(_square, (3,)),
+            TaskSpec(_square, (4,)),
+        ]
+    )
+    assert result.results[0] == 4
+    assert result.results[2] == 9
+    assert result.results[3] == 16
+    failure = result.results[1]
+    assert isinstance(failure, TaskFailure)
+    assert isinstance(failure.error, TaskTimeoutError)
+    assert result.n_failures == 1
+    assert metrics.snapshot()["counters"]["resilience.timeouts"] == 1
+
+
+def test_process_backend_hang_fault_injection():
+    backend = ProcessPoolExecutorBackend(
+        workers=2, chunk_size=1, task_timeout=0.5
+    )
+    injector = FaultInjector(
+        backend, hang_rate=1.0, hang_seconds=10.0, seed=1
+    )
+    result = injector.run([TaskSpec(_square, (5,))])
+    assert isinstance(result.results[0], TaskFailure)
+    assert isinstance(result.results[0].error, TaskTimeoutError)
+
+
+# ----------------------------------------------------------------------
+# Worker crashes: per-task attribution, siblings preserved
+# ----------------------------------------------------------------------
+def test_worker_crash_fails_only_the_culprit():
+    backend = ProcessPoolExecutorBackend(workers=2, chunk_size=4)
+    result = backend.run([TaskSpec(_exit_hard, (i,)) for i in range(4)])
+    failure = result.results[1]
+    assert isinstance(failure, TaskFailure)
+    assert isinstance(failure.error, WorkerCrashError)
+    assert [result.results[i] for i in (0, 2, 3)] == [0, 4, 9]
+    assert result.n_failures == 1
+
+
+def test_chunk_sibling_results_survive_task_exception():
+    backend = ProcessPoolExecutorBackend(workers=2, chunk_size=4)
+    result = backend.run(
+        [TaskSpec(_raise_value_error, (i,)) for i in range(4)]
+    )
+    failure = result.results[2]
+    assert isinstance(failure, TaskFailure)
+    assert "task 2 is broken" in str(failure.error)
+    assert [result.results[i] for i in (0, 1, 3)] == [0, 1, 9]
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker and serial fallback
+# ----------------------------------------------------------------------
+def test_breaker_counts_and_trips():
+    breaker = CircuitBreaker(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert not breaker.is_open
+    breaker.record_success()
+    breaker.record_failure(2)
+    assert not breaker.is_open
+    breaker.record_failure()
+    assert breaker.is_open
+    assert breaker.trips == 1
+    snapshot = breaker.snapshot()
+    assert snapshot["state"] == "open"
+    assert snapshot["threshold"] == 3
+    breaker.reset()
+    assert not breaker.is_open
+
+
+class _ExplodingBackend:
+    name = "exploding"
+    retry = None
+
+    def run(self, tasks):
+        raise OSError("backend infrastructure is gone")
+
+
+class _InfraFailingBackend:
+    """Times out every odd task; completes the rest."""
+
+    name = "flaky-infra"
+    retry = None
+
+    def run(self, tasks):
+        results = [
+            TaskFailure(TaskTimeoutError(f"task {index} hung"))
+            if index % 2
+            else task()
+            for index, task in enumerate(tasks)
+        ]
+        failures = sum(
+            1 for value in results if isinstance(value, TaskFailure)
+        )
+        return SweepResult(
+            results=results,
+            wall_seconds=0.01,
+            n_failures=failures,
+            task_seconds=[0.0] * len(tasks),
+        )
+
+
+def test_backend_error_downgrades_to_serial_fallback():
+    metrics = Metrics()
+    wrapped = ResilientExecutor(
+        _ExplodingBackend(),
+        breaker=CircuitBreaker(threshold=1, metrics=metrics),
+        metrics=metrics,
+    )
+    result = wrapped.run([TaskSpec(_square, (i,)) for i in range(4)])
+    assert result.results == [0, 1, 4, 9]
+    assert wrapped.breaker.is_open
+    assert wrapped.downgrades == 1
+    assert wrapped.events[0]["event"] == "fallback"
+    assert "OSError" in wrapped.events[0]["reason"]
+    # Once open, runs go straight to the fallback.
+    again = wrapped.run([TaskSpec(_square, (5,))])
+    assert again.results == [25]
+    assert wrapped.downgrades == 2
+    counters = metrics.snapshot()["counters"]
+    assert counters["resilience.breaker_trips"] == 1
+    assert counters["resilience.fallbacks"] == 2
+
+
+def test_breaker_trip_rescues_only_infrastructure_failures():
+    wrapped = ResilientExecutor(
+        _InfraFailingBackend(), breaker=CircuitBreaker(threshold=2)
+    )
+    result = wrapped.run([TaskSpec(_square, (i,)) for i in range(6)])
+    # The three timed-out slots were re-run serially; completed
+    # siblings were kept, nothing was thrown away.
+    assert result.results == [0, 1, 4, 9, 16, 25]
+    assert result.n_failures == 0
+    assert wrapped.breaker.is_open
+
+
+def test_task_errors_do_not_trip_the_breaker():
+    wrapped = ResilientExecutor(
+        SerialExecutor(), breaker=CircuitBreaker(threshold=1)
+    )
+    result = wrapped.run(
+        [TaskSpec(_raise_value_error, (2,))] * 3
+    )
+    # A ValueError is the task's own fault on any backend.
+    assert not wrapped.breaker.is_open
+    assert wrapped.downgrades == 0
+    assert result.n_failures == 3
+
+
+# ----------------------------------------------------------------------
+# Degraded-mode analysis
+# ----------------------------------------------------------------------
+def test_engine_rejects_unknown_on_goal_error():
+    from repro.exceptions import EngineError
+
+    with pytest.raises(EngineError):
+        ADAHealth(config=EngineConfig(on_goal_error="ignore"))
+    with pytest.raises(EngineError):
+        ADAHealth(config=EngineConfig(retries=-1))
+
+
+@pytest.fixture(scope="module")
+def degraded_engine_and_result(small_log):
+    from repro.core.engine import ADAHealth as EngineClass
+
+    original = EngineClass._run_goal
+
+    def sabotaged(self, goal, log, profile, dataset_id):
+        if goal.name == "patient-segmentation":
+            raise RuntimeError("injected goal failure")
+        return original(self, goal, log, profile, dataset_id)
+
+    EngineClass._run_goal = sabotaged
+    try:
+        engine = ADAHealth(
+            config=EngineConfig(
+                k_values=(4, 6),
+                partial_fractions=(0.5, 1.0),
+                partial_k_values=(4,),
+                n_folds=3,
+                on_goal_error="degrade",
+            ),
+            seed=0,
+        )
+        result = engine.analyze(
+            small_log, name="degraded-test", user="dr-chaos"
+        )
+    finally:
+        EngineClass._run_goal = original
+    return engine, result
+
+
+def test_degrade_mode_keeps_surviving_goals(degraded_engine_and_result):
+    __, result = degraded_engine_and_result
+    assert result.degraded
+    assert result.failed_goals() == ["patient-segmentation"]
+    survivors = [
+        run for run in result.runs if run.status == "completed"
+    ]
+    assert survivors, "surviving goals must still run"
+    assert result.items, "surviving goals must still produce items"
+    failed = result.run_for("patient-segmentation")
+    assert failed.status == "failed"
+    assert "injected goal failure" in failed.error
+    assert failed.items == []
+
+
+def test_degrade_mode_items_stay_ranked(degraded_engine_and_result):
+    engine, result = degraded_engine_and_result
+    scores = [engine.ranker.ranking_score(item) for item in result.items]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_degrade_mode_summary_reports_the_failure(
+    degraded_engine_and_result,
+):
+    __, result = degraded_engine_and_result
+    summary = result.summary()
+    assert "degraded analysis" in summary
+    assert "patient-segmentation: FAILED" in summary
+
+
+def test_degrade_mode_records_valid_v2_manifest(
+    degraded_engine_and_result,
+):
+    engine, result = degraded_engine_and_result
+    manifest = engine.kdb.run_history(limit=1)[0]
+    manifest.pop("_id", None)
+    assert validate_manifest(manifest) is manifest
+    assert manifest["schema"] == MANIFEST_SCHEMA
+    assert manifest["status"] == "degraded"
+    by_status = {}
+    for goal in manifest["goals"]:
+        by_status.setdefault(goal["status"], []).append(goal["name"])
+    assert by_status["failed"] == ["patient-segmentation"]
+    assert len(by_status["completed"]) == len(result.runs) - 1
+    resilience = manifest["resilience"]
+    assert resilience["degraded_goals"] == ["patient-segmentation"]
+    assert resilience["breaker"]["state"] == "closed"
+
+
+def test_validate_manifest_accepts_v1_documents():
+    document = {
+        "schema": MANIFEST_SCHEMA_V1,
+        "status": "completed",
+        "dataset": {"id": 1, "name": "x", "fingerprint": "f"},
+        "user": "u",
+        "seed": 0,
+        "started_at": 0.0,
+        "finished_at": 1.0,
+        "wall_s": 1.0,
+        "goals_assessed": [],
+        "goals": [],
+        "cache": {"enabled": False},
+        "executor": {"backend": "serial"},
+        "metrics": {},
+        "n_items": 0,
+        "error": None,
+    }
+    assert validate_manifest(document) is document
+    with pytest.raises(Exception):
+        validate_manifest(dict(document, schema="ada-health/run-manifest/v9"))
+
+
+# ----------------------------------------------------------------------
+# Regressions: crash-safe store, corrupt-tolerant cache
+# ----------------------------------------------------------------------
+def test_documentstore_save_is_atomic(tmp_path):
+    store = DocumentStore()
+    store.collection("people").insert_many(
+        [{"name": "a"}, {"name": "b"}]
+    )
+    store.save(tmp_path)
+    leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []
+    reloaded = DocumentStore.load(tmp_path)
+    assert len(reloaded.collection("people")) == 2
+    assert reloaded.load_warnings == []
+
+
+def test_documentstore_load_skips_corrupt_trailing_lines(tmp_path):
+    store = DocumentStore()
+    store.collection("people").insert_many(
+        [{"name": "a"}, {"name": "b"}]
+    )
+    store.save(tmp_path)
+    # Simulate a crash mid-append: a truncated JSON line at the tail.
+    with open(tmp_path / "people.jsonl", "a") as handle:
+        handle.write('{"name": "tru')
+    reloaded = DocumentStore.load(tmp_path)
+    assert len(reloaded.collection("people")) == 2
+    assert len(reloaded.load_warnings) == 1
+    assert "people.jsonl:3" in reloaded.load_warnings[0]
+
+
+def test_cache_corrupt_entry_degrades_to_miss():
+    metrics = Metrics()
+    cache = AnalysisCache(metrics=metrics)
+    cache.put("ds", "algo", {"k": 1}, {"value": 10})
+    # Corrupt the stored entry in place: payload key vanishes.
+    key = cache.key("ds", "algo", {"k": 1})
+    cache.collection.update_many(
+        {"key": key}, {"$unset": {"payload": ""}}
+    )
+    assert cache.get("ds", "algo", {"k": 1}) is None
+    assert cache.corrupt == 1
+    assert metrics.snapshot()["counters"]["cache.corrupt"] == 1
+    # The damaged entry was evicted, so a recompute overwrites it.
+    cache.put("ds", "algo", {"k": 1}, {"value": 10})
+    assert cache.get("ds", "algo", {"k": 1}) == {"value": 10}
+    assert cache.stats()["corrupt"] == 1
+
+
+def test_cache_decode_failure_degrades_to_miss():
+    cache = AnalysisCache()
+
+    def decode(payload):
+        if "rows" not in payload:
+            raise KeyError("rows")
+        return payload["rows"]
+
+    cache.put("ds", "algo", {"k": 2}, {"not-rows": []})
+    assert cache.get("ds", "algo", {"k": 2}, decode=decode) is None
+    assert cache.corrupt == 1
+    cache.put("ds", "algo", {"k": 2}, {"rows": [1, 2]})
+    assert cache.get("ds", "algo", {"k": 2}, decode=decode) == [1, 2]
+    assert cache.stats()["hits"] == 1
+
+
+def test_fault_injection_through_analysis_cache_stays_consistent():
+    """Retries must not double-store: put() is idempotent per key."""
+    cache = AnalysisCache()
+    policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+    flaky = _Flaky(1)
+
+    def compute():
+        value = flaky()
+        cache.put("ds", "flaky-algo", {"n": 1}, value)
+        return value
+
+    outcome = policy.execute(compute)
+    assert outcome.ok
+    assert cache.stats()["stores"] == 1
+    assert cache.get("ds", "flaky-algo", {"n": 1}) == "healed"
