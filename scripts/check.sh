@@ -12,5 +12,8 @@ PYTHONPATH=src python -m repro.lint --stats
 echo "==> chaos suite (seeded fault injection)"
 PYTHONPATH=src python -m pytest -x -q -m faults
 
+echo "==> block-identity smoke (out-of-core data plane)"
+PYTHONPATH=src python -m pytest -x -q -m blocks
+
 echo "==> tier-1 tests"
 PYTHONPATH=src python -m pytest -x -q "$@"

@@ -127,6 +127,30 @@ def build_parser() -> argparse.ArgumentParser:
                 help="per-task wall-clock budget for pooled"
                 " backends; hung tasks fail with TaskTimeoutError",
             )
+            sub.add_argument(
+                "--executor",
+                choices=(
+                    "serial",
+                    "threads",
+                    "process",
+                    "simulated-cluster",
+                    "auto",
+                ),
+                default="serial",
+                help="goal fan-out backend; auto picks serial on"
+                " single-core hosts or small logs, otherwise a"
+                " process pool over shared memory (default: serial)",
+            )
+            sub.add_argument(
+                "--block-rows",
+                type=int,
+                default=None,
+                dest="block_rows",
+                metavar="ROWS",
+                help="partition the patient matrix into ROWS-row"
+                " blocks for the out-of-core data plane (results"
+                " are byte-identical to the flat path)",
+            )
         if name == "table1":
             sub.add_argument(
                 "--k",
@@ -242,6 +266,8 @@ def cmd_analyze(args) -> int:
         on_goal_error=args.on_goal_error,
         retries=args.retries,
         task_timeout=args.task_timeout,
+        executor=args.executor,
+        block_rows=args.block_rows,
     )
     engine = ADAHealth(config=config, seed=args.seed)
     result = engine.analyze(

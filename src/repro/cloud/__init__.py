@@ -9,6 +9,7 @@ from repro.cloud.executor import (
     TaskSpec,
     ThreadPoolExecutorBackend,
     make_executor,
+    payload_bytes,
     run_chunked,
 )
 from repro.cloud.resilience import (
@@ -19,6 +20,14 @@ from repro.cloud.resilience import (
     RetryPolicy,
 )
 from repro.cloud.sweep import ParameterSweep, SweepPoint, expand_grid
+from repro.cloud.transport import (
+    SharedLogHandle,
+    backend_name,
+    log_lease,
+    matrix_lease,
+    open_log,
+    uses_processes,
+)
 
 __all__ = [
     "CircuitBreaker",
@@ -29,13 +38,20 @@ __all__ = [
     "RetryOutcome",
     "RetryPolicy",
     "SerialExecutor",
+    "SharedLogHandle",
     "SimulatedClusterExecutor",
     "SweepPoint",
     "SweepResult",
     "TaskFailure",
     "TaskSpec",
     "ThreadPoolExecutorBackend",
+    "backend_name",
     "expand_grid",
+    "log_lease",
     "make_executor",
+    "matrix_lease",
+    "open_log",
+    "payload_bytes",
+    "uses_processes",
     "run_chunked",
 ]

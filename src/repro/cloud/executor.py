@@ -124,6 +124,39 @@ def _observe(metrics, task_seconds, queue_seconds, failures) -> None:
         metrics.counter("executor.task_failures").inc(failures)
 
 
+def payload_bytes(task) -> int:
+    """Pickled size of one task — what a process boundary ships.
+
+    The whole point of the shared-memory transport is visible here: a
+    :class:`TaskSpec` carrying a raw matrix weighs megabytes, one
+    carrying a :class:`repro.data.SharedMatrixHandle` weighs a few
+    hundred bytes. Unpicklable tasks report 0 (the pool path will fail
+    them as :class:`TaskFailure` anyway).
+    """
+    try:
+        return len(pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # noqa: BLE001 - any pickle error means "won't ship"
+        return 0
+
+
+def _observe_payloads(metrics, tasks) -> None:
+    """Record per-task payload sizes into ``cloud.payload_bytes``.
+
+    Only process backends call this: in-process backends serialise
+    nothing, so a payload histogram there would measure a cost that is
+    never paid.
+    """
+    if metrics is None:
+        return
+    from repro.obs.metrics import PAYLOAD_BUCKETS
+
+    histogram = metrics.histogram(
+        "cloud.payload_bytes", bounds=PAYLOAD_BUCKETS
+    )
+    for task in tasks:
+        histogram.observe(float(payload_bytes(task)))
+
+
 def _observe_resilience(
     metrics, retries: int = 0, timeouts: int = 0, crashes: int = 0
 ) -> None:
@@ -435,6 +468,7 @@ class ProcessPoolExecutorBackend:
     def run(self, tasks: Sequence[Task]) -> SweepResult:
         start = time.perf_counter()
         tasks = list(tasks)
+        _observe_payloads(self.metrics, tasks)
         results: List[Any] = [None] * len(tasks)
         task_seconds: List[Optional[float]] = [None] * len(tasks)
         queue_seconds: List[float] = []

@@ -23,6 +23,7 @@ A single call does all of it::
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from dataclasses import fields as dataclass_fields
@@ -57,6 +58,8 @@ from repro.core.knowledge import KnowledgeItem
 from repro.core.optimizer import KMeansOptimizer, OptimizationReport
 from repro.core.partial import HorizontalPartialMiner, PartialMiningResult
 from repro.core.ranking import KnowledgeRanker, NavigationSession
+from repro.cloud.transport import log_lease, open_log
+from repro.data.blocks import BlockedDataset
 from repro.data.records import ExamLog
 from repro.exceptions import EndGoalError, EngineError
 from repro.mining.dbscan import DBSCAN
@@ -69,6 +72,11 @@ from repro.obs.tracer import NULL_TRACER
 from repro.preprocess.characterization import characterize_log
 from repro.preprocess.transforms import L2Normalizer
 from repro.preprocess.vsm import VSMBuilder
+
+#: Logs below this record count resolve ``executor="auto"`` to the
+#: serial backend: worker startup and transport would dominate the
+#: actual per-goal compute.
+AUTO_EXECUTOR_MIN_RECORDS = 20_000
 
 
 @dataclass
@@ -97,7 +105,10 @@ class EngineConfig:
     n_folds: int = 5
     #: Backend for the per-goal fan-out: "serial" (in-process), "threads",
     #: "process" (true CPU parallelism; goal pipelines are side-effect
-    #: free so results merge deterministically) or "simulated-cluster".
+    #: free so results merge deterministically), "simulated-cluster", or
+    #: "auto" — serial on single-core hosts or small logs, otherwise a
+    #: process pool fed through the shared-memory transport. The choice
+    #: never changes results, only where they are computed.
     executor: str = "serial"
     executor_workers: int = 4
     #: Memoise per-goal results (and the K-means sweeps inside them) in
@@ -129,6 +140,12 @@ class EngineConfig:
     #: backend errors) before the fan-out backend is tripped and work
     #: falls back to a serial executor.
     breaker_threshold: int = 3
+    #: Row-block size for the out-of-core data plane. When set, the
+    #: segmentation pipeline hands the K-means optimiser a
+    #: :class:`repro.data.BlockedDataset` view of the patient matrix
+    #: (blocks are views over one backing array, so results stay
+    #: byte-identical to the flat path). None keeps the flat matrix.
+    block_rows: Optional[int] = None
 
 
 @dataclass
@@ -545,7 +562,8 @@ class ADAHealth:
 
         computed: Dict[str, GoalRun] = {}
         degrade = self.config.on_goal_error == "degrade"
-        if len(pending) <= 1 or self.config.executor == "serial":
+        executor_name = self._resolved_executor(log)
+        if len(pending) <= 1 or executor_name == "serial":
             if manifest is not None:
                 manifest.record_executor("serial", 1, 0)
             for goal in pending:
@@ -575,18 +593,22 @@ class ADAHealth:
                         algorithms=_run_algorithms(run),
                     )
         else:
-            executor = self._goal_executor()
-            tasks = [
-                TaskSpec(
-                    _run_goal_task,
-                    (self, goal.name, log, profile, dataset_id),
-                )
-                for goal in pending
-            ]
-            outcome = executor.run(tasks)
+            executor = self._goal_executor(executor_name)
+            # The lease ships the log once: in-process backends pass it
+            # through, process backends pickle a ~100-byte shared-memory
+            # handle per task instead of the full record set.
+            with log_lease(executor, log) as logref:
+                tasks = [
+                    TaskSpec(
+                        _run_goal_task,
+                        (self, goal.name, logref, profile, dataset_id),
+                    )
+                    for goal in pending
+                ]
+                outcome = executor.run(tasks)
             if manifest is not None:
                 manifest.record_executor(
-                    getattr(executor, "name", self.config.executor),
+                    getattr(executor, "name", executor_name),
                     self.config.executor_workers,
                     outcome.n_failures,
                 )
@@ -652,17 +674,38 @@ class ADAHealth:
             for goal in selected
         ]
 
-    def _goal_executor(self):
-        """Build the configured backend for the goal fan-out.
+    def _resolved_executor(self, log: ExamLog) -> str:
+        """Resolve ``executor="auto"`` against the host and payload.
 
-        Non-serial backends carry the engine's retry policy and task
-        timeout and are wrapped in a breaker-guarded
+        Process pools only pay off when there are spare cores and the
+        per-goal work dwarfs worker startup: single-core hosts and
+        small logs resolve to "serial", everything else to "process"
+        (which ships the log through the shared-memory transport).
+        Explicit backend names pass through untouched. The choice never
+        affects results — goal pipelines are deterministic and
+        side-effect free — only where they execute.
+        """
+        if self.config.executor != "auto":
+            return self.config.executor
+        if (os.cpu_count() or 1) <= 1:
+            return "serial"
+        if log.n_records < AUTO_EXECUTOR_MIN_RECORDS:
+            return "serial"
+        return "process"
+
+    def _goal_executor(self, name: Optional[str] = None):
+        """Build the backend for the goal fan-out.
+
+        ``name`` is the resolved backend (defaults to the configured
+        one). Non-serial backends carry the engine's retry policy and
+        task timeout and are wrapped in a breaker-guarded
         :class:`~repro.cloud.resilience.ResilientExecutor`, so repeated
         infrastructure failures downgrade the fan-out to a serial
         fallback instead of aborting the analysis.
         """
         cfg = self.config
-        if cfg.executor == "threads":
+        name = name or cfg.executor
+        if name == "threads":
             backend = make_executor(
                 "threads",
                 max_workers=cfg.executor_workers,
@@ -670,7 +713,7 @@ class ADAHealth:
                 retry=self.retry_policy,
                 task_timeout=cfg.task_timeout,
             )
-        elif cfg.executor == "process":
+        elif name == "process":
             backend = make_executor(
                 "process",
                 workers=cfg.executor_workers,
@@ -678,7 +721,7 @@ class ADAHealth:
                 retry=self.retry_policy,
                 task_timeout=cfg.task_timeout,
             )
-        elif cfg.executor == "simulated-cluster":
+        elif name == "simulated-cluster":
             backend = make_executor(
                 "simulated-cluster",
                 n_workers=cfg.executor_workers,
@@ -687,7 +730,7 @@ class ADAHealth:
             )
         else:
             return make_executor(
-                cfg.executor,
+                name,
                 metrics=self.metrics,
                 retry=self.retry_policy,
             )
@@ -848,7 +891,13 @@ class ADAHealth:
             tracer=self.tracer,
             metrics=self.metrics,
         )
-        report = optimizer.optimize(matrix)
+        # With block_rows set the optimiser sees a partitioned view of
+        # the same backing matrix — identical bytes, blockwise access.
+        report = optimizer.optimize(
+            BlockedDataset(matrix, cfg.block_rows)
+            if cfg.block_rows
+            else matrix
+        )
         best = report.best_row
         items = extract_cluster_items(
             matrix,
@@ -1121,11 +1170,17 @@ def _run_algorithms(run: GoalRun) -> List[str]:
 
 
 def _run_goal_task(
-    engine: "ADAHealth", goal_name: str, log: ExamLog, profile, dataset_id
+    engine: "ADAHealth", goal_name: str, logref, profile, dataset_id
 ):
-    """Module-level goal task (picklable for process backends)."""
+    """Module-level goal task (picklable for process backends).
+
+    ``logref`` is whatever :func:`repro.cloud.transport.log_lease`
+    shipped: the :class:`ExamLog` itself in-process, or a shared-memory
+    handle that is attached for the duration of the goal pipeline.
+    """
     goal = engine.finder.by_name(goal_name)
-    return engine._run_goal(goal, log, profile, dataset_id)
+    with open_log(logref) as log:
+        return engine._run_goal(goal, log, profile, dataset_id)
 
 
 def _eps_heuristic(

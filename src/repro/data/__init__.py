@@ -8,9 +8,19 @@ Public surface::
         DiabeticExamLogGenerator, GeneratorConfig,  # synthetic data
         paper_dataset, small_dataset, profile_labels,
         load_csv, save_csv, load_jsonl, save_jsonl,  # IO
+        BlockedDataset, SharedMatrix, SharedMatrixHandle,  # data plane
+        open_matrix, leaked_segments,
     )
 """
 
+from repro.data.blocks import (
+    SEGMENT_PREFIX,
+    BlockedDataset,
+    SharedMatrix,
+    SharedMatrixHandle,
+    leaked_segments,
+    open_matrix,
+)
 from repro.data.io import load_csv, load_jsonl, save_csv, save_jsonl
 from repro.data.records import ExamLog, ExamRecord, PatientInfo
 from repro.data.synthetic import (
@@ -31,6 +41,8 @@ from repro.data.taxonomy import (
 
 __all__ = [
     "CATEGORIES",
+    "SEGMENT_PREFIX",
+    "BlockedDataset",
     "DiabeticExamLogGenerator",
     "ExamLog",
     "ExamRecord",
@@ -39,10 +51,14 @@ __all__ = [
     "GeneratorConfig",
     "PatientInfo",
     "PatientProfile",
+    "SharedMatrix",
+    "SharedMatrixHandle",
     "build_default_taxonomy",
     "default_profiles",
+    "leaked_segments",
     "load_csv",
     "load_jsonl",
+    "open_matrix",
     "paper_dataset",
     "profile_labels",
     "save_csv",

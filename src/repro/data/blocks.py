@@ -1,0 +1,374 @@
+"""Out-of-core data plane: shared-memory matrices and blocked datasets.
+
+The paper's premise is automated analysis over *large* clinical exam
+logs, but a naive parallel sweep pickles the full patient-by-exam
+matrix into every worker task — the dominant cost of the process
+backend. This module provides the zero-copy alternative:
+
+* :class:`SharedMatrix` — a numpy array backed by a
+  ``multiprocessing.shared_memory`` segment with an explicit
+  create/attach/close/unlink lifecycle. Its picklable
+  :class:`SharedMatrixHandle` is a ~100-byte descriptor (name, shape,
+  dtype, memory order), so a :class:`repro.cloud.TaskSpec` ships the
+  descriptor and workers map the data instead of receiving it.
+* :class:`BlockedDataset` — fixed-size row blocks over one contiguous
+  backing matrix, with per-block fingerprints and a whole-dataset
+  fingerprint computed *streamingly* yet byte-identical to
+  :func:`repro.core.cache.fingerprint_array` on the flat matrix, so
+  the :class:`repro.core.AnalysisCache` addresses blocked and flat
+  datasets identically.
+* :func:`open_matrix` — the worker-side resolver: a context manager
+  that turns an array, a :class:`BlockedDataset` or a handle into an
+  ndarray view and guarantees the segment is detached afterwards.
+
+Serial and thread backends never touch shared memory: leases
+short-circuit to direct views (see :mod:`repro.cloud.transport`).
+
+Cleanup discipline
+------------------
+Every segment created here is tracked in a module-level registry and
+named with :data:`SEGMENT_PREFIX`, so tests (and operators) can assert
+that a run — even a faulty one — left zero segments behind via
+:func:`leaked_segments`. Owners unlink in ``finally`` blocks; workers
+only ever attach and close.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import secrets
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+#: Prefix of every shared-memory segment created by this library;
+#: :func:`leaked_segments` scans for it.
+SEGMENT_PREFIX = "adarepro-"
+
+def leaked_segments() -> List[str]:
+    """Library-created segments still present on the host.
+
+    Scans the POSIX shared-memory directory (``/dev/shm`` on Linux) for
+    :data:`SEGMENT_PREFIX` names. An empty list after a run — faulty or
+    not — is the cleanup invariant the test suite pins. On hosts
+    without a scannable segment directory the check degrades to an
+    empty answer rather than guessing.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # non-POSIX host: nothing to scan
+        return []
+    return sorted(
+        name
+        for name in os.listdir(root)
+        if name.startswith(SEGMENT_PREFIX)
+    )
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Unregister an *attached* segment from the resource tracker.
+
+    On CPython < 3.13 every ``SharedMemory(name=...)`` attach registers
+    the segment with ``resource_tracker``, which unlinks it when the
+    attaching process exits — destroying data the owner still serves.
+    Attachers are not owners; only the creator may unlink.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+@dataclass(frozen=True)
+class SharedMatrixHandle:
+    """Picklable descriptor of a :class:`SharedMatrix` segment.
+
+    This is the object a :class:`repro.cloud.TaskSpec` ships instead of
+    the matrix: ~100 bytes regardless of the array size.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    #: Memory order of the segment bytes ("C" or "F"). Preserving the
+    #: source array's order keeps floating-point summation order — and
+    #: therefore results — bit-identical between a worker's mapped view
+    #: and the owner's original array.
+    order: str = "C"
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the described array in bytes."""
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count * np.dtype(self.dtype).itemsize
+
+
+class SharedMatrix:
+    """A numpy array in a named shared-memory segment.
+
+    Create one from an in-memory array with :meth:`create` (the calling
+    process becomes the *owner*, responsible for :meth:`unlink`), or
+    map an existing segment with :meth:`attach` (workers; they only
+    :meth:`close`). Using the instance as a context manager closes on
+    exit and — for owners — unlinks, so no exit path leaks a segment.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        owner: bool,
+        order: str = "C",
+    ) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.shape = shape
+        self.dtype = np.dtype(dtype)
+        self.owner = owner
+        self.order = order
+        self.name = shm.name
+
+    # -- lifecycle -----------------------------------------------------
+    @classmethod
+    def create(cls, matrix) -> "SharedMatrix":
+        """Copy ``matrix`` into a fresh segment owned by this process.
+
+        The source array's memory order survives the copy: a
+        Fortran-ordered matrix (e.g. the L2 normaliser's output) maps
+        back Fortran-ordered in the worker, so every downstream
+        reduction sums in the same order and results stay bit-identical
+        to the serial path.
+        """
+        matrix = np.asarray(matrix)
+        order = (
+            "F"
+            if matrix.ndim > 1
+            and matrix.flags.f_contiguous
+            and not matrix.flags.c_contiguous
+            else "C"
+        )
+        matrix = np.asarray(matrix, order=order)
+        name = SEGMENT_PREFIX + secrets.token_hex(8)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, matrix.nbytes), name=name
+        )
+        shared = cls(shm, matrix.shape, matrix.dtype, owner=True, order=order)
+        shared.array[...] = matrix
+        return shared
+
+    @classmethod
+    def attach(cls, handle: SharedMatrixHandle) -> "SharedMatrix":
+        """Map an existing segment described by ``handle`` (no copy)."""
+        try:
+            shm = shared_memory.SharedMemory(name=handle.name)
+        except FileNotFoundError as exc:
+            raise DataError(
+                f"shared segment {handle.name!r} does not exist"
+                " (owner already unlinked it?)"
+            ) from exc
+        _untrack(shm)
+        return cls(
+            shm,
+            tuple(handle.shape),
+            np.dtype(handle.dtype),
+            owner=False,
+            order=handle.order,
+        )
+
+    def close(self) -> None:
+        """Detach the mapping; idempotent. Views become invalid."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only); idempotent."""
+        if not self.owner:
+            raise DataError(
+                f"only the owner may unlink segment {self.name!r}"
+            )
+        self.close()
+        try:
+            shared_memory.SharedMemory(name=self.name).unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedMatrix":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.owner:
+            self.unlink()
+        else:
+            self.close()
+
+    # -- access --------------------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        """The live ndarray view into the segment."""
+        if self._shm is None:
+            raise DataError(f"segment {self.name!r} is closed")
+        return np.ndarray(
+            self.shape,
+            dtype=self.dtype,
+            buffer=self._shm.buf,
+            order=self.order,
+        )
+
+    def handle(self) -> SharedMatrixHandle:
+        """The picklable descriptor workers attach with."""
+        return SharedMatrixHandle(
+            name=self.name,
+            shape=tuple(self.shape),
+            dtype=self.dtype.str,
+            order=self.order,
+        )
+
+
+#: Anything :func:`open_matrix` can resolve into an ndarray.
+MatrixRef = Union[np.ndarray, SharedMatrixHandle, "BlockedDataset"]
+
+
+@contextmanager
+def open_matrix(ref: MatrixRef) -> Iterator[np.ndarray]:
+    """Resolve a matrix reference into an ndarray view.
+
+    Arrays and :class:`BlockedDataset` objects pass through unchanged
+    (serial/thread short-circuit: zero copies, zero syscalls).
+    :class:`SharedMatrixHandle` attaches the segment for the duration
+    of the ``with`` block and detaches in ``finally`` — the worker-side
+    half of the cleanup contract. Results computed from the view must
+    be fresh arrays (labels, centres, scores all are), never views into
+    the segment.
+    """
+    if isinstance(ref, SharedMatrixHandle):
+        shared = SharedMatrix.attach(ref)
+        try:
+            yield shared.array
+        finally:
+            shared.close()
+    elif isinstance(ref, BlockedDataset):
+        yield ref.matrix
+    else:
+        yield np.asarray(ref)
+
+
+class BlockedDataset:
+    """Fixed-size row blocks over one contiguous backing matrix.
+
+    Blocks are *views* — no data is copied — so exact algorithms that
+    run on :attr:`matrix` produce results byte-identical to the flat
+    path, while streaming consumers iterate :meth:`iter_blocks` and
+    never hold more than ``block_rows`` rows of derived state.
+
+    Parameters
+    ----------
+    matrix:
+        The backing 2-D array. Kept with its memory order as-is — the
+        flat path and the blocked path read the very same buffer, which
+        is what makes their results byte-identical.
+    block_rows:
+        Rows per block. The final block is shorter when ``n_rows`` is
+        not a multiple; ``block_rows > n_rows`` yields a single block.
+    """
+
+    def __init__(self, matrix, block_rows: int) -> None:
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise DataError(
+                f"BlockedDataset needs a 2-D matrix, got {matrix.ndim}-D"
+            )
+        if block_rows < 1:
+            raise DataError("block_rows must be >= 1")
+        self.matrix = matrix
+        self.block_rows = int(block_rows)
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.matrix.shape[1])
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of blocks; an empty matrix has zero blocks."""
+        return -(-self.n_rows // self.block_rows)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    # -- block access --------------------------------------------------
+    def block(self, index: int) -> np.ndarray:
+        """Row-slice view of block ``index``."""
+        if not 0 <= index < self.n_blocks:
+            raise DataError(
+                f"block index {index} out of range"
+                f" (have {self.n_blocks} blocks)"
+            )
+        start = index * self.block_rows
+        return self.matrix[start : start + self.block_rows]
+
+    def iter_blocks(self) -> Iterator[np.ndarray]:
+        """Yield every block in row order."""
+        for index in range(self.n_blocks):
+            yield self.block(index)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self.iter_blocks()
+
+    # -- fingerprints --------------------------------------------------
+    def block_fingerprint(self, index: int) -> str:
+        """Content digest of one block.
+
+        Matches :func:`repro.core.cache.fingerprint_array` of the block
+        view, so per-block caching composes with the existing cache.
+        """
+        block = np.ascontiguousarray(self.block(index))
+        header = f"{block.shape}|{block.dtype.str}|".encode()
+        return hashlib.sha256(header + block.tobytes()).hexdigest()
+
+    def fingerprint(self) -> str:
+        """Whole-dataset digest, computed one block at a time.
+
+        Byte-identical to ``fingerprint_array(self.matrix)``: the same
+        shape/dtype header followed by the row bytes, fed to SHA-256
+        incrementally. The :class:`repro.core.AnalysisCache` therefore
+        shares entries between blocked and flat representations of the
+        same data.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            f"{self.matrix.shape}|{self.matrix.dtype.str}|".encode()
+        )
+        for block in self.iter_blocks():
+            digest.update(np.ascontiguousarray(block).tobytes())
+        return digest.hexdigest()
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_blocks(
+        cls, blocks: Sequence[np.ndarray], block_rows: Optional[int] = None
+    ) -> "BlockedDataset":
+        """Assemble a dataset from row blocks (stacked once, in order).
+
+        ``block_rows`` defaults to the first block's row count, which
+        round-trips ``BlockedDataset(m, r).iter_blocks()`` exactly.
+        """
+        stacked = [np.atleast_2d(np.asarray(block)) for block in blocks]
+        if not stacked:
+            raise DataError("from_blocks needs at least one block")
+        if block_rows is None:
+            block_rows = max(1, stacked[0].shape[0])
+        return cls(np.vstack(stacked), block_rows)

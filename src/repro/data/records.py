@@ -193,6 +193,57 @@ class ExamLog:
             matrix[index[record.patient_id], record.exam_code] += 1.0
         return matrix, ids
 
+    def to_rows(self) -> np.ndarray:
+        """Dense ``(n_records, 3)`` int64 array of the record triples.
+
+        Columns are ``(patient_id, day, exam_code)`` in the log's sorted
+        record order — the same row layout the cache fingerprint hashes.
+        This is the transport representation of a log: the array can live
+        in a :class:`repro.data.blocks.SharedMatrix` segment and be
+        rebuilt in a worker with :meth:`from_rows` without pickling the
+        record objects.
+        """
+        rows = np.empty((len(self.records), 3), dtype=np.int64)
+        for i, record in enumerate(self.records):
+            rows[i, 0] = record.patient_id
+            rows[i, 1] = record.day
+            rows[i, 2] = record.exam_code
+        return rows
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: np.ndarray,
+        taxonomy: Optional[ExamTaxonomy] = None,
+        patients: Optional[Iterable[PatientInfo]] = None,
+    ) -> "ExamLog":
+        """Rebuild a log from a :meth:`to_rows` array (exact round-trip)."""
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1, 3)
+        records = [
+            ExamRecord(
+                patient_id=int(row[0]), day=int(row[1]), exam_code=int(row[2])
+            )
+            for row in rows
+        ]
+        return cls(records, taxonomy=taxonomy, patients=patients)
+
+    @classmethod
+    def concat(cls, logs: Sequence["ExamLog"]) -> "ExamLog":
+        """Merge block logs into one (shared taxonomy, disjoint patients).
+
+        Used to assemble a flat log from the generator's blocked stream
+        when memory allows; patients carrying demographics in several
+        blocks must not collide.
+        """
+        if not logs:
+            raise DataError("concat needs at least one log")
+        records: List[ExamRecord] = []
+        patients: List[PatientInfo] = []
+        for log in logs:
+            records.extend(log.records)
+            patients.extend(log.patients.values())
+        return cls(records, taxonomy=logs[0].taxonomy, patients=patients)
+
     def transactions(self, by: str = "patient") -> List[List[str]]:
         """Itemset-mining view of the log.
 

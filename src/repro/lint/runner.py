@@ -71,7 +71,7 @@ PARSE_ERROR_ID = "ADA000"
 
 #: Version of the rule set; part of every findings-cache key, so a
 #: rule change (signalled by bumping this) invalidates cached results.
-RULESET_VERSION = "adalint/2"
+RULESET_VERSION = "adalint/3"
 
 #: Id under which pragma/config hygiene findings are reported.
 _SUPPRESSION_RULE_ID = "ADA012"
@@ -210,7 +210,7 @@ def _pragma_findings(
                     message=(
                         f"unknown rule id {entry.rule_id!r} in"
                         " suppression pragma (known ids:"
-                        " ADA001..ADA013, ADA000, all)"
+                        " ADA001..ADA014, ADA000, all)"
                     ),
                     severity="warning",
                 )

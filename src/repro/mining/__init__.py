@@ -42,6 +42,7 @@ from repro.mining.hierarchical import AgglomerativeClustering, Merge
 from repro.mining.itemsets import (
     Itemset,
     apriori,
+    apriori_blocks,
     closed_itemsets,
     fpgrowth,
     itemset_index,
@@ -120,6 +121,7 @@ __all__ = [
     "accuracy",
     "adjusted_rand_index",
     "apriori",
+    "apriori_blocks",
     "calinski_harabasz_index",
     "bootstrap_stability",
     "classification_report",

@@ -91,8 +91,13 @@ def _popcount(mask: int) -> int:
         return bin(mask).count("1")
 
 
+def _popcounts(masks: Tuple[int, ...]) -> int:
+    """Total set bits across per-block masks (exact support merge)."""
+    return sum(_popcount(mask) for mask in masks)
+
+
 # ----------------------------------------------------------------------
-# Apriori
+# Apriori (blockwise bitset engine)
 # ----------------------------------------------------------------------
 def apriori(
     transactions: Sequence[Transaction],
@@ -105,7 +110,8 @@ def apriori(
     Support counting is bitset-based: each item owns one big-int mask
     with bit ``t`` set when transaction ``t`` contains the item; a
     candidate's support is the popcount of the AND of its items' masks,
-    computed incrementally from its parent in the join step.
+    computed incrementally from its parent in the join step. The flat
+    call is the single-block case of :func:`apriori_blocks`.
 
     ``metrics`` (an ``repro.obs.Metrics`` registry) receives per-level
     candidate/pruned/survivor counters and the overall pruning ratio.
@@ -113,23 +119,64 @@ def apriori(
     Returns itemsets sorted by (length, items) for determinism.
     """
     _validate(transactions, min_support)
-    n = len(transactions)
+    return apriori_blocks(
+        [transactions], min_support, max_length=max_length, metrics=metrics
+    )
+
+
+def apriori_blocks(
+    blocks: Iterable[Sequence[Transaction]],
+    min_support: float,
+    max_length: Optional[int] = None,
+    metrics=None,
+) -> List[Itemset]:
+    """Apriori over a *stream* of transaction blocks, merged exactly.
+
+    The out-of-core entry point: ``blocks`` may be any iterable (a
+    generator over :meth:`repro.data.DiabeticExamLogGenerator.generate_blocks`
+    output works) and is consumed **once** — only per-block, per-item
+    bitsets are retained, never the transactions themselves. Every item
+    keeps one mask *per block*; a candidate's support is the sum over
+    blocks of the popcount of the per-block AND. Because the flat
+    transaction bitset is exactly the concatenation of the per-block
+    bitsets, every join, prune and threshold decision is identical to
+    the in-memory miner: the decoded output is byte-identical to
+    :func:`apriori` (and :func:`fpgrowth`) on the concatenated
+    transactions, itemset for itemset.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise MiningError("min_support must be in (0, 1]")
+    # Single pass over the stream: fold each block into string-keyed
+    # bitsets, then remap to sorted-vocabulary ids (the id order the
+    # flat encoder would have assigned, so tie-breaks are preserved).
+    raw_masks: List[Dict[str, int]] = []
+    n = 0
+    for block in blocks:
+        masks: Dict[str, int] = {}
+        size = 0
+        for transaction in block:
+            bit = 1 << size
+            for item in set(transaction):
+                masks[item] = masks.get(item, 0) | bit
+            size += 1
+        raw_masks.append(masks)
+        n += size
+    if n == 0:
+        raise MiningError("no transactions given")
     min_count = _min_count(min_support, n)
-    vocabulary, encoded = _encode(transactions)
+    vocabulary = sorted(set().union(*raw_masks)) if raw_masks else []
+    block_masks: List[List[int]] = [
+        [masks.get(item, 0) for item in vocabulary] for masks in raw_masks
+    ]
 
-    item_masks: List[int] = [0] * len(vocabulary)
-    for position, transaction in enumerate(encoded):
-        bit = 1 << position
-        for item in transaction:
-            item_masks[item] |= bit
-
-    # L1: per-item masks double as the support index.
-    current: Dict[Tuple[int, ...], int] = {}
+    # L1: per-item mask tuples double as the support index.
+    current: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
     results: Dict[FrozenSet[int], int] = {}
-    for item, mask in enumerate(item_masks):
-        count = _popcount(mask)
+    for item in range(len(vocabulary)):
+        masks_of_item = tuple(masks[item] for masks in block_masks)
+        count = _popcounts(masks_of_item)
         if count >= min_count:
-            current[(item,)] = mask
+            current[(item,)] = masks_of_item
             results[frozenset((item,))] = count
 
     length = 1
@@ -137,9 +184,9 @@ def apriori(
     total_pruned = 0
     while current and (max_length is None or length < max_length):
         length += 1
-        current, stats = _apriori_level(current, item_masks, min_count)
-        for candidate, mask in current.items():
-            results[frozenset(candidate)] = _popcount(mask)
+        current, stats = _apriori_level(current, block_masks, min_count)
+        for candidate, candidate_masks in current.items():
+            results[frozenset(candidate)] = _popcounts(candidate_masks)
         total_candidates += stats["candidates"]
         total_pruned += stats["pruned"] + stats["infrequent"]
         if metrics is not None:
@@ -161,20 +208,21 @@ def apriori(
 
 
 def _apriori_level(
-    frequent: Dict[Tuple[int, ...], int],
-    item_masks: List[int],
+    frequent: Dict[Tuple[int, ...], Tuple[int, ...]],
+    block_masks: List[List[int]],
     min_count: int,
-) -> Tuple[Dict[Tuple[int, ...], int], Dict[str, int]]:
-    """One breadth-first level: join, prune, count via bitsets.
+) -> Tuple[Dict[Tuple[int, ...], Tuple[int, ...]], Dict[str, int]]:
+    """One breadth-first level: join, prune, count via blockwise bitsets.
 
     ``frequent`` maps each (k-1)-itemset — a sorted id tuple — to its
-    transaction bitset; returns the frequent k-itemsets with theirs,
-    plus the level's mining statistics: ``candidates`` joined,
+    per-block transaction bitsets; returns the frequent k-itemsets with
+    theirs, plus the level's mining statistics: ``candidates`` joined,
     ``pruned`` by downward closure, ``infrequent`` below min support.
+    Counts merge exactly: support is the popcount sum over blocks.
     """
     frequent_keys = set(frequent)
     ordered = sorted(frequent)
-    survivors: Dict[Tuple[int, ...], int] = {}
+    survivors: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
     candidates = 0
     pruned = 0
     infrequent = 0
@@ -191,9 +239,12 @@ def _apriori_level(
             ):
                 pruned += 1
                 continue
-            mask = frequent[a] & item_masks[b[-1]]
-            if _popcount(mask) >= min_count:
-                survivors[candidate] = mask
+            masks = tuple(
+                mask & block[b[-1]]
+                for mask, block in zip(frequent[a], block_masks)
+            )
+            if _popcounts(masks) >= min_count:
+                survivors[candidate] = masks
             else:
                 infrequent += 1
     stats = {

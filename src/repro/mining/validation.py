@@ -145,20 +145,28 @@ DEFAULT_METRICS: Dict[str, Callable] = {
 
 def _fit_score_fold(
     model_factory: Callable[[], object],
-    data: np.ndarray,
-    labels: np.ndarray,
+    data_ref,
+    labels_ref,
     train: np.ndarray,
     test: np.ndarray,
     metrics: Dict[str, Callable],
 ) -> Dict[str, float]:
-    """Fit one fold and score it (module-level for process backends)."""
-    model = model_factory()
-    model.fit(data[train], labels[train])  # type: ignore[attr-defined]
-    predicted = model.predict(data[test])  # type: ignore[attr-defined]
-    return {
-        name: float(function(labels[test], predicted))
-        for name, function in metrics.items()
-    }
+    """Fit one fold and score it (module-level for process backends).
+
+    ``data_ref``/``labels_ref`` are whatever the matrix lease shipped:
+    the arrays themselves in-process, or shared-memory handles that
+    are attached for the duration of the fold and detached after.
+    """
+    from repro.data.blocks import open_matrix
+
+    with open_matrix(data_ref) as data, open_matrix(labels_ref) as labels:
+        model = model_factory()
+        model.fit(data[train], labels[train])  # type: ignore[attr-defined]
+        predicted = model.predict(data[test])  # type: ignore[attr-defined]
+        return {
+            name: float(function(labels[test], predicted))
+            for name, function in metrics.items()
+        }
 
 
 def cross_validate(
@@ -203,15 +211,21 @@ def cross_validate(
 
     if executor is not None:
         from repro.cloud.executor import TaskFailure, TaskSpec
+        from repro.cloud.transport import matrix_lease
 
-        tasks = [
-            TaskSpec(
-                _fit_score_fold,
-                (model_factory, data, labels, train, test, metrics),
-            )
-            for train, test in splits
-        ]
-        outcome = executor.run(tasks)
+        with matrix_lease(executor, data, labels) as (
+            data_ref,
+            labels_ref,
+        ):
+            tasks = [
+                TaskSpec(
+                    _fit_score_fold,
+                    (model_factory, data_ref, labels_ref, train, test,
+                     metrics),
+                )
+                for train, test in splits
+            ]
+            outcome = executor.run(tasks)
         for value in outcome.results:
             if isinstance(value, TaskFailure):
                 raise value.error

@@ -36,6 +36,7 @@ from repro.obs.manifest import (
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    PAYLOAD_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -68,6 +69,7 @@ __all__ = [
     "Metrics",
     "NULL_TRACER",
     "NullTracer",
+    "PAYLOAD_BUCKETS",
     "RUNS_COLLECTION",
     "RunManifestBuilder",
     "Span",

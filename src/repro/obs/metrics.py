@@ -44,6 +44,23 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     math.inf,
 )
 
+#: Byte-scale histogram bounds for payload-size accounting (e.g. the
+#: executors' ``cloud.payload_bytes``): 128 B up to 128 MiB, then +inf.
+PAYLOAD_BUCKETS: Tuple[float, ...] = (
+    128.0,
+    512.0,
+    2048.0,
+    8192.0,
+    32768.0,
+    131072.0,
+    524288.0,
+    float(2**21),
+    float(2**23),
+    float(2**25),
+    float(2**27),
+    math.inf,
+)
+
 
 class _Instrument:
     """Lock management shared by every instrument type."""

@@ -1,4 +1,4 @@
-"""Tests for the inter-procedural rules ADA009–ADA012.
+"""Tests for the inter-procedural rules ADA009–ADA012 and ADA014.
 
 Each rule gets bad fixtures proving it fires (with the offence
 arbitrarily deep below the reported site) and good fixtures proving it
@@ -16,6 +16,7 @@ from repro.lint.rules_dataflow import (
     CacheKeyCoverage,
     EffectFreeTasks,
     ExceptionTaxonomy,
+    NoLargeArrayPickle,
     NoUnusedSuppressions,
 )
 from repro.lint.rules_robustness import NoBareAssert
@@ -333,6 +334,143 @@ def test_ada011_accepts_module_qualified_taxonomy_raises():
         """,
     )
     assert findings == []
+
+
+# ----------------------------------------------------------------------
+# ADA014 — large arrays must not ride the pickle path to workers
+# ----------------------------------------------------------------------
+def test_ada014_flags_ndarray_local_shipped_in_taskspec():
+    findings = run_rule(
+        NoLargeArrayPickle,
+        """
+        import numpy as np
+
+        from repro.cloud.executor import TaskSpec
+
+        def work(ref, k):
+            return ref
+
+        def sweep(k_values):
+            matrix = np.asarray([[1.0, 2.0]])
+            return [TaskSpec(work, (matrix, k)) for k in k_values]
+        """,
+    )
+    assert len(findings) == 1
+    assert findings[0].rule_id == "ADA014"
+    assert "matrix" in findings[0].message
+    assert "matrix_lease" in findings[0].message
+
+
+def test_ada014_flags_annotated_parameter_in_pool_submit():
+    findings = run_rule(
+        NoLargeArrayPickle,
+        """
+        import numpy as np
+        from concurrent.futures import ProcessPoolExecutor
+
+        def work(chunk):
+            return chunk.sum()
+
+        def run_all(data: np.ndarray):
+            folds = data[:10]
+            with ProcessPoolExecutor() as pool:
+                return pool.submit(work, folds)
+        """,
+    )
+    assert len(findings) == 1
+    assert "folds" in findings[0].message
+    assert "pool.submit" in findings[0].message
+
+
+def test_ada014_tracks_slices_and_method_chains():
+    findings = run_rule(
+        NoLargeArrayPickle,
+        """
+        import numpy as np
+
+        from repro.cloud.executor import TaskSpec
+
+        def work(x):
+            return x
+
+        def go():
+            base = np.zeros((4, 4))
+            view = base[1:].copy()
+            return TaskSpec(work, (view,))
+        """,
+    )
+    assert len(findings) == 1
+    assert "view" in findings[0].message
+
+
+def test_ada014_quiet_when_the_array_travels_by_lease():
+    findings = run_rule(
+        NoLargeArrayPickle,
+        """
+        import numpy as np
+
+        from repro.cloud.executor import TaskSpec
+        from repro.cloud.transport import matrix_lease
+
+        def work(ref, k):
+            return ref
+
+        def sweep(executor, k_values):
+            matrix = np.asarray([[1.0, 2.0]])
+            with matrix_lease(executor, matrix) as (ref,):
+                return executor.run(
+                    [TaskSpec(work, (ref, k)) for k in k_values]
+                )
+        """,
+    )
+    assert findings == []
+
+
+def test_ada014_quiet_on_local_array_use_and_unknown_types():
+    findings = run_rule(
+        NoLargeArrayPickle,
+        """
+        import numpy as np
+
+        from repro.cloud.executor import TaskSpec
+
+        def work(x):
+            return x
+
+        def local_only(data: np.ndarray):
+            copy = data.copy()
+            return copy.sum()
+
+        def unknown(handle):
+            return TaskSpec(work, (handle,))
+        """,
+    )
+    assert findings == []
+
+
+def test_ada014_nested_functions_are_their_own_scope():
+    findings = run_rule(
+        NoLargeArrayPickle,
+        """
+        import numpy as np
+
+        from repro.cloud.executor import TaskSpec
+
+        def work(x):
+            return x
+
+        def outer():
+            matrix = np.ones((2, 2))
+
+            def inner():
+                return TaskSpec(work, (matrix,))
+
+            return TaskSpec(work, (matrix,)), inner
+        """,
+    )
+    # exactly one finding: the outer submission; the nested def is a
+    # separate scope where ``matrix`` is an untracked closure variable
+    assert len(findings) == 1
 
 
 # ----------------------------------------------------------------------
