@@ -15,5 +15,8 @@ PYTHONPATH=src python -m pytest -x -q -m faults
 echo "==> block-identity smoke (out-of-core data plane)"
 PYTHONPATH=src python -m pytest -x -q -m blocks
 
+echo "==> K-DB scale smoke (sharded store + planner)"
+PYTHONPATH=src python -m pytest -x -q -m kdb_scale benchmarks/test_kdb_scale.py
+
 echo "==> tier-1 tests"
 PYTHONPATH=src python -m pytest -x -q "$@"

@@ -8,6 +8,7 @@ Commands
 ``table1``     regenerate the paper's Table I on a log
 ``partial``    regenerate the §IV-B partial-mining experiment
 ``figure1``    print the architecture diagram (paper Figure 1)
+``kdb``        inspect (``stats``) or compact a sharded K-DB directory
 ``lint``       run the adalint invariant checks (see :mod:`repro.lint`)
 
 Every command that reads a dataset accepts either a JSONL file produced
@@ -162,6 +163,22 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--folds", type=int, default=10)
 
     commands.add_parser("figure1", help="print the architecture diagram")
+
+    kdb = commands.add_parser(
+        "kdb", help="inspect or maintain a sharded K-DB directory"
+    )
+    kdb_commands = kdb.add_subparsers(dest="kdb_command", required=True)
+    for name, help_text in (
+        ("stats", "print per-collection document counts and disk usage"),
+        ("compact", "fold append logs into fresh base partitions"),
+    ):
+        sub = kdb_commands.add_parser(name, help=help_text)
+        sub.add_argument("directory", help="sharded K-DB directory")
+        sub.add_argument(
+            "--collection",
+            default=None,
+            help="restrict to one collection (compact only)",
+        )
 
     lint = commands.add_parser(
         "lint",
@@ -319,6 +336,32 @@ def cmd_figure1(args) -> int:
     return 0
 
 
+def cmd_kdb(args) -> int:
+    import json
+
+    from repro.kdb.shards import ShardedDocumentStore
+
+    directory = Path(args.directory)
+    if not (directory / "_shards.json").exists():
+        print(f"no sharded K-DB at {directory}", file=sys.stderr)
+        return 1
+    store = ShardedDocumentStore(directory)
+    try:
+        if args.kdb_command == "compact":
+            before = store.pending_ops(args.collection)
+            store.compact(args.collection)
+            scope = args.collection or "all collections"
+            print(f"compacted {scope}: folded {before} pending op(s)")
+        else:
+            print(json.dumps(store.stats(), indent=2, sort_keys=True))
+        if store.load_warnings:
+            for warning in store.load_warnings:
+                print(f"warning: {warning}", file=sys.stderr)
+    finally:
+        store.close()
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -347,6 +390,7 @@ _COMMANDS = {
     "table1": cmd_table1,
     "partial": cmd_partial,
     "figure1": cmd_figure1,
+    "kdb": cmd_kdb,
     "lint": cmd_lint,
 }
 

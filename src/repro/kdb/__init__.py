@@ -13,6 +13,8 @@ from repro.kdb.kdb import (
     DegreePredictor,
     KnowledgeBase,
 )
+from repro.kdb.planner import QueryPlan, plan_query
+from repro.kdb.shards import ShardedDocumentStore, shard_of
 
 __all__ = [
     "COLLECTIONS",
@@ -25,7 +27,11 @@ __all__ = [
     "DocumentStore",
     "FEEDBACK",
     "KnowledgeBase",
+    "QueryPlan",
     "RAW_DATASETS",
     "SELECTED_KNOWLEDGE",
+    "ShardedDocumentStore",
     "TRANSFORMED_DATASETS",
+    "plan_query",
+    "shard_of",
 ]

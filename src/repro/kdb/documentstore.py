@@ -1,29 +1,46 @@
 """Embedded document store with a MongoDB-like API.
 
-The paper stores the ADA-HEALTH Knowledge Base "on a cluster of MongoDBs".
-This module is the reproduction's substitute substrate: an embedded,
-dependency-free document database exposing the subset of the MongoDB
-surface the K-DB needs —
+The paper stores the ADA-HEALTH Knowledge Base "on a cluster of
+MongoDBs". This module is the reproduction's substitute substrate: an
+embedded, dependency-free document database exposing the subset of the
+MongoDB surface the K-DB needs —
 
 * collections of JSON-like documents with automatic ``_id`` assignment,
 * rich query documents (``$eq $ne $gt $gte $lt $lte $in $nin $and $or
   $nor $not $exists $regex $size $all $elemMatch`` plus implicit equality
   and dot-path addressing with MongoDB array-traversal semantics),
 * update operators (``$set $unset $inc $push $pull $addToSet``),
-* secondary hash indexes (optionally unique) that accelerate equality
-  queries, and
-* durable persistence as one JSON-lines file per collection.
+* secondary indexes — equality ``hash`` indexes (optionally unique) and
+  ``sorted`` indexes that additionally serve ``$gt/$gte/$lt/$lte`` range
+  predicates and index-ordered ``sort().limit()`` — routed through the
+  query planner in :mod:`repro.kdb.planner` (``explain()`` exposes the
+  chosen access plan; ``kdb.plans.*`` counters and a ``kdb.query.latency``
+  histogram land in an attached :class:`repro.obs.Metrics` registry), and
+* durable persistence as one JSON-lines file per collection (or
+  hash-sharded partitions via :mod:`repro.kdb.shards`).
 
-Documents are stored *by value*: inserts and finds deep-copy, so callers
-can never mutate the store through aliased references.
+Documents are stored *by value* and are **immutable once stored**:
+inserts deep-copy, finds deep-copy lazily at cursor resolution, and
+updates build a fresh document and swap it in atomically — a failing
+update operator leaves the stored document (and every index) untouched.
+That immutability is what makes :meth:`Collection.snapshot` cheap:
+a snapshot is an O(n) pointer copy of the id→document map that
+concurrent writers can never mutate through.
+
+NaN float values are outside the store contract (they are not valid
+strict JSON and break ordering); behaviour with NaN is undefined.
 """
 
 from __future__ import annotations
 
+import bisect
 import copy
 import json
+import math
 import os
 import re
+import threading
+import time
 from pathlib import Path
 from typing import (
     Any,
@@ -44,6 +61,7 @@ from repro.exceptions import (
     QueryError,
     StoreError,
 )
+from repro.kdb.planner import QueryPlan, plan_query
 
 Document = Dict[str, Any]
 Query = Dict[str, Any]
@@ -58,6 +76,18 @@ _COMPARISONS: Dict[str, Callable[[Any, Any], bool]] = {
     "$lte": lambda value, operand: _ordered(value, operand)
     and value <= operand,
 }
+
+_QUERY_BUCKETS: Optional[Tuple[float, ...]] = None
+
+
+def _query_buckets() -> Tuple[float, ...]:
+    """Lazily import the obs histogram grid (avoids an import cycle)."""
+    global _QUERY_BUCKETS
+    if _QUERY_BUCKETS is None:
+        from repro.obs.metrics import QUERY_BUCKETS
+
+        _QUERY_BUCKETS = QUERY_BUCKETS
+    return _QUERY_BUCKETS
 
 
 def _values_equal(value: Any, operand: Any) -> bool:
@@ -107,12 +137,18 @@ def _walk_path(document: Any, path: Sequence[str]) -> List[Any]:
 
 
 class _Matcher:
-    """Compiles a query document into a predicate over documents."""
+    """Compiles a query document into a predicate over documents.
+
+    ``$regex`` patterns are compiled once per matcher (i.e. once per
+    query) and cached; a malformed pattern surfaces as
+    :class:`QueryError` instead of a raw :class:`re.error`.
+    """
 
     def __init__(self, query: Query) -> None:
         if not isinstance(query, dict):
             raise QueryError("query must be a dict")
         self._query = query
+        self._regex_cache: Dict[str, "re.Pattern[str]"] = {}
 
     def __call__(self, document: Document) -> bool:
         return self._match_query(self._query, document)
@@ -190,6 +226,22 @@ class _Matcher:
                 return False
         return True
 
+    def _compiled_regex(self, operand: Any) -> "re.Pattern[str]":
+        if isinstance(operand, re.Pattern):
+            return operand
+        if not isinstance(operand, str):
+            raise QueryError("$regex requires a string pattern")
+        pattern = self._regex_cache.get(operand)
+        if pattern is None:
+            try:
+                pattern = re.compile(operand)
+            except re.error as exc:
+                raise QueryError(
+                    f"invalid $regex pattern {operand!r}: {exc}"
+                ) from exc
+            self._regex_cache[operand] = pattern
+        return pattern
+
     def _apply_operator(
         self,
         path: str,
@@ -222,7 +274,7 @@ class _Matcher:
                 raise QueryError("$not requires an operator document")
             return not self._match_operators(path, operand, values)
         if operator == "$regex":
-            pattern = re.compile(operand)
+            pattern = self._compiled_regex(operand)
             return any(
                 isinstance(value, str) and pattern.search(value)
                 for value in candidates
@@ -277,17 +329,324 @@ class _OrderedValue:
         return self.value == other.value
 
 
+def _rank(value: Any) -> Tuple:
+    """The store's canonical sort rank: None first, then grouped by type
+    name, ordered inside the group (``repr`` fallback for unorderables).
+    Shared by cursor ``sort``, the ``$sort`` stage and sorted indexes, so
+    index-ordered iteration reproduces scan-sort order exactly."""
+    return (value is not None, type(value).__name__, _OrderedValue(value))
+
+
+def _sort_key(document: Document, path: str) -> Tuple:
+    values = _walk_path(document, path.split("."))
+    return _rank(values[0] if values else None)
+
+
+# ----------------------------------------------------------------------
+# secondary indexes
+# ----------------------------------------------------------------------
+def _index_key(value: Any) -> Any:
+    """Hashable key for index buckets (lists/dicts hashed by JSON dump)."""
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True, default=str)
+    return value
+
+
+def _typed_key(value: Any) -> Tuple[str, Any]:
+    """Bucket key, separated by type name so ``True``/``1`` (and ``1``/
+    ``1.0``, ``"1"``) never share a bucket."""
+    return (type(value).__name__, _index_key(value))
+
+
+def _probe_keys(value: Any) -> List[Tuple[str, Any]]:
+    """Typed keys whose buckets may contain documents whose value equals
+    ``value`` under :func:`_values_equal` (int/float cross-type hits)."""
+    if isinstance(value, bool):
+        return [("bool", value)]
+    if isinstance(value, int):
+        keys: List[Tuple[str, Any]] = [("int", value)]
+        try:
+            keys.append(("float", float(value)))
+        except OverflowError:
+            pass
+        return keys
+    if isinstance(value, float):
+        keys = [("float", value)]
+        if math.isfinite(value) and value.is_integer():
+            keys.append(("int", int(value)))
+        return keys
+    return [_typed_key(value)]
+
+
+class _HashIndex:
+    """Equality index: typed bucket key -> set of ``_id``\\ s.
+
+    Multikey over arrays like MongoDB: an array value is indexed under
+    the whole array *and* under each element, so an equality probe for
+    an element still covers documents matching via array membership.
+    """
+
+    kind = "hash"
+
+    def __init__(self, name: str, path: str, unique: bool = False) -> None:
+        self.name = name
+        self.path = path
+        self.unique = unique
+        self._parts = path.split(".")
+        self._buckets: Dict[Tuple[str, Any], set] = {}
+
+    # -- maintenance -----------------------------------------------------
+    def _entries(self, document: Document) -> List[Any]:
+        entries: List[Any] = []
+        for value in _walk_path(document, self._parts):
+            entries.append(value)
+            if isinstance(value, list):
+                entries.extend(value)
+        return entries
+
+    def add(self, document: Document) -> None:
+        doc_id = document["_id"]
+        for value in self._entries(document):
+            if self.unique and self._holds_equal(value, exclude=doc_id):
+                raise DuplicateKeyError(
+                    f"unique index {self.name!r} violated by value {value!r}"
+                )
+            key = _typed_key(value)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._new_bucket(key, value)
+            bucket.add(doc_id)
+
+    def remove(self, document: Document) -> None:
+        doc_id = document["_id"]
+        for value in self._entries(document):
+            key = _typed_key(value)
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    self._drop_bucket(key)
+
+    def _new_bucket(self, key: Tuple[str, Any], value: Any) -> set:
+        bucket: set = set()
+        self._buckets[key] = bucket
+        return bucket
+
+    def _drop_bucket(self, key: Tuple[str, Any]) -> None:
+        del self._buckets[key]
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def clone(self) -> "_HashIndex":
+        dup = type(self)(self.name, self.path, self.unique)
+        dup._buckets = {
+            key: set(bucket) for key, bucket in self._buckets.items()
+        }
+        self._clone_extra(dup)
+        return dup
+
+    def _clone_extra(self, dup: "_HashIndex") -> None:
+        pass
+
+    # -- probes ----------------------------------------------------------
+    def _holds_equal(self, value: Any, exclude: Any = None) -> bool:
+        for key in _probe_keys(value):
+            bucket = self._buckets.get(key)
+            if bucket and (bucket - {exclude} if exclude is not None
+                           else bucket):
+                return True
+        return False
+
+    def would_violate(self, document: Document) -> Optional[Any]:
+        """The first value that would break uniqueness, or None."""
+        if not self.unique:
+            return None
+        for value in self._entries(document):
+            if self._holds_equal(value):
+                return value
+        return None
+
+    def lookup(self, value: Any) -> set:
+        """Candidate ids for an equality probe (superset; the matcher
+        re-filters)."""
+        ids: set = set()
+        for key in _probe_keys(value):
+            bucket = self._buckets.get(key)
+            if bucket:
+                ids |= bucket
+        return ids
+
+
+class _SortedIndex(_HashIndex):
+    """Hash index plus a lazily rebuilt ordered view of its keys.
+
+    Additionally serves ``$gt/$gte/$lt/$lte`` range predicates and
+    index-ordered iteration for ``sort().limit()``. The ordered view is
+    marked stale on bucket creation/removal and rebuilt in O(k log k)
+    on the next ordered operation — appends stay O(1), so bulk loads do
+    not pay per-insert re-sorting.
+    """
+
+    kind = "sorted"
+
+    def __init__(self, name: str, path: str, unique: bool = False) -> None:
+        super().__init__(name, path, unique)
+        # typed key -> representative value (all values in a bucket are
+        # == equal, so any one of them orders the bucket)
+        self._rep: Dict[Tuple[str, Any], Any] = {}
+        # type name -> (sorted _OrderedValue list, parallel typed keys)
+        self._groups: Dict[
+            str, Tuple[List[_OrderedValue], List[Tuple[str, Any]]]
+        ] = {}
+        self._stale = False
+        #: True once any document contributed other than exactly one
+        #: scalar value at the path — index-ordered sort is then disabled
+        #: (array sort order follows the first walk value, not the min).
+        self.multivalue = False
+
+    def add(self, document: Document) -> None:
+        values = _walk_path(document, self._parts)
+        if len(values) != 1 or isinstance(values[0], list):
+            self.multivalue = True
+        super().add(document)
+
+    def _new_bucket(self, key: Tuple[str, Any], value: Any) -> set:
+        bucket = super()._new_bucket(key, value)
+        self._rep[key] = value
+        self._stale = True
+        return bucket
+
+    def _drop_bucket(self, key: Tuple[str, Any]) -> None:
+        super()._drop_bucket(key)
+        self._rep.pop(key, None)
+        self._stale = True
+
+    def clear(self) -> None:
+        super().clear()
+        self._rep.clear()
+        self._groups = {}
+        self._stale = False
+        self.multivalue = False
+
+    def _clone_extra(self, dup: "_HashIndex") -> None:
+        dup._rep = dict(self._rep)
+        dup._groups = {}
+        dup._stale = True
+        dup.multivalue = self.multivalue
+
+    def _ensure_sorted(self) -> None:
+        if not self._stale:
+            return
+        grouped: Dict[str, List[Tuple[_OrderedValue, Tuple[str, Any]]]] = {}
+        for key, value in self._rep.items():
+            grouped.setdefault(type(value).__name__, []).append(
+                (_OrderedValue(value), key)
+            )
+        self._groups = {}
+        for typename, entries in grouped.items():
+            entries.sort(key=lambda pair: pair[0])
+            self._groups[typename] = (
+                [ov for ov, __ in entries],
+                [key for __, key in entries],
+            )
+        self._stale = False
+
+    def range_ids(
+        self,
+        lower: Optional[Tuple[Any, bool]],
+        upper: Optional[Tuple[Any, bool]],
+    ) -> set:
+        """Candidate ids for a range predicate (superset; the matcher
+        re-filters). Bounds are ``(operand, inclusive)`` or None."""
+        self._ensure_sorted()
+        operand = (lower or upper)[0]  # type: ignore[index]
+        typenames = (
+            ("str",) if isinstance(operand, str) else ("float", "int")
+        )
+        ids: set = set()
+        for typename in typenames:
+            group = self._groups.get(typename)
+            if not group:
+                continue
+            ovs, keys = group
+            lo, hi = 0, len(ovs)
+            if lower is not None:
+                wrapped = _OrderedValue(lower[0])
+                lo = (
+                    bisect.bisect_left(ovs, wrapped)
+                    if lower[1]
+                    else bisect.bisect_right(ovs, wrapped)
+                )
+            if upper is not None:
+                wrapped = _OrderedValue(upper[0])
+                hi = (
+                    bisect.bisect_right(ovs, wrapped)
+                    if upper[1]
+                    else bisect.bisect_left(ovs, wrapped)
+                )
+            for key in keys[lo:hi]:
+                bucket = self._buckets.get(key)
+                if bucket:
+                    ids |= bucket
+        return ids
+
+    def ordered_ids(
+        self, seq: Dict[Any, int], reverse: bool = False
+    ) -> Iterator[Any]:
+        """Document ids in the store's canonical sort order for this
+        path, excluding the None group (the cursor handles missing and
+        null values itself). Bucket ties follow insertion order (``seq``)
+        so the result matches a stable scan sort exactly."""
+        self._ensure_sorted()
+        typenames = sorted(
+            name for name in self._groups if name != "NoneType"
+        )
+        if reverse:
+            typenames = typenames[::-1]
+        for typename in typenames:
+            __, keys = self._groups[typename]
+            ordered_keys: Iterable[Tuple[str, Any]] = (
+                reversed(keys) if reverse else keys
+            )
+            for key in ordered_keys:
+                bucket = self._buckets.get(key)
+                if not bucket:
+                    continue
+                for doc_id in sorted(bucket, key=seq.__getitem__):
+                    yield doc_id
+
+
+_INDEX_KINDS: Dict[str, type] = {
+    "hash": _HashIndex,
+    "sorted": _SortedIndex,
+}
+
+
 class Cursor:
     """Lazy result set supporting ``sort``/``skip``/``limit`` chaining.
 
-    The resolved (sorted, sliced) view is memoised: ``len(cursor)``
-    followed by iteration, or repeated ``to_list`` calls, pay the
-    O(n log n) sort once. Chaining ``sort``/``skip``/``limit``
-    invalidates the memo.
+    Stored documents are immutable, so the cursor holds references and
+    deep-copies **lazily at resolution, after slicing** — a ``limit(5)``
+    over a million matches copies five documents, not a million. The
+    resolved view is memoised; chaining invalidates the memo.
+
+    When the owning collection has a ``sorted`` index on a single-path
+    sort key, resolution walks the index in order instead of sorting,
+    stopping early once ``skip + limit`` documents are produced.
     """
 
-    def __init__(self, documents: List[Document]) -> None:
+    def __init__(
+        self,
+        documents: List[Document],
+        plan: Optional[QueryPlan] = None,
+        index_order: Optional[Callable[..., Optional[Iterator[Any]]]] = None,
+    ) -> None:
         self._documents = documents
+        #: The access plan that produced this cursor (None when the
+        #: cursor was built from a detached document list).
+        self.plan = plan
+        self._index_order = index_order
         self._sort_spec: List[Tuple[str, int]] = []
         self._skip = 0
         self._limit: Optional[int] = None
@@ -322,28 +681,74 @@ class Cursor:
         if self._cache is not None:
             return self._cache
         documents = self._documents
-        for path, direction in reversed(self._sort_spec):
-            parts = path.split(".")
+        if self._sort_spec:
+            documents = self._sorted_documents(documents)
+        end = None if self._limit is None else self._skip + self._limit
+        self._cache = [
+            copy.deepcopy(document)
+            for document in documents[self._skip : end]
+        ]
+        return self._cache
 
-            def sort_key(document: Document, parts=parts) -> Tuple:
-                values = _walk_path(document, parts)
-                value = values[0] if values else None
-                # None sorts first; mixed types sort by type name;
-                # unorderable same-type values by repr (stable).
-                return (
-                    value is not None,
-                    type(value).__name__,
-                    _OrderedValue(value),
+    def _sorted_documents(
+        self, documents: List[Document]
+    ) -> List[Document]:
+        if self._index_order is not None and len(self._sort_spec) == 1:
+            path, direction = self._sort_spec[0]
+            ordered_ids = self._index_order(path, direction < 0)
+            if ordered_ids is not None:
+                return self._index_sorted(
+                    documents, path, ordered_ids, direction < 0
                 )
+        for path, direction in reversed(self._sort_spec):
+
+            def sort_key(document: Document, path=path) -> Tuple:
+                return _sort_key(document, path)
 
             documents = sorted(
                 documents, key=sort_key, reverse=(direction < 0)
             )
-        end = (
+        return documents
+
+    def _index_sorted(
+        self,
+        documents: List[Document],
+        path: str,
+        ordered_ids: Iterator[Any],
+        reverse: bool,
+    ) -> List[Document]:
+        parts = path.split(".")
+        by_id: Dict[Any, Document] = {}
+        nulls: List[Document] = []
+        for document in documents:
+            values = _walk_path(document, parts)
+            if not values or values[0] is None:
+                nulls.append(document)
+            else:
+                by_id[document["_id"]] = document
+        target = (
             None if self._limit is None else self._skip + self._limit
         )
-        self._cache = documents[self._skip : end]
-        return self._cache
+        ordered: List[Document] = []
+
+        def fill_from_index() -> None:
+            for doc_id in ordered_ids:
+                document = by_id.get(doc_id)
+                if document is None:
+                    continue
+                ordered.append(document)
+                if target is not None and len(ordered) >= target:
+                    return
+
+        if reverse:
+            fill_from_index()
+            if target is None or len(ordered) < target:
+                ordered.extend(nulls)
+        else:
+            ordered.extend(nulls)
+            if target is None or len(ordered) < target:
+                fill_from_index()
+        return ordered
 
     def __iter__(self) -> Iterator[Document]:
         return iter(self._resolved())
@@ -357,14 +762,57 @@ class Cursor:
 
 
 class Collection:
-    """A named collection of documents inside a :class:`DocumentStore`."""
+    """A named collection of documents inside a :class:`DocumentStore`.
+
+    Mutations are serialised by a per-collection re-entrant lock and are
+    atomic per document: a failing update operator, serialisation check
+    or unique-index violation leaves the stored document and every index
+    exactly as they were. Concurrent readers should take
+    :meth:`snapshot` — an O(n) consistent, read-only view.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._documents: Dict[Any, Document] = {}
         self._next_id = 1
-        # index name -> (path, unique, mapping key -> set of _ids)
-        self._indexes: Dict[str, Tuple[str, bool, Dict[Any, set]]] = {}
+        self._indexes: Dict[str, _HashIndex] = {}
+        # insertion sequence per _id: deterministic candidate ordering
+        # (planner output and index-sort ties match scan order exactly)
+        self._seq: Dict[Any, int] = {}
+        self._seq_counter = 0
+        self._version = 0
+        self._lock = threading.RLock()
+        #: Mutation hook for the shard layer (op, payload); not pickled.
+        self._journal: Optional[Callable[[str, Any], None]] = None
+        #: Optional ``repro.obs.Metrics`` registry for query telemetry.
+        self.metrics = None
+        #: True for snapshots: all mutating calls raise ``StoreError``.
+        self.read_only = False
+        #: The plan of the most recent planned read (tests/diagnostics).
+        self.last_plan: Optional[QueryPlan] = None
+
+    # -- pickling (locks rebuilt; journal hooks do not survive) ----------
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        state.pop("_journal", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+        self._journal = None
+
+    def _require_writable(self) -> None:
+        if self.read_only:
+            raise StoreError(
+                f"collection {self.name!r} is a read-only snapshot"
+            )
+
+    def _notify(self, op: str, payload: Any = None) -> None:
+        self._version += 1
+        if self._journal is not None:
+            self._journal(op, payload)
 
     # -- insert ----------------------------------------------------------
     def insert_one(self, document: Document) -> Any:
@@ -372,74 +820,149 @@ class Collection:
         if not isinstance(document, dict):
             raise StoreError("documents must be dicts")
         document = copy.deepcopy(document)
-        if "_id" not in document:
-            while self._next_id in self._documents:
-                self._next_id += 1
-            document["_id"] = self._next_id
-            self._next_id += 1
         _reject_unstorable(document)
-        doc_id = document["_id"]
-        if doc_id in self._documents:
-            raise DuplicateKeyError(
-                f"duplicate _id in {self.name!r}: {doc_id!r}"
-            )
-        self._check_unique_indexes(document)
-        self._documents[doc_id] = document
-        self._index_add(document)
+        with self._lock:
+            self._require_writable()
+            if "_id" not in document:
+                while self._next_id in self._documents:
+                    self._next_id += 1
+                document["_id"] = self._next_id
+                self._next_id += 1
+            doc_id = document["_id"]
+            if doc_id in self._documents:
+                raise DuplicateKeyError(
+                    f"duplicate _id in {self.name!r}: {doc_id!r}"
+                )
+            self._check_unique_indexes(document)
+            self._documents[doc_id] = document
+            self._index_add(document)
+            self._seq[doc_id] = self._seq_counter
+            self._seq_counter += 1
+            self._notify("put", document)
         return doc_id
 
     def insert_many(self, documents: Iterable[Document]) -> List[Any]:
         """Insert several documents; returns their ids."""
         return [self.insert_one(document) for document in documents]
 
+    def _install(self, document: Document) -> None:
+        """Install a trusted document (loader fast path): no copy, no
+        serialisation check, no journal echo. Indexes are expected to be
+        (re)built afterwards via :meth:`create_index`."""
+        doc_id = document["_id"]
+        if doc_id in self._documents:
+            raise DuplicateKeyError(
+                f"duplicate _id in {self.name!r}: {doc_id!r}"
+            )
+        self._documents[doc_id] = document
+        self._index_add(document)
+        self._seq[doc_id] = self._seq_counter
+        self._seq_counter += 1
+        self._version += 1
+
     # -- find --------------------------------------------------------------
-    def find(self, query: Optional[Query] = None) -> Cursor:
-        """Return a cursor over documents matching ``query`` (all if None)."""
+    def _matched(
+        self, query: Optional[Query]
+    ) -> Tuple[List[Document], QueryPlan]:
+        """Planner-routed matching: returns (stored references, plan)."""
         query = query or {}
         matcher = _Matcher(query)
-        candidates = self._candidates(query)
+        start = time.perf_counter()
+        candidates, plan = plan_query(self, query)
         matched = [
-            copy.deepcopy(document)
-            for document in candidates
-            if matcher(document)
+            document for document in candidates if matcher(document)
         ]
-        return Cursor(matched)
+        plan.returned = len(matched)
+        plan.elapsed_s = time.perf_counter() - start
+        self._record_plan(plan)
+        return matched, plan
+
+    def _record_plan(self, plan: QueryPlan) -> None:
+        self.last_plan = plan
+        metrics = self.metrics
+        if metrics is None:
+            return
+        outcome = "indexed" if plan.indexed else "scan"
+        metrics.counter(f"kdb.plans.{outcome}").inc()
+        metrics.histogram(
+            "kdb.query.latency", _query_buckets()
+        ).observe(plan.elapsed_s or 0.0)
+
+    def _index_on(self, path: str) -> Optional[_HashIndex]:
+        """The index covering ``path``, if any (planner hook)."""
+        for index in self._indexes.values():
+            if index.path == path:
+                return index
+        return None
+
+    def _index_order(
+        self, path: str, reverse: bool, version: Optional[int] = None
+    ) -> Optional[Iterator[Any]]:
+        """Index-ordered id iterator for ``path``, or None when no
+        sorted scalar index covers it (or the collection changed since
+        ``version`` — a stale cursor then falls back to a full sort)."""
+        if version is not None and version != self._version:
+            return None
+        index = self._index_on(path)
+        if (
+            index is None
+            or index.kind != "sorted"
+            or getattr(index, "multivalue", True)
+        ):
+            return None
+        return index.ordered_ids(self._seq, reverse=reverse)
+
+    def find(self, query: Optional[Query] = None) -> Cursor:
+        """Return a cursor over documents matching ``query`` (all if None).
+
+        The access path is chosen by :func:`repro.kdb.planner.plan_query`
+        (``cursor.plan`` carries the EXPLAIN-style record); documents are
+        deep-copied lazily when the cursor resolves.
+        """
+        matched, plan = self._matched(query)
+        found_version = self._version
+
+        def index_order(path: str, reverse: bool):
+            return self._index_order(path, reverse, version=found_version)
+
+        return Cursor(matched, plan=plan, index_order=index_order)
+
+    def explain(self, query: Optional[Query] = None) -> QueryPlan:
+        """The access plan for ``query``, without executing it."""
+        __, plan = plan_query(self, query or {})
+        return plan
 
     def find_one(self, query: Optional[Query] = None) -> Optional[Document]:
         """Return one matching document, or None."""
-        for document in self.find(query):
+        for document in self.find(query).limit(1):
             return document
         return None
 
     def count_documents(self, query: Optional[Query] = None) -> int:
         """Number of documents matching ``query``."""
-        query = query or {}
-        matcher = _Matcher(query)
-        return sum(
-            1 for document in self._candidates(query) if matcher(document)
-        )
+        matched, __ = self._matched(query)
+        return len(matched)
 
     def distinct(self, path: str, query: Optional[Query] = None) -> List[Any]:
-        """Distinct values reachable at ``path`` among matching documents."""
-        seen: List[Any] = []
-        for document in self.find(query):
-            for value in _walk_path(document, path.split(".")):
+        """Distinct values reachable at ``path`` among matching documents.
+
+        Distinctness follows the store's equality (:func:`_values_equal`):
+        ``True`` and ``1`` are different values, ``1`` and ``1.0`` are
+        the same.
+        """
+        matched, __ = self._matched(query)
+        parts = path.split(".")
+        seen: set = set()
+        out: List[Any] = []
+        for document in matched:
+            for value in _walk_path(document, parts):
                 targets = value if isinstance(value, list) else [value]
                 for target in targets:
-                    if target not in seen:
-                        seen.append(target)
-        return seen
-
-    def _candidates(self, query: Query) -> List[Document]:
-        """Use a hash index when the query has a top-level equality on an
-        indexed path; otherwise scan the collection."""
-        for path, __, mapping in self._indexes.values():
-            condition = query.get(path)
-            if condition is None or isinstance(condition, (dict, list)):
-                continue
-            ids = mapping.get(_index_key(condition), set())
-            return [self._documents[doc_id] for doc_id in ids]
-        return list(self._documents.values())
+                    key = (isinstance(target, bool), _index_key(target))
+                    if key not in seen:
+                        seen.add(key)
+                        out.append(copy.deepcopy(target))
+        return out
 
     # -- update ------------------------------------------------------------
     def update_one(self, query: Query, update: Document) -> int:
@@ -457,20 +980,31 @@ class Collection:
             )
         matcher = _Matcher(query)
         updated = 0
-        for doc_id, document in list(self._documents.items()):
-            if not matcher(document):
-                continue
-            self._index_remove(document)
-            try:
-                _apply_update(document, update)
-                _reject_unstorable(document)
-                if document["_id"] != doc_id:
+        with self._lock:
+            self._require_writable()
+            for doc_id, document in list(self._documents.items()):
+                if not matcher(document):
+                    continue
+                # Copy-on-write: build the replacement fully, validate
+                # it, then swap — a failure at any point leaves the
+                # stored document and the indexes untouched.
+                replacement = copy.deepcopy(document)
+                _apply_update(replacement, update)
+                _reject_unstorable(replacement)
+                if replacement["_id"] != doc_id:
                     raise StoreError("updates may not modify _id")
-            finally:
-                self._index_add(document)
-            updated += 1
-            if not many:
-                break
+                self._index_remove(document)
+                try:
+                    self._index_add(replacement)
+                except DuplicateKeyError:
+                    self._index_remove(replacement)
+                    self._index_add(document)
+                    raise
+                self._documents[doc_id] = replacement
+                self._notify("put", replacement)
+                updated += 1
+                if not many:
+                    break
         return updated
 
     # -- delete ------------------------------------------------------------
@@ -484,72 +1018,98 @@ class Collection:
 
     def _delete(self, query: Query, many: bool) -> int:
         matcher = _Matcher(query)
-        victims = []
-        for doc_id, document in self._documents.items():
-            if matcher(document):
-                victims.append(doc_id)
-                if not many:
-                    break
-        for doc_id in victims:
-            self._index_remove(self._documents[doc_id])
-            del self._documents[doc_id]
+        with self._lock:
+            self._require_writable()
+            victims = []
+            for doc_id, document in self._documents.items():
+                if matcher(document):
+                    victims.append(doc_id)
+                    if not many:
+                        break
+            for doc_id in victims:
+                document = self._documents.pop(doc_id)
+                self._index_remove(document)
+                self._seq.pop(doc_id, None)
+                self._notify("del", doc_id)
         return len(victims)
 
     # -- indexes -----------------------------------------------------------
-    def create_index(self, path: str, unique: bool = False) -> str:
-        """Create a hash index on a dot path; returns the index name."""
+    def create_index(
+        self, path: str, unique: bool = False, kind: str = "hash"
+    ) -> str:
+        """Create an index on a dot path; returns the index name.
+
+        ``kind="hash"`` serves equality probes; ``kind="sorted"`` also
+        serves range predicates and index-ordered ``sort().limit()``.
+        Re-creating an existing index is a no-op, except that asking for
+        ``"sorted"`` where a hash index exists upgrades it in place.
+        """
+        if kind not in _INDEX_KINDS:
+            raise StoreError(f"unknown index kind: {kind!r}")
         name = f"{path}_1"
-        if name in self._indexes:
-            return name
-        mapping: Dict[Any, set] = {}
-        self._indexes[name] = (path, unique, mapping)
-        try:
+        with self._lock:
+            self._require_writable()
+            existing = self._indexes.get(name)
+            if existing is not None and (
+                existing.kind == kind or kind == "hash"
+            ):
+                return name
+            index = _INDEX_KINDS[kind](name, path, unique)
             for document in self._documents.values():
-                self._index_document(name, document)
-        except DuplicateKeyError:
-            del self._indexes[name]
-            raise
+                index.add(document)
+            self._indexes[name] = index
+            self._notify("index")
         return name
 
     def drop_index(self, name: str) -> None:
         """Drop an index by name."""
-        self._indexes.pop(name, None)
+        with self._lock:
+            self._require_writable()
+            if self._indexes.pop(name, None) is not None:
+                self._notify("index")
 
     def index_names(self) -> List[str]:
         """Names of the existing indexes."""
         return list(self._indexes)
 
-    def _index_document(self, name: str, document: Document) -> None:
-        path, unique, mapping = self._indexes[name]
-        for value in _walk_path(document, path.split(".")):
-            key = _index_key(value)
-            bucket = mapping.setdefault(key, set())
-            if unique and bucket and document["_id"] not in bucket:
-                raise DuplicateKeyError(
-                    f"unique index {name!r} violated by value {value!r}"
-                )
-            bucket.add(document["_id"])
-
     def _check_unique_indexes(self, document: Document) -> None:
-        for name, (path, unique, mapping) in self._indexes.items():
-            if not unique:
-                continue
-            for value in _walk_path(document, path.split(".")):
-                if mapping.get(_index_key(value)):
-                    raise DuplicateKeyError(
-                        f"unique index {name!r} violated by value {value!r}"
-                    )
+        for index in self._indexes.values():
+            value = index.would_violate(document)
+            if value is not None:
+                raise DuplicateKeyError(
+                    f"unique index {index.name!r} violated by"
+                    f" value {value!r}"
+                )
 
     def _index_add(self, document: Document) -> None:
-        for name in self._indexes:
-            self._index_document(name, document)
+        for index in self._indexes.values():
+            index.add(document)
 
     def _index_remove(self, document: Document) -> None:
-        for path, __, mapping in self._indexes.values():
-            for value in _walk_path(document, path.split(".")):
-                bucket = mapping.get(_index_key(value))
-                if bucket is not None:
-                    bucket.discard(document["_id"])
+        for index in self._indexes.values():
+            index.remove(document)
+
+    # -- snapshots -------------------------------------------------------
+    def snapshot(self) -> "Collection":
+        """A consistent, read-only view of the collection.
+
+        O(n) pointer copies: stored documents are immutable (updates
+        swap in fresh documents), so the snapshot never observes later
+        writes. Reads on the snapshot plan through its own cloned
+        indexes; every mutating call raises :class:`StoreError`.
+        """
+        with self._lock:
+            clone = Collection(self.name)
+            clone._documents = dict(self._documents)
+            clone._seq = dict(self._seq)
+            clone._seq_counter = self._seq_counter
+            clone._next_id = self._next_id
+            clone._indexes = {
+                name: index.clone()
+                for name, index in self._indexes.items()
+            }
+            clone.read_only = True
+            return clone
 
     # -- aggregation -----------------------------------------------------
     def aggregate(self, pipeline: List[Document]) -> List[Document]:
@@ -560,12 +1120,21 @@ class Collection:
         accumulators; field references use the ``"$path"`` syntax),
         ``$sort`` (``{path: 1|-1}``), ``$limit``, ``$skip`` and
         ``$project`` (1-valued field inclusion).
+
+        A leading ``$match`` is pushed through the query planner, and
+        only the rows that survive the whole pipeline are deep-copied —
+        the collection is never copied wholesale up front.
         """
-        rows = [copy.deepcopy(d) for d in self._documents.values()]
+        rows: Optional[List[Document]] = None
         for stage in pipeline:
             if not isinstance(stage, dict) or len(stage) != 1:
                 raise QueryError("each stage must be a single-key dict")
             operator, spec = next(iter(stage.items()))
+            if rows is None and operator == "$match":
+                rows, __ = self._matched(spec)
+                continue
+            if rows is None:
+                rows = list(self._documents.values())
             if operator == "$match":
                 matcher = _Matcher(spec)
                 rows = [row for row in rows if matcher(row)]
@@ -585,7 +1154,9 @@ class Collection:
                 rows = [_project(row, spec) for row in rows]
             else:
                 raise QueryError(f"unknown pipeline stage: {operator}")
-        return rows
+        if rows is None:
+            rows = list(self._documents.values())
+        return copy.deepcopy(rows)
 
     # -- misc ----------------------------------------------------------------
     def __len__(self) -> int:
@@ -593,9 +1164,14 @@ class Collection:
 
     def drop(self) -> None:
         """Remove every document (indexes survive, emptied)."""
-        self._documents.clear()
-        for __, __, mapping in self._indexes.values():
-            mapping.clear()
+        with self._lock:
+            self._require_writable()
+            self._documents.clear()
+            self._seq.clear()
+            self._seq_counter = 0
+            for index in self._indexes.values():
+                index.clear()
+            self._notify("clear")
 
 
 def _resolve_expression(document: Document, expression: Any) -> Any:
@@ -604,12 +1180,6 @@ def _resolve_expression(document: Document, expression: Any) -> Any:
         values = _walk_path(document, expression[1:].split("."))
         return values[0] if values else None
     return expression
-
-
-def _sort_key(document: Document, path: str) -> Tuple:
-    values = _walk_path(document, path.split("."))
-    value = values[0] if values else None
-    return (value is not None, type(value).__name__, _OrderedValue(value))
 
 
 def _project(document: Document, spec: Document) -> Document:
@@ -685,13 +1255,6 @@ def _group(rows: List[Document], spec: Document) -> List[Document]:
     return results
 
 
-def _index_key(value: Any) -> Any:
-    """Hashable key for index buckets (lists/dicts hashed by JSON dump)."""
-    if isinstance(value, (dict, list)):
-        return json.dumps(value, sort_keys=True, default=str)
-    return value
-
-
 def _reject_unstorable(document: Document) -> None:
     """Ensure the document is JSON-serialisable (store contract)."""
     try:
@@ -705,12 +1268,27 @@ def _apply_update(document: Document, update: Document) -> None:
         if not isinstance(fields, dict):
             raise StoreError(f"{operator} requires a field document")
         for path, operand in fields.items():
+            if operator in ("$unset", "$pull"):
+                # Removal operators never materialise missing paths:
+                # a miss anywhere along the dot path is a no-op.
+                resolved = _resolve_existing(document, path)
+                if resolved is None:
+                    continue
+                parent, leaf = resolved
+                if operator == "$unset":
+                    parent.pop(leaf, None)
+                else:
+                    bucket = parent.get(leaf)
+                    if isinstance(bucket, list):
+                        parent[leaf] = [
+                            element
+                            for element in bucket
+                            if not _values_equal(element, operand)
+                        ]
+                continue
             parent, leaf = _resolve_parent(document, path, create=True)
             if operator == "$set":
                 parent[leaf] = copy.deepcopy(operand)
-            elif operator == "$unset":
-                if isinstance(parent, dict):
-                    parent.pop(leaf, None)
             elif operator == "$inc":
                 current = parent.get(leaf, 0)
                 if not isinstance(current, (int, float)) or isinstance(
@@ -731,14 +1309,6 @@ def _apply_update(document: Document, update: Document) -> None:
                     )
                 if operand not in bucket:
                     bucket.append(copy.deepcopy(operand))
-            elif operator == "$pull":
-                bucket = parent.get(leaf)
-                if isinstance(bucket, list):
-                    parent[leaf] = [
-                        element
-                        for element in bucket
-                        if not _values_equal(element, operand)
-                    ]
             else:
                 raise StoreError(f"unknown update operator: {operator}")
 
@@ -763,6 +1333,22 @@ def _resolve_parent(
     return node, parts[-1]
 
 
+def _resolve_existing(
+    document: Document, path: str
+) -> Optional[Tuple[Dict[str, Any], str]]:
+    """Like :func:`_resolve_parent` but never creates or raises: returns
+    None when any segment of the path is missing or not a dict."""
+    parts = path.split(".")
+    node: Any = document
+    for part in parts[:-1]:
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if not isinstance(node, dict):
+        return None
+    return node, parts[-1]
+
+
 class DocumentStore:
     """A database of named collections, persistable to a directory."""
 
@@ -771,11 +1357,27 @@ class DocumentStore:
         #: One human-readable line per corrupt JSONL line skipped by
         #: the most recent :meth:`load` (empty after a clean load).
         self.load_warnings: List[str] = []
+        self._metrics = None
+
+    def bind_metrics(self, metrics) -> None:
+        """Attach an ``repro.obs.Metrics`` registry: every collection
+        (present and future) meters its query plans and latencies."""
+        self._metrics = metrics
+        for collection in self._collections.values():
+            collection.metrics = metrics
+
+    def _attach_collection(self, collection: Collection) -> None:
+        """Subclass hook: called once per newly created collection."""
 
     def collection(self, name: str) -> Collection:
         """Get or create the named collection."""
         if name not in self._collections:
-            self._collections[name] = Collection(name)
+            collection = Collection(name)
+            collection.metrics = self._metrics
+            # Register before the hook: subclasses enumerate
+            # _collections (e.g. the shard manifest writer).
+            self._collections[name] = collection
+            self._attach_collection(collection)
         return self._collections[name]
 
     def __getitem__(self, name: str) -> Collection:
@@ -795,6 +1397,19 @@ class DocumentStore:
     def drop_collection(self, name: str) -> None:
         """Remove a collection entirely (no-op if absent)."""
         self._collections.pop(name, None)
+
+    def snapshot(self) -> "DocumentStore":
+        """A read-only point-in-time view of every collection.
+
+        Each collection's view is internally consistent (taken under
+        its write lock); the store-wide cut is best-effort across
+        collections.
+        """
+        snap = DocumentStore()
+        for name, collection in self._collections.items():
+            snap._collections[name] = collection.snapshot()
+        snap.load_warnings = list(self.load_warnings)
+        return snap
 
     # -- persistence -------------------------------------------------------
     def save(self, directory: Union[str, Path]) -> None:
@@ -817,8 +1432,12 @@ class DocumentStore:
                 ),
             )
             manifest[name] = [
-                {"path": path, "unique": unique}
-                for path, unique, __ in collection._indexes.values()
+                {
+                    "path": index.path,
+                    "unique": index.unique,
+                    "kind": index.kind,
+                }
+                for index in collection._indexes.values()
             ]
         _atomic_write(
             directory / "_manifest.json",
@@ -857,10 +1476,18 @@ class DocumentStore:
                                 f" corrupt line ({exc.msg})"
                             )
                             continue
-                        collection.insert_one(document)
+                        if (
+                            isinstance(document, dict)
+                            and "_id" in document
+                        ):
+                            collection._install(document)
+                        else:
+                            collection.insert_one(document)
             for index in indexes:
                 collection.create_index(
-                    index["path"], unique=index["unique"]
+                    index["path"],
+                    unique=index["unique"],
+                    kind=index.get("kind", "hash"),
                 )
         return store
 

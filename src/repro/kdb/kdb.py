@@ -61,13 +61,23 @@ class KnowledgeBase:
     past experience.
     """
 
-    def __init__(self, store: Optional[DocumentStore] = None) -> None:
+    def __init__(
+        self,
+        store: Optional[DocumentStore] = None,
+        metrics: Any = None,
+    ) -> None:
         self.store = store or DocumentStore()
+        if metrics is not None:
+            self.store.bind_metrics(metrics)
         for name in COLLECTIONS:
             self.store.collection(name)
         self.store.collection(RUNS)
         self.store[DISCOVERED_KNOWLEDGE].create_index("end_goal")
+        # Sorted: score range filters and run_history's started_at sort
+        # ride the index instead of scanning.
+        self.store[DISCOVERED_KNOWLEDGE].create_index("score", kind="sorted")
         self.store[FEEDBACK].create_index("item_id")
+        self.store[RUNS].create_index("started_at", kind="sorted")
 
     # ------------------------------------------------------------------
     # (1) raw datasets
@@ -287,6 +297,45 @@ class KnowledgeBase:
     def load(cls, directory: Union[str, Path]) -> "KnowledgeBase":
         """Load a knowledge base saved with :meth:`save`."""
         return cls(store=DocumentStore.load(directory))
+
+    @classmethod
+    def open_sharded(
+        cls,
+        directory: Union[str, Path],
+        n_shards: int = 8,
+        auto_compact_ops: Optional[int] = None,
+        metrics: Any = None,
+    ) -> "KnowledgeBase":
+        """Open (or create) a knowledge base on sharded storage.
+
+        Mutations append to per-shard logs as they happen — no explicit
+        :meth:`save` step; call :meth:`compact` (or rely on
+        ``auto_compact_ops``) to fold logs into base partitions.
+        """
+        from repro.kdb.shards import ShardedDocumentStore
+
+        store = ShardedDocumentStore(
+            directory,
+            n_shards=n_shards,
+            auto_compact_ops=auto_compact_ops,
+        )
+        return cls(store=store, metrics=metrics)
+
+    def compact(self) -> None:
+        """Compact sharded storage (no-op for in-memory stores)."""
+        compact = getattr(self.store, "compact", None)
+        if compact is not None:
+            compact()
+
+    def storage_stats(self) -> Dict[str, Any]:
+        """Backing-store statistics (sharded stores report disk usage)."""
+        stats = getattr(self.store, "stats", None)
+        if stats is not None:
+            return stats()
+        return {
+            name: {"documents": len(self.store[name])}
+            for name in self.store.collection_names()
+        }
 
     def counts(self) -> Dict[str, int]:
         """Document count per collection (diagnostics)."""

@@ -1,0 +1,215 @@
+"""Query planner for the K-DB document store.
+
+Given a collection and a query document, :func:`plan_query` picks an
+access path and returns the candidate documents it admits plus an
+EXPLAIN-style :class:`QueryPlan` record:
+
+* ``point`` — an ``_id`` probe, or an equality/``$eq``/``$in``
+  predicate served by a hash (or sorted) index on the path,
+* ``range`` — a ``$gt/$gte/$lt/$lte`` predicate served by a ``sorted``
+  index on the path,
+* ``scan`` — everything else: the full collection.
+
+The planner only guarantees a **superset**: every candidate set it
+returns contains all matching documents, and the caller always re-runs
+the full matcher over the candidates. That contract keeps the index
+structures simple (multikey buckets may admit false positives) and
+makes planner-vs-scan result identity testable property-by-property.
+
+Candidates are returned in insertion order, so a planned ``find()``
+yields documents in exactly the order a full scan would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Range operators a sorted index can serve, with their bound side and
+#: inclusivity: name -> (is_lower_bound, inclusive).
+_RANGE_OPERATORS: Dict[str, Tuple[bool, bool]] = {
+    "$gt": (True, False),
+    "$gte": (True, True),
+    "$lt": (False, False),
+    "$lte": (False, True),
+}
+
+
+@dataclass
+class QueryPlan:
+    """EXPLAIN-style record of how one query was (or would be) served."""
+
+    collection: str
+    kind: str  # "point" | "range" | "scan"
+    index: Optional[str] = None
+    path: Optional[str] = None
+    operators: Tuple[str, ...] = field(default_factory=tuple)
+    #: Documents admitted by the access path (before matching).
+    examined: int = 0
+    #: Documents that matched (filled in by the executor).
+    returned: int = 0
+    #: Wall-clock seconds for plan + match (filled in by the executor).
+    elapsed_s: float = 0.0
+
+    @property
+    def indexed(self) -> bool:
+        """True when the plan avoided a full collection scan."""
+        return self.kind != "scan"
+
+    def to_document(self) -> Dict[str, Any]:
+        """A JSON-friendly rendering (for logs, tests and the CLI)."""
+        return {
+            "collection": self.collection,
+            "kind": self.kind,
+            "index": self.index,
+            "path": self.path,
+            "operators": list(self.operators),
+            "examined": self.examined,
+            "returned": self.returned,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def _rangeable(operand: Any) -> bool:
+    """Operand types a sorted index can bound: non-bool numbers, str."""
+    if isinstance(operand, bool):
+        return False
+    return isinstance(operand, (int, float, str))
+
+
+def _plain_equality(condition: Any) -> bool:
+    """True when the condition is an implicit-equality operand (scalar,
+    list, or a dict with no operator keys — whole-document equality)."""
+    if isinstance(condition, dict):
+        return not any(key.startswith("$") for key in condition)
+    return True
+
+
+def _route_condition(
+    index: Any, condition: Any
+) -> Optional[Tuple[str, Tuple[str, ...], set]]:
+    """Try to serve one field condition from ``index``.
+
+    Returns ``(kind, operators, candidate_ids)`` or None when the index
+    cannot serve the condition.
+    """
+    if _plain_equality(condition):
+        return ("point", ("$eq",), index.lookup(condition))
+    if "$eq" in condition:
+        return ("point", ("$eq",), index.lookup(condition["$eq"]))
+    if "$in" in condition and isinstance(condition["$in"], list):
+        ids: set = set()
+        for wanted in condition["$in"]:
+            ids |= index.lookup(wanted)
+        return ("point", ("$in",), ids)
+    if index.kind != "sorted":
+        return None
+    lower: Optional[Tuple[Any, bool]] = None
+    upper: Optional[Tuple[Any, bool]] = None
+    used: List[str] = []
+    for operator, (is_lower, inclusive) in _RANGE_OPERATORS.items():
+        if operator not in condition:
+            continue
+        operand = condition[operator]
+        if not _rangeable(operand):
+            return None
+        bound = (operand, inclusive)
+        if is_lower:
+            # Keep the tighter of multiple lower bounds.
+            if lower is None or operand > lower[0]:
+                lower = bound
+        else:
+            if upper is None or operand < upper[0]:
+                upper = bound
+        used.append(operator)
+    if lower is None and upper is None:
+        return None
+    if (
+        lower is not None
+        and upper is not None
+        and isinstance(lower[0], str) != isinstance(upper[0], str)
+    ):
+        return None
+    return ("range", tuple(used), index.range_ids(lower, upper))
+
+
+def plan_query(collection: Any, query: Dict[str, Any]) -> Tuple[
+    List[Dict[str, Any]], QueryPlan
+]:
+    """Choose an access path for ``query`` against ``collection``.
+
+    Returns ``(candidate documents, plan)``. Candidates are stored
+    references in insertion order; the caller must still apply the
+    matcher (the planner guarantees a superset, not an exact set).
+    """
+    documents = collection._documents
+    plan: Optional[QueryPlan] = None
+    candidate_ids: Optional[set] = None
+
+    if isinstance(query, dict):
+        # _id fast path: a point probe straight into the primary map.
+        id_condition = query.get("_id")
+        if id_condition is not None:
+            probe = None
+            if _plain_equality(id_condition):
+                probe = id_condition
+            elif "$eq" in id_condition:
+                probe = id_condition["$eq"]
+            if probe is not None and not isinstance(probe, (dict, list)):
+                plan = QueryPlan(
+                    collection=collection.name,
+                    kind="point",
+                    index="_id_",
+                    path="_id",
+                    operators=("$eq",),
+                )
+                candidate_ids = (
+                    {probe} if probe in documents else set()
+                )
+
+        if plan is None:
+            fallback: Optional[Tuple[QueryPlan, set]] = None
+            for path, condition in query.items():
+                if path.startswith("$"):
+                    continue
+                index = collection._index_on(path)
+                if index is None:
+                    continue
+                routed = _route_condition(index, condition)
+                if routed is None:
+                    continue
+                kind, operators, ids = routed
+                routed_plan = QueryPlan(
+                    collection=collection.name,
+                    kind=kind,
+                    index=index.name,
+                    path=path,
+                    operators=operators,
+                )
+                if kind == "point":
+                    # Point probes are the most selective: take the
+                    # first one and stop looking.
+                    plan, candidate_ids = routed_plan, ids
+                    break
+                if fallback is None or len(ids) < len(fallback[1]):
+                    fallback = (routed_plan, ids)
+            if plan is None and fallback is not None:
+                plan, candidate_ids = fallback
+
+    if plan is None or candidate_ids is None:
+        candidates = list(documents.values())
+        plan = QueryPlan(
+            collection=collection.name,
+            kind="scan",
+            examined=len(candidates),
+        )
+        return candidates, plan
+
+    seq = collection._seq
+    ordered_ids = sorted(
+        (doc_id for doc_id in candidate_ids if doc_id in documents),
+        key=seq.__getitem__,
+    )
+    candidates = [documents[doc_id] for doc_id in ordered_ids]
+    plan.examined = len(candidates)
+    return candidates, plan

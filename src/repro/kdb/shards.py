@@ -1,0 +1,423 @@
+"""Hash-sharded, append-only persistence for the K-DB document store.
+
+A :class:`ShardedDocumentStore` keeps the whole store in memory (it is
+a :class:`~repro.kdb.documentstore.DocumentStore`) but persists each
+collection as ``N`` hash partitions on disk:
+
+* ``<collection>.shard-0007.jsonl`` — the *base*: one full document per
+  line, rewritten only by compaction (crash-safe via the same
+  ``_atomic_write``/``os.replace`` discipline the flat store uses), and
+* ``<collection>.shard-0007.log.jsonl`` — the *log*: an append-only
+  stream of ``{"op": "put"|"del"|"clear", ...}`` records, one per
+  mutation, flushed on every append.
+
+Every mutation therefore costs one small append instead of rewriting a
+collection-sized file — the write path that makes million-document
+collections practical. Opening the store replays base-then-log per
+shard; :meth:`ShardedDocumentStore.compact` folds the logs back into
+fresh bases (new bases are written atomically *before* the logs are
+removed, and replaying a full log over a compacted base converges to
+the same state, so a crash at any point during compaction loses
+nothing). Compaction can also run on a background thread or be
+triggered automatically every ``auto_compact_ops`` journaled ops.
+
+Shard placement hashes the canonical JSON of the document ``_id`` with
+CRC-32 (:func:`shard_of`), so placement is stable across processes and
+Python hash randomisation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.exceptions import StoreError
+from repro.kdb.documentstore import (
+    Collection,
+    DocumentStore,
+    _atomic_write,
+    _index_key,
+)
+
+_MANIFEST_NAME = "_shards.json"
+_MANIFEST_VERSION = 1
+
+
+def shard_of(doc_id: Any, n_shards: int) -> int:
+    """Stable shard number for a document id (CRC-32 of canonical JSON)."""
+    canonical = json.dumps(doc_id, sort_keys=True, default=str)
+    return zlib.crc32(canonical.encode("utf-8")) % n_shards
+
+
+class _ShardFiles:
+    """Filenames and append handles for one collection's partitions."""
+
+    def __init__(
+        self, directory: Path, name: str, n_shards: int
+    ) -> None:
+        self.directory = directory
+        self.name = name
+        self.n_shards = n_shards
+        self._handles: Dict[int, Any] = {}
+        #: Log records appended since the last compaction.
+        self.pending = 0
+
+    def base_path(self, shard: int) -> Path:
+        return self.directory / f"{self.name}.shard-{shard:04d}.jsonl"
+
+    def log_path(self, shard: int) -> Path:
+        return (
+            self.directory / f"{self.name}.shard-{shard:04d}.log.jsonl"
+        )
+
+    def append(self, shard: int, record: Dict[str, Any]) -> None:
+        handle = self._handles.get(shard)
+        if handle is None:
+            handle = open(self.log_path(shard), "a")
+            self._handles[shard] = handle
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        self.pending += 1
+
+    def close_handles(self, sync: bool = False) -> None:
+        for handle in self._handles.values():
+            if sync:
+                handle.flush()
+                os.fsync(handle.fileno())
+            handle.close()
+        self._handles.clear()
+
+    def remove_logs(self) -> None:
+        self.close_handles()
+        for shard in range(self.n_shards):
+            path = self.log_path(shard)
+            if path.exists():
+                path.unlink()
+        self.pending = 0
+
+    def remove_all(self) -> None:
+        self.remove_logs()
+        for shard in range(self.n_shards):
+            path = self.base_path(shard)
+            if path.exists():
+                path.unlink()
+
+    def disk_bytes(self) -> Dict[str, int]:
+        base = log = 0
+        for shard in range(self.n_shards):
+            if self.base_path(shard).exists():
+                base += self.base_path(shard).stat().st_size
+            if self.log_path(shard).exists():
+                log += self.log_path(shard).stat().st_size
+        return {"base_bytes": base, "log_bytes": log}
+
+
+class ShardedDocumentStore(DocumentStore):
+    """A :class:`DocumentStore` persisted as hash-sharded partitions.
+
+    Opening a directory that already holds a shard manifest replays it
+    (base files, then append logs, per shard); an empty directory
+    starts a fresh store. Every mutation is journaled synchronously to
+    the owning shard's log, so the on-disk state trails memory by at
+    most the one record being appended.
+
+    Lock ordering: a collection's write lock is always taken *before*
+    the store-wide shard lock (the journal runs inside the collection
+    lock; :meth:`compact` acquires in that same order), so background
+    compaction cannot deadlock against writers.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        n_shards: int = 8,
+        auto_compact_ops: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if n_shards < 1:
+            raise StoreError("n_shards must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.n_shards = n_shards
+        self.auto_compact_ops = auto_compact_ops
+        self._files: Dict[str, _ShardFiles] = {}
+        self._slock = threading.RLock()
+        self._loading = False
+        self._closed = False
+        self._compactor: Optional[threading.Thread] = None
+        self._compactor_stop = threading.Event()
+        if (self.directory / _MANIFEST_NAME).exists():
+            self._replay()
+        else:
+            self._write_manifest()
+
+    # -- wiring ----------------------------------------------------------
+    def _attach_collection(self, collection: Collection) -> None:
+        name = collection.name
+        with self._slock:
+            if name not in self._files:
+                self._files[name] = _ShardFiles(
+                    self.directory, name, self.n_shards
+                )
+
+            def journal(op: str, payload: Any = None) -> None:
+                self._on_mutation(name, op, payload)
+
+            collection._journal = journal
+            if not self._loading:
+                self._write_manifest()
+
+    def _on_mutation(self, name: str, op: str, payload: Any) -> None:
+        if self._loading:
+            return
+        with self._slock:
+            if self._closed:
+                raise StoreError("sharded store is closed")
+            files = self._files[name]
+            if op == "put":
+                files.append(
+                    shard_of(payload["_id"], self.n_shards),
+                    {"op": "put", "doc": payload},
+                )
+            elif op == "del":
+                files.append(
+                    shard_of(payload, self.n_shards),
+                    {"op": "del", "id": payload},
+                )
+            elif op == "clear":
+                for shard in range(self.n_shards):
+                    files.append(shard, {"op": "clear"})
+            elif op == "index":
+                self._write_manifest()
+                return
+            else:
+                raise StoreError(f"unknown journal op: {op!r}")
+            if (
+                self.auto_compact_ops is not None
+                and files.pending >= self.auto_compact_ops
+            ):
+                self.compact(name)
+
+    # -- manifest --------------------------------------------------------
+    def _write_manifest(self) -> None:
+        with self._slock:
+            layout = {
+                "version": _MANIFEST_VERSION,
+                "n_shards": self.n_shards,
+                "collections": {
+                    name: {
+                        "indexes": [
+                            {
+                                "path": index.path,
+                                "unique": index.unique,
+                                "kind": index.kind,
+                            }
+                            for index in collection._indexes.values()
+                        ]
+                    }
+                    for name, collection in self._collections.items()
+                },
+            }
+            _atomic_write(
+                self.directory / _MANIFEST_NAME,
+                json.dumps(layout, indent=2, sort_keys=True),
+            )
+
+    # -- replay ----------------------------------------------------------
+    def _replay(self) -> None:
+        layout_path = self.directory / _MANIFEST_NAME
+        with open(layout_path) as handle:
+            layout = json.load(handle)
+        if layout.get("version") != _MANIFEST_VERSION:
+            raise StoreError(
+                f"unsupported shard manifest version in {layout_path}"
+            )
+        self.n_shards = int(layout["n_shards"])
+        self._loading = True
+        try:
+            for name, info in layout.get("collections", {}).items():
+                collection = self.collection(name)
+                for shard in range(self.n_shards):
+                    for document in self._replay_shard(name, shard):
+                        collection._install(document)
+                for index in info.get("indexes", []):
+                    collection.create_index(
+                        index["path"],
+                        unique=index.get("unique", False),
+                        kind=index.get("kind", "hash"),
+                    )
+        finally:
+            self._loading = False
+
+    def _replay_shard(self, name: str, shard: int) -> List[Dict[str, Any]]:
+        """Final documents for one shard: base lines, then log ops."""
+        files = self._files[name]
+        state: Dict[Any, Dict[str, Any]] = {}
+        for document in self._read_jsonl(files.base_path(shard)):
+            if isinstance(document, dict) and "_id" in document:
+                state[_index_key(document["_id"])] = document
+            else:
+                self.load_warnings.append(
+                    f"{files.base_path(shard).name}: skipped document"
+                    f" without _id"
+                )
+        log_path = files.log_path(shard)
+        if log_path.exists():
+            files.pending += self._replay_log(files, log_path, state)
+        return list(state.values())
+
+    def _replay_log(
+        self,
+        files: _ShardFiles,
+        log_path: Path,
+        state: Dict[Any, Dict[str, Any]],
+    ) -> int:
+        ops = 0
+        for record in self._read_jsonl(log_path):
+            ops += 1
+            op = record.get("op") if isinstance(record, dict) else None
+            if op == "put" and isinstance(record.get("doc"), dict):
+                document = record["doc"]
+                state[_index_key(document.get("_id"))] = document
+            elif op == "del":
+                state.pop(_index_key(record.get("id")), None)
+            elif op == "clear":
+                state.clear()
+            else:
+                self.load_warnings.append(
+                    f"{log_path.name}: skipped malformed log record"
+                )
+        return ops
+
+    def _read_jsonl(self, path: Path) -> List[Any]:
+        rows: List[Any] = []
+        if not path.exists():
+            return rows
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    self.load_warnings.append(
+                        f"{path.name}:{lineno}: skipped corrupt line"
+                        f" ({exc.msg})"
+                    )
+        return rows
+
+    # -- compaction ------------------------------------------------------
+    def compact(self, name: Optional[str] = None) -> None:
+        """Fold append logs into fresh base files.
+
+        With ``name`` compacts one collection, otherwise all. For each
+        collection the write lock is held while the in-memory state is
+        partitioned and written: new bases land atomically first, logs
+        are removed after — a crash in between leaves logs that replay
+        idempotently over the new bases.
+        """
+        names = [name] if name is not None else list(self._collections)
+        for collection_name in names:
+            collection = self.existing(collection_name)
+            with collection._lock:
+                with self._slock:
+                    files = self._files[collection_name]
+                    partitions: Dict[int, List[str]] = {
+                        shard: [] for shard in range(self.n_shards)
+                    }
+                    for document in collection._documents.values():
+                        shard = shard_of(document["_id"], self.n_shards)
+                        partitions[shard].append(
+                            json.dumps(document, sort_keys=True) + "\n"
+                        )
+                    for shard, lines in partitions.items():
+                        _atomic_write(
+                            files.base_path(shard), "".join(lines)
+                        )
+                    files.remove_logs()
+        self._write_manifest()
+
+    def pending_ops(self, name: Optional[str] = None) -> int:
+        """Log records appended since the last compaction."""
+        with self._slock:
+            if name is not None:
+                return self._files[name].pending
+            return sum(files.pending for files in self._files.values())
+
+    def stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-collection document counts, shard layout and disk usage."""
+        out: Dict[str, Dict[str, Any]] = {}
+        with self._slock:
+            for name, collection in sorted(self._collections.items()):
+                files = self._files[name]
+                entry: Dict[str, Any] = {
+                    "documents": len(collection),
+                    "n_shards": self.n_shards,
+                    "pending_ops": files.pending,
+                    "indexes": collection.index_names(),
+                }
+                entry.update(files.disk_bytes())
+                out[name] = entry
+        return out
+
+    # -- background compaction -------------------------------------------
+    def start_background_compaction(
+        self, interval_s: float = 30.0, min_pending: int = 1
+    ) -> None:
+        """Compact every ``interval_s`` seconds (when at least
+        ``min_pending`` log records accumulated) on a daemon thread."""
+        if self._compactor is not None and self._compactor.is_alive():
+            return
+        self._compactor_stop.clear()
+
+        def run() -> None:
+            while not self._compactor_stop.wait(interval_s):
+                if self.pending_ops() >= min_pending:
+                    self.compact()
+
+        self._compactor = threading.Thread(
+            target=run, name="kdb-compactor", daemon=True
+        )
+        self._compactor.start()
+
+    def stop_background_compaction(self) -> None:
+        """Stop the background compaction thread (if running)."""
+        self._compactor_stop.set()
+        if self._compactor is not None:
+            self._compactor.join(timeout=5.0)
+            self._compactor = None
+
+    # -- lifecycle -------------------------------------------------------
+    def drop_collection(self, name: str) -> None:
+        """Drop a collection and delete its partition files."""
+        super().drop_collection(name)
+        with self._slock:
+            files = self._files.pop(name, None)
+            if files is not None:
+                files.remove_all()
+            self._write_manifest()
+
+    def close(self) -> None:
+        """Stop background compaction, fsync and release log handles.
+
+        Idempotent, and deliberately does *not* compact: the logs are
+        already durable, and read-only tooling (``repro kdb stats``)
+        must be able to open and close a store without rewriting it.
+        """
+        if self._closed:
+            return
+        self.stop_background_compaction()
+        with self._slock:
+            for files in self._files.values():
+                files.close_handles(sync=True)
+            self._closed = True
+
+    def __enter__(self) -> "ShardedDocumentStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

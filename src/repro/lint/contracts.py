@@ -22,6 +22,14 @@ from typing import FrozenSet, Optional
 
 _OPERATOR = re.compile(r"\$\w+\Z")
 
+#: Modules whose source defines the store's operator surface: the
+#: document store itself plus the query planner (which routes — and
+#: therefore names — the indexable operators).
+_DOCSTORE_MODULES = (
+    "repro.kdb.documentstore",
+    "repro.kdb.planner",
+)
+
 #: Operator set shipped with documentstore v1, used only as a fallback.
 _DOCSTORE_FALLBACK = frozenset(
     {
@@ -53,22 +61,26 @@ def _module_tree(module: str) -> Optional[ast.AST]:
 def docstore_operators() -> FrozenSet[str]:
     """Every ``$operator`` the document store implements.
 
-    Extraction rule: any string constant in
-    ``repro/kdb/documentstore.py`` that is exactly a ``$word`` token.
-    Comparison tables (``_COMPARISONS``), structural-operator branches,
-    update operators and aggregation stages all surface their operators
-    as such constants, so the set tracks the implementation for free.
+    Extraction rule: any string constant in the store's implementing
+    modules (:data:`_DOCSTORE_MODULES` — ``documentstore`` and the
+    query ``planner``) that is exactly a ``$word`` token. Comparison
+    tables (``_COMPARISONS``), structural-operator branches, update
+    operators, aggregation stages and the planner's routing tables all
+    surface their operators as such constants, so the set tracks the
+    implementation for free.
     """
-    tree = _module_tree("repro.kdb.documentstore")
-    if tree is None:
-        return _DOCSTORE_FALLBACK
-    found = {
-        node.value
-        for node in ast.walk(tree)
-        if isinstance(node, ast.Constant)
-        and isinstance(node.value, str)
-        and _OPERATOR.match(node.value)
-    }
+    found = set()
+    for module in _DOCSTORE_MODULES:
+        tree = _module_tree(module)
+        if tree is None:
+            continue
+        found.update(
+            node.value
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and _OPERATOR.match(node.value)
+        )
     return frozenset(found) if found else _DOCSTORE_FALLBACK
 
 

@@ -37,6 +37,7 @@ from repro.obs.manifest import (
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     PAYLOAD_BUCKETS,
+    QUERY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -70,6 +71,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "PAYLOAD_BUCKETS",
+    "QUERY_BUCKETS",
     "RUNS_COLLECTION",
     "RunManifestBuilder",
     "Span",

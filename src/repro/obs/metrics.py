@@ -61,6 +61,31 @@ PAYLOAD_BUCKETS: Tuple[float, ...] = (
     math.inf,
 )
 
+#: Microsecond-to-second bounds for K-DB query latencies
+#: (``kdb.query.latency``): indexed point reads land in the tens of
+#: microseconds, full scans of large collections in whole seconds.
+QUERY_BUCKETS: Tuple[float, ...] = (
+    0.00001,
+    0.000025,
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    math.inf,
+)
+
 
 class _Instrument:
     """Lock management shared by every instrument type."""

@@ -115,3 +115,35 @@ def test_partial(capsys, dataset_path):
     code, output = run(capsys, "partial", dataset_path)
     assert code == 0
     assert "selected subset" in output
+
+
+def test_kdb_stats_and_compact(capsys, tmp_path):
+    import json
+
+    from repro.kdb.shards import ShardedDocumentStore
+
+    directory = tmp_path / "kdb"
+    store = ShardedDocumentStore(directory, n_shards=2)
+    store["c"].insert_many([{"x": i} for i in range(5)])
+    store.close()
+
+    code, output = run(capsys, "kdb", "stats", str(directory))
+    assert code == 0
+    stats = json.loads(output)
+    assert stats["c"]["documents"] == 5
+    assert stats["c"]["pending_ops"] == 5
+
+    code, output = run(capsys, "kdb", "compact", str(directory))
+    assert code == 0
+    assert "folded 5 pending op(s)" in output
+
+    code, output = run(capsys, "kdb", "stats", str(directory))
+    assert code == 0
+    assert json.loads(output)["c"]["pending_ops"] == 0
+
+
+def test_kdb_stats_missing_directory(capsys, tmp_path):
+    code = main(["kdb", "stats", str(tmp_path / "nowhere")])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "no sharded K-DB" in err

@@ -422,3 +422,347 @@ def test_cursor_memo_invalidated_by_chaining(people):
     assert [d["name"] for d in cursor] == sorted(
         d["name"] for d in people.find()
     )[1:3]
+
+
+# ----------------------------------------------------------------------
+# atomic updates (regression: failed updates used to half-apply)
+# ----------------------------------------------------------------------
+def test_failed_inc_leaves_document_untouched(store):
+    collection = store["c"]
+    collection.insert_one({"_id": 1, "n": 5, "label": "x"})
+    with pytest.raises(StoreError):
+        collection.update_one(
+            {"_id": 1}, {"$set": {"label": "y"}, "$inc": {"label": 1}}
+        )
+    assert collection.find_one({"_id": 1}) == {
+        "_id": 1,
+        "n": 5,
+        "label": "x",
+    }
+
+
+def test_failed_unstorable_set_leaves_document_untouched(store):
+    collection = store["c"]
+    collection.insert_one({"_id": 1, "n": 5})
+    with pytest.raises(StoreError):
+        collection.update_one(
+            {"_id": 1}, {"$inc": {"n": 1}, "$set": {"bad": object()}}
+        )
+    assert collection.find_one({"_id": 1}) == {"_id": 1, "n": 5}
+
+
+def test_failed_update_keeps_indexes_consistent(store):
+    collection = store["c"]
+    collection.create_index("name", unique=True)
+    collection.insert_many(
+        [{"_id": 1, "name": "a", "n": 0}, {"_id": 2, "name": "b"}]
+    )
+    with pytest.raises(DuplicateKeyError):
+        collection.update_one({"_id": 1}, {"$set": {"name": "b"}})
+    # the old value is still indexed, the attempted one is not
+    assert collection.find_one({"name": "a"}) == {
+        "_id": 1,
+        "name": "a",
+        "n": 0,
+    }
+    assert collection.count_documents({"name": "b"}) == 1
+    # and the document still accepts further updates
+    assert collection.update_one({"_id": 1}, {"$inc": {"n": 1}}) == 1
+    assert collection.find_one({"_id": 1})["n"] == 1
+
+
+def test_update_many_failure_keeps_earlier_documents_updated(store):
+    collection = store["c"]
+    collection.insert_many(
+        [{"_id": 1, "n": 1}, {"_id": 2, "n": "oops"}, {"_id": 3, "n": 3}]
+    )
+    with pytest.raises(StoreError):
+        collection.update_many({}, {"$inc": {"n": 10}})
+    # per-document atomicity: doc 1 updated, doc 2 untouched, doc 3
+    # never reached
+    assert collection.find_one({"_id": 1})["n"] == 11
+    assert collection.find_one({"_id": 2})["n"] == "oops"
+    assert collection.find_one({"_id": 3})["n"] == 3
+
+
+# ----------------------------------------------------------------------
+# $unset / $pull on missing paths (regression: created intermediates)
+# ----------------------------------------------------------------------
+def test_unset_missing_nested_path_creates_nothing(store):
+    collection = store["c"]
+    collection.insert_one({"_id": 1, "kept": True})
+    collection.update_one({"_id": 1}, {"$unset": {"a.b.c": ""}})
+    assert collection.find_one({"_id": 1}) == {"_id": 1, "kept": True}
+
+
+def test_pull_missing_nested_path_creates_nothing(store):
+    collection = store["c"]
+    collection.insert_one({"_id": 1})
+    collection.update_one({"_id": 1}, {"$pull": {"a.b": 1}})
+    assert collection.find_one({"_id": 1}) == {"_id": 1}
+
+
+def test_unset_through_non_dict_is_noop(store):
+    collection = store["c"]
+    collection.insert_one({"_id": 1, "a": 5})
+    collection.update_one({"_id": 1}, {"$unset": {"a.b.c": ""}})
+    assert collection.find_one({"_id": 1}) == {"_id": 1, "a": 5}
+
+
+def test_unset_existing_nested_path_still_works(store):
+    collection = store["c"]
+    collection.insert_one({"_id": 1, "a": {"b": {"c": 1, "d": 2}}})
+    collection.update_one({"_id": 1}, {"$unset": {"a.b.c": ""}})
+    assert collection.find_one({"_id": 1}) == {"_id": 1, "a": {"b": {"d": 2}}}
+
+
+# ----------------------------------------------------------------------
+# distinct / $regex (regression: bool-int collapse, raw re.error)
+# ----------------------------------------------------------------------
+def test_distinct_separates_bool_from_int(store):
+    collection = store["c"]
+    collection.insert_many(
+        [{"v": True}, {"v": 1}, {"v": False}, {"v": 0}, {"v": 1}]
+    )
+    values = collection.distinct("v")
+    assert sorted(values, key=repr) == sorted(
+        [True, 1, False, 0], key=repr
+    )
+
+
+def test_distinct_still_merges_int_float_equals(store):
+    collection = store["c"]
+    collection.insert_many([{"v": 1}, {"v": 1.0}, {"v": 2}])
+    assert len(collection.distinct("v")) == 2
+
+
+def test_invalid_regex_raises_query_error(people):
+    with pytest.raises(QueryError):
+        people.find_one({"name": {"$regex": "("}})
+
+
+def test_regex_requires_string_pattern(people):
+    with pytest.raises(QueryError):
+        people.find_one({"name": {"$regex": 7}})
+
+
+# ----------------------------------------------------------------------
+# query planner
+# ----------------------------------------------------------------------
+def test_explain_reports_scan_without_index(people):
+    plan = people.explain({"name": "ada"})
+    assert plan.kind == "scan"
+    assert not plan.indexed
+    assert plan.examined == 4
+
+
+def test_explain_point_plan_via_hash_index(people):
+    people.create_index("name")
+    plan = people.explain({"name": "ada"})
+    assert plan.kind == "point"
+    assert plan.index == "name_1"
+    assert plan.indexed
+    assert plan.examined == 1
+    assert plan.to_document()["operators"] == ["$eq"]
+
+
+def test_planner_id_fast_path(people):
+    plan = people.explain({"_id": 2})
+    assert plan.kind == "point"
+    assert plan.index == "_id_"
+    assert plan.examined == 1
+
+
+def test_planner_in_probe_unions_buckets(people):
+    people.create_index("name")
+    plan = people.explain({"name": {"$in": ["ada", "alan", "nobody"]}})
+    assert plan.kind == "point"
+    assert plan.examined == 2
+    names = {d["name"] for d in people.find({"name": {"$in": ["ada", "alan"]}})}
+    assert names == {"ada", "alan"}
+
+
+def test_planner_range_uses_sorted_index(people):
+    people.create_index("age", kind="sorted")
+    plan = people.explain({"age": {"$gte": 40, "$lt": 80}})
+    assert plan.kind == "range"
+    assert plan.index == "age_1"
+    rows = people.find({"age": {"$gte": 40, "$lt": 80}}).to_list()
+    assert {row["name"] for row in rows} == {"alan", "edsger"}
+
+
+def test_planner_range_not_served_by_hash_index(people):
+    people.create_index("age")
+    assert people.explain({"age": {"$gt": 40}}).kind == "scan"
+
+
+def test_planner_results_match_scan_order(people):
+    people.create_index("age", kind="sorted")
+    indexed = people.find({"age": {"$gt": 0}}).to_list()
+    scanned = [d for d in people.find() if d["age"] > 0]
+    assert indexed == scanned
+
+
+def test_indexed_find_deep_copies(people):
+    people.create_index("name")
+    row = people.find_one({"name": "ada"})
+    row["age"] = 999
+    assert people.find_one({"name": "ada"})["age"] == 36
+
+
+def test_hash_index_is_multikey_over_arrays(people):
+    people.create_index("tags")
+    plan = people.explain({"tags": "math"})
+    assert plan.kind == "point"
+    names = {d["name"] for d in people.find({"tags": "math"})}
+    assert names == {"ada", "alan"}
+
+
+def test_index_separates_bool_and_int_buckets(store):
+    collection = store["c"]
+    collection.insert_many([{"v": True}, {"v": 1}, {"v": 1.0}])
+    collection.create_index("v")
+    assert collection.count_documents({"v": True}) == 1
+    assert collection.count_documents({"v": 1}) == 2  # 1 == 1.0
+
+
+def test_find_records_last_plan(people):
+    people.create_index("name")
+    people.find({"name": "ada"}).to_list()
+    assert people.last_plan.kind == "point"
+    assert people.last_plan.returned == 1
+    people.find({"age": 36}).to_list()
+    assert people.last_plan.kind == "scan"
+
+
+def test_plan_metrics_counters(people):
+    from repro.obs import Metrics
+
+    metrics = Metrics()
+    people.metrics = metrics
+    people.create_index("name")
+    people.find({"name": "ada"}).to_list()
+    people.find({"age": 36}).to_list()
+    assert metrics.counter_value("kdb.plans.indexed") == 1
+    assert metrics.counter_value("kdb.plans.scan") == 1
+    snapshot = metrics.snapshot()
+    assert snapshot["histograms"]["kdb.query.latency"]["count"] == 2
+
+
+# ----------------------------------------------------------------------
+# sorted indexes: index-ordered sort().limit()
+# ----------------------------------------------------------------------
+def test_indexed_sort_matches_scan_sort(people):
+    scan = people.find().sort("age", 1).to_list()
+    people.create_index("age", kind="sorted")
+    indexed = people.find().sort("age", 1).to_list()
+    assert indexed == scan
+    assert people.find().sort("age", -1).to_list() == scan[::-1]
+
+
+def test_indexed_sort_with_limit_and_missing_values(store):
+    collection = store["c"]
+    collection.insert_many(
+        [{"n": 3}, {"m": "no n"}, {"n": 1}, {"n": None}, {"n": 2}]
+    )
+    expected_asc = collection.find().sort("n", 1).to_list()
+    expected_top2 = collection.find().sort("n", -1).limit(2).to_list()
+    collection.create_index("n", kind="sorted")
+    assert collection.find().sort("n", 1).to_list() == expected_asc
+    assert (
+        collection.find().sort("n", -1).limit(2).to_list()
+        == expected_top2
+    )
+
+
+def test_indexed_sort_mixed_types_matches_scan(store):
+    collection = store["c"]
+    collection.insert_many(
+        [{"v": 2}, {"v": "b"}, {"v": 1.5}, {"v": "a"}, {"v": 10}]
+    )
+    expected = collection.find().sort("v", 1).to_list()
+    collection.create_index("v", kind="sorted")
+    assert collection.find().sort("v", 1).to_list() == expected
+
+
+def test_stale_cursor_falls_back_to_full_sort(people):
+    people.create_index("age", kind="sorted")
+    cursor = people.find().sort("age", 1)
+    people.insert_one({"name": "barbara", "age": 1, "tags": []})
+    resolved = cursor._resolved()
+    # the cursor was planned before the insert: it must still sort its
+    # own 4 matches correctly (via fallback), not drop or misorder them
+    assert [row["age"] for row in resolved] == [36, 41, 72, 85]
+
+
+def test_sorted_index_upgrade_from_hash(people):
+    people.create_index("age")
+    assert people.explain({"age": {"$gt": 40}}).kind == "scan"
+    people.create_index("age", kind="sorted")
+    assert people.explain({"age": {"$gt": 40}}).kind == "range"
+    # downgrade requests are no-ops
+    people.create_index("age")
+    assert people.explain({"age": {"$gt": 40}}).kind == "range"
+
+
+def test_unknown_index_kind_rejected(people):
+    with pytest.raises(StoreError):
+        people.create_index("age", kind="btree")
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+def test_snapshot_is_consistent_under_writes(people):
+    snap = people.snapshot()
+    people.insert_one({"name": "barbara", "age": 1, "tags": []})
+    people.update_one({"name": "ada"}, {"$inc": {"age": 1}})
+    people.delete_one({"name": "alan"})
+    assert len(snap) == 4
+    assert snap.find_one({"name": "ada"})["age"] == 36
+    assert snap.find_one({"name": "alan"}) is not None
+    assert snap.find_one({"name": "barbara"}) is None
+
+
+def test_snapshot_rejects_writes(people):
+    snap = people.snapshot()
+    with pytest.raises(StoreError):
+        snap.insert_one({"name": "x"})
+    with pytest.raises(StoreError):
+        snap.update_one({}, {"$set": {"a": 1}})
+    with pytest.raises(StoreError):
+        snap.delete_many({})
+    with pytest.raises(StoreError):
+        snap.drop()
+
+
+def test_snapshot_carries_indexes(people):
+    people.create_index("name")
+    snap = people.snapshot()
+    assert snap.explain({"name": "ada"}).kind == "point"
+    assert snap.find_one({"name": "ada"})["age"] == 36
+
+
+def test_store_snapshot_covers_all_collections(store):
+    store["a"].insert_one({"x": 1})
+    store["b"].insert_one({"y": 2})
+    snap = store.snapshot()
+    store["a"].insert_one({"x": 3})
+    assert len(snap["a"]) == 1
+    assert len(snap["b"]) == 1
+
+
+# ----------------------------------------------------------------------
+# aggregation pushdown
+# ----------------------------------------------------------------------
+def test_aggregate_leading_match_uses_planner(people):
+    people.create_index("name")
+    rows = people.aggregate([{"$match": {"name": "ada"}}])
+    assert [row["name"] for row in rows] == ["ada"]
+    assert people.last_plan.kind == "point"
+
+
+def test_aggregate_copies_results_not_collection(people):
+    rows = people.aggregate([{"$match": {"name": "ada"}}])
+    rows[0]["age"] = 999
+    assert people.find_one({"name": "ada"})["age"] == 36

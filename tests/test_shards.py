@@ -1,0 +1,343 @@
+"""Tests for the sharded K-DB persistence layer and query planner
+round-trip properties: shard placement, journal replay, compaction
+crash-safety, and Hypothesis identity properties (save/load/compact
+round trips; planner-vs-scan result equality on randomized queries)."""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StoreError
+from repro.kdb.documentstore import DocumentStore
+from repro.kdb.kdb import DISCOVERED_KNOWLEDGE, KnowledgeBase
+from repro.kdb.shards import ShardedDocumentStore, shard_of
+
+
+@pytest.fixture()
+def sharded(tmp_path):
+    return ShardedDocumentStore(tmp_path / "db", n_shards=4)
+
+
+def _reopen(store: ShardedDocumentStore) -> ShardedDocumentStore:
+    store.close()
+    return ShardedDocumentStore(store.directory)
+
+
+def _contents(store, name="c"):
+    return {
+        json.dumps(doc["_id"], sort_keys=True): doc
+        for doc in store[name].find()
+    }
+
+
+# ----------------------------------------------------------------------
+# shard placement
+# ----------------------------------------------------------------------
+def test_shard_of_is_stable_and_in_range():
+    for doc_id in (0, 1, "abc", 3.5, True, None, [1, 2], {"k": "v"}):
+        shard = shard_of(doc_id, 8)
+        assert 0 <= shard < 8
+        assert shard == shard_of(doc_id, 8)
+
+
+def test_shard_of_spreads_ids():
+    shards = {shard_of(i, 8) for i in range(200)}
+    assert len(shards) == 8
+
+
+def test_invalid_shard_count_rejected(tmp_path):
+    with pytest.raises(StoreError):
+        ShardedDocumentStore(tmp_path / "db", n_shards=0)
+
+
+# ----------------------------------------------------------------------
+# journal + replay
+# ----------------------------------------------------------------------
+def test_inserts_replay_after_reopen(sharded):
+    sharded["c"].insert_many([{"x": i} for i in range(20)])
+    reopened = _reopen(sharded)
+    assert len(reopened["c"]) == 20
+    assert _contents(reopened) == {
+        json.dumps(i + 1): {"_id": i + 1, "x": i} for i in range(20)
+    }
+    assert reopened.load_warnings == []
+
+
+def test_updates_and_deletes_replay(sharded):
+    collection = sharded["c"]
+    collection.insert_many([{"_id": i, "n": i} for i in range(10)])
+    collection.update_many({"n": {"$gte": 5}}, {"$inc": {"n": 100}})
+    collection.delete_many({"n": {"$lt": 3}})
+    expected = _contents(sharded)
+    reopened = _reopen(sharded)
+    assert _contents(reopened) == expected
+
+
+def test_clear_replays_across_all_shards(sharded):
+    collection = sharded["c"]
+    collection.insert_many([{"_id": i} for i in range(16)])
+    collection.drop()
+    collection.insert_one({"_id": 99, "after": True})
+    reopened = _reopen(sharded)
+    assert _contents(reopened) == {
+        "99": {"_id": 99, "after": True}
+    }
+
+
+def test_indexes_persist_in_manifest(sharded):
+    collection = sharded["c"]
+    collection.insert_many([{"n": i} for i in range(5)])
+    collection.create_index("n", kind="sorted")
+    reopened = _reopen(sharded)
+    assert reopened["c"].index_names() == ["n_1"]
+    assert reopened["c"].explain({"n": {"$gt": 2}}).kind == "range"
+
+
+def test_new_ids_continue_after_replay(sharded):
+    sharded["c"].insert_many([{}, {}, {}])
+    reopened = _reopen(sharded)
+    assert reopened["c"].insert_one({}) == 4
+
+
+def test_corrupt_log_line_skipped_with_warning(sharded):
+    sharded["c"].insert_many([{"_id": i} for i in range(8)])
+    sharded.close()
+    # chop bytes off one shard log, as a crash mid-append would
+    logs = sorted(sharded.directory.glob("c.shard-*.log.jsonl"))
+    victim = next(path for path in logs if path.stat().st_size > 0)
+    victim.write_bytes(victim.read_bytes()[:-5])
+    reopened = ShardedDocumentStore(sharded.directory)
+    assert 0 < len(reopened["c"]) < 8
+    assert any("corrupt" in w for w in reopened.load_warnings)
+
+
+# ----------------------------------------------------------------------
+# compaction
+# ----------------------------------------------------------------------
+def test_compact_folds_logs_into_bases(sharded):
+    collection = sharded["c"]
+    collection.insert_many([{"_id": i, "n": i} for i in range(30)])
+    collection.delete_many({"n": {"$lt": 10}})
+    expected = _contents(sharded)
+    assert sharded.pending_ops() > 0
+    sharded.compact()
+    assert sharded.pending_ops() == 0
+    assert sharded.stats()["c"]["log_bytes"] == 0
+    assert sharded.stats()["c"]["base_bytes"] > 0
+    reopened = _reopen(sharded)
+    assert _contents(reopened) == expected
+
+
+def test_stale_log_replays_idempotently_over_compacted_base(sharded):
+    """A crash window leaves both the new bases and the old logs: the
+    replay of the full log over the compacted base must converge."""
+    collection = sharded["c"]
+    collection.insert_many([{"_id": i, "n": i} for i in range(12)])
+    collection.drop()
+    collection.insert_many([{"_id": i, "n": -i} for i in range(6)])
+    collection.delete_one({"_id": 3})
+    expected = _contents(sharded)
+    sharded.close()
+    # preserve the pre-compaction logs, compact, then put them back
+    logs = {
+        path.name: path.read_bytes()
+        for path in sharded.directory.glob("c.shard-*.log.jsonl")
+    }
+    store = ShardedDocumentStore(sharded.directory)
+    store.compact()
+    store.close()
+    for name, blob in logs.items():
+        (sharded.directory / name).write_bytes(blob)
+    recovered = ShardedDocumentStore(sharded.directory)
+    assert _contents(recovered) == expected
+
+
+def test_auto_compaction_threshold(tmp_path):
+    store = ShardedDocumentStore(
+        tmp_path / "db", n_shards=2, auto_compact_ops=10
+    )
+    store["c"].insert_many([{} for _ in range(25)])
+    assert store.pending_ops() < 10
+    reopened = _reopen(store)
+    assert len(reopened["c"]) == 25
+
+
+def test_background_compaction_thread(tmp_path):
+    store = ShardedDocumentStore(tmp_path / "db", n_shards=2)
+    store["c"].insert_many([{} for _ in range(10)])
+    store.start_background_compaction(interval_s=0.05, min_pending=1)
+    deadline = threading.Event()
+    for _ in range(100):
+        if store.pending_ops() == 0:
+            break
+        deadline.wait(0.05)
+    store.stop_background_compaction()
+    assert store.pending_ops() == 0
+    assert len(_reopen(store)["c"]) == 10
+
+
+def test_compact_single_collection(sharded):
+    sharded["a"].insert_one({})
+    sharded["b"].insert_one({})
+    sharded.compact("a")
+    assert sharded.pending_ops("a") == 0
+    assert sharded.pending_ops("b") > 0
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def test_drop_collection_removes_files(sharded):
+    sharded["c"].insert_many([{} for _ in range(5)])
+    sharded.compact()
+    assert list(sharded.directory.glob("c.shard-*"))
+    sharded.drop_collection("c")
+    assert not list(sharded.directory.glob("c.shard-*"))
+    reopened = _reopen(sharded)
+    assert "c" not in reopened.collection_names()
+
+
+def test_closed_store_rejects_writes(sharded):
+    sharded["c"].insert_one({})
+    sharded.close()
+    with pytest.raises(StoreError):
+        sharded["c"].insert_one({})
+
+
+def test_context_manager_closes(tmp_path):
+    with ShardedDocumentStore(tmp_path / "db") as store:
+        store["c"].insert_one({"x": 1})
+    reopened = ShardedDocumentStore(tmp_path / "db")
+    assert len(reopened["c"]) == 1
+
+
+def test_unsupported_manifest_version_rejected(tmp_path):
+    store = ShardedDocumentStore(tmp_path / "db")
+    store.close()
+    manifest_path = tmp_path / "db" / "_shards.json"
+    layout = json.loads(manifest_path.read_text())
+    layout["version"] = 999
+    manifest_path.write_text(json.dumps(layout))
+    with pytest.raises(StoreError):
+        ShardedDocumentStore(tmp_path / "db")
+
+
+# ----------------------------------------------------------------------
+# KnowledgeBase on sharded storage
+# ----------------------------------------------------------------------
+def test_knowledge_base_open_sharded_round_trip(tmp_path):
+    from repro.core.knowledge import KnowledgeItem
+
+    kb = KnowledgeBase.open_sharded(tmp_path / "kdb", n_shards=4)
+    item = KnowledgeItem(
+        kind="cluster",
+        end_goal="patient profiling",
+        title="grp",
+        score=0.9,
+        payload={"k": 3},
+    )
+    kb.store_item(item)
+    kb.compact()
+    stats = kb.storage_stats()
+    assert stats[DISCOVERED_KNOWLEDGE]["documents"] == 1
+    assert stats[DISCOVERED_KNOWLEDGE]["pending_ops"] == 0
+    kb.store.close()
+
+    again = KnowledgeBase.open_sharded(tmp_path / "kdb", n_shards=4)
+    assert [i.title for i in again.items()] == ["grp"]
+
+
+def test_knowledge_base_storage_stats_in_memory():
+    kb = KnowledgeBase()
+    stats = kb.storage_stats()
+    assert stats[DISCOVERED_KNOWLEDGE] == {"documents": 0}
+
+
+# ----------------------------------------------------------------------
+# property tests
+# ----------------------------------------------------------------------
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+)
+
+field_names = st.sampled_from(["a", "b", "c", "d"])
+
+documents = st.dictionaries(
+    field_names,
+    st.one_of(scalars, st.lists(scalars, max_size=3)),
+    max_size=4,
+)
+
+
+@given(st.lists(documents, max_size=15), st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_property_shard_round_trip_identity(tmp_path_factory, docs, n):
+    tmp = tmp_path_factory.mktemp("shards")
+    store = ShardedDocumentStore(tmp / "db", n_shards=n)
+    store["c"].insert_many(docs)
+    expected = _contents(store)
+    store.close()
+
+    loaded = ShardedDocumentStore(tmp / "db")
+    assert _contents(loaded) == expected
+    loaded.compact()
+    loaded.close()
+
+    compacted = ShardedDocumentStore(tmp / "db")
+    assert _contents(compacted) == expected
+    assert compacted.load_warnings == []
+
+
+operators = st.sampled_from(["$eq", "$gt", "$gte", "$lt", "$lte", "$in"])
+
+
+@given(
+    st.lists(documents, min_size=1, max_size=20),
+    field_names,
+    operators,
+    scalars,
+)
+@settings(max_examples=60, deadline=None)
+def test_property_planner_matches_scan(docs, path, operator, operand):
+    """The same query answered with and without indexes is identical."""
+    if operator == "$in":
+        query = {path: {"$in": [operand]}}
+    else:
+        query = {path: {operator: operand}}
+
+    scan_collection = DocumentStore()["c"]
+    scan_collection.insert_many(docs)
+    scanned = scan_collection.find(query).to_list()
+    assert scan_collection.last_plan.kind == "scan"
+
+    indexed_store = DocumentStore()
+    indexed_collection = indexed_store["c"]
+    indexed_collection.create_index(path, kind="sorted")
+    indexed_collection.insert_many(docs)
+    planned = indexed_collection.find(query).to_list()
+
+    assert planned == scanned
+
+
+@given(st.lists(documents, min_size=1, max_size=20), field_names)
+@settings(max_examples=40, deadline=None)
+def test_property_indexed_sort_matches_scan_sort(docs, path):
+    scan_collection = DocumentStore()["c"]
+    scan_collection.insert_many(docs)
+    expected = scan_collection.find().sort(path, 1).to_list()
+
+    indexed_collection = DocumentStore()["c"]
+    indexed_collection.create_index(path, kind="sorted")
+    indexed_collection.insert_many(docs)
+    assert indexed_collection.find().sort(path, 1).to_list() == expected
+    assert (
+        indexed_collection.find().sort(path, -1).to_list()
+        == scan_collection.find().sort(path, -1).to_list()
+    )
