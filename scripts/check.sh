@@ -7,7 +7,25 @@ set -eu
 cd "$(dirname "$0")/.."
 
 echo "==> adalint (src/ benchmarks/ examples/)"
-PYTHONPATH=src python -m repro.lint --stats
+# Emit the SARIF log first (for the CI artifact upload) even when
+# there are findings, then the human report with parse/cache stats;
+# the gate fails afterwards if either run reported anything.
+lint_status=0
+PYTHONPATH=src python -m repro.lint --format sarif >adalint.sarif \
+    || lint_status=$?
+PYTHONPATH=src python -m repro.lint --stats || lint_status=$?
+echo "==> lint stats: $(python - <<'EOF'
+import json
+doc = json.load(open("adalint.sarif"))
+run = doc["runs"][0]
+print(
+    f"{len(run['results'])} findings across"
+    f" {len(run['tool']['driver']['rules'])} rules"
+    f" (SARIF {doc['version']} -> adalint.sarif)"
+)
+EOF
+)"
+[ "$lint_status" -eq 0 ]
 
 echo "==> chaos suite (seeded fault injection)"
 PYTHONPATH=src python -m pytest -x -q -m faults

@@ -198,9 +198,16 @@ class SharedMatrix:
             )
         self.close()
         try:
-            shared_memory.SharedMemory(name=self.name).unlink()
+            segment = shared_memory.SharedMemory(name=self.name)
         except FileNotFoundError:
-            pass
+            return
+        _untrack(segment)
+        try:
+            segment.unlink()
+        finally:
+            # The re-attach above created a fresh mapping of its own;
+            # unlink destroys the *name*, not this process's mapping.
+            segment.close()
 
     def __enter__(self) -> "SharedMatrix":
         return self

@@ -849,16 +849,17 @@ class Collection:
         """Install a trusted document (loader fast path): no copy, no
         serialisation check, no journal echo. Indexes are expected to be
         (re)built afterwards via :meth:`create_index`."""
-        doc_id = document["_id"]
-        if doc_id in self._documents:
-            raise DuplicateKeyError(
-                f"duplicate _id in {self.name!r}: {doc_id!r}"
-            )
-        self._documents[doc_id] = document
-        self._index_add(document)
-        self._seq[doc_id] = self._seq_counter
-        self._seq_counter += 1
-        self._version += 1
+        with self._lock:
+            doc_id = document["_id"]
+            if doc_id in self._documents:
+                raise DuplicateKeyError(
+                    f"duplicate _id in {self.name!r}: {doc_id!r}"
+                )
+            self._documents[doc_id] = document
+            self._index_add(document)
+            self._seq[doc_id] = self._seq_counter
+            self._seq_counter += 1
+            self._version += 1
 
     # -- find --------------------------------------------------------------
     def _matched(

@@ -33,7 +33,7 @@ import os
 import threading
 import zlib
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.exceptions import StoreError
 from repro.kdb.documentstore import (
@@ -45,6 +45,34 @@ from repro.kdb.documentstore import (
 
 _MANIFEST_NAME = "_shards.json"
 _MANIFEST_VERSION = 1
+_LOCKFILE_NAME = "_shards.lock"
+
+#: Directories this process currently holds open (resolved paths),
+#: guarded by ``_OWNED_GUARD``. Lets the lockfile distinguish "same
+#: pid, still open" (a genuine double-open) from "same pid, stale file
+#: left by a crashed predecessor object".
+_OWNED_GUARD = threading.Lock()
+_OWNED_DIRS: Set[str] = set()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a lockfile holder."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours (EPERM etc.)
+    return True
+
+
+def _read_lock_pid(path: Path) -> Optional[int]:
+    try:
+        return int(path.read_text().strip() or "0")
+    except (OSError, ValueError):
+        return None
 
 
 def shard_of(doc_id: Any, n_shards: int) -> int:
@@ -128,7 +156,17 @@ class ShardedDocumentStore(DocumentStore):
     Lock ordering: a collection's write lock is always taken *before*
     the store-wide shard lock (the journal runs inside the collection
     lock; :meth:`compact` acquires in that same order), so background
-    compaction cannot deadlock against writers.
+    compaction cannot deadlock against writers. ADA015 pins this as
+    the canonical edge of the project lock-order graph.
+
+    Cross-process safety: opening a directory takes an exclusive pid
+    lockfile (``_shards.lock``, created ``O_CREAT|O_EXCL``), so a
+    second process gets a clear :class:`StoreError` instead of silently
+    interleaving log appends. A lockfile whose recorded pid is dead is
+    broken automatically (stale-lock detection); :meth:`close` releases
+    it. The stale-break itself is not atomic across processes — two
+    openers racing a *dead* holder can both proceed — which is the
+    documented limit of a lockfile without fcntl range locks.
     """
 
     def __init__(
@@ -150,10 +188,74 @@ class ShardedDocumentStore(DocumentStore):
         self._closed = False
         self._compactor: Optional[threading.Thread] = None
         self._compactor_stop = threading.Event()
-        if (self.directory / _MANIFEST_NAME).exists():
-            self._replay()
-        else:
-            self._write_manifest()
+        self._lock_key = str(self.directory.resolve())
+        self._has_lockfile = self._acquire_lockfile()
+        try:
+            if (self.directory / _MANIFEST_NAME).exists():
+                self._replay()
+            else:
+                self._write_manifest()
+        except BaseException:
+            with self._slock:
+                self._release_lockfile()
+            raise
+
+    # -- single-writer lockfile ------------------------------------------
+    def _acquire_lockfile(self) -> bool:
+        path = self.directory / _LOCKFILE_NAME
+        for attempt in (0, 1):
+            try:
+                fd = os.open(
+                    str(path),
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                with _OWNED_GUARD:
+                    open_here = self._lock_key in _OWNED_DIRS
+                holder = _read_lock_pid(path)
+                if open_here:
+                    raise StoreError(
+                        f"{self.directory} is already open in this"
+                        " process; a sharded store directory has"
+                        " exactly one writer"
+                    )
+                stale = (
+                    holder is None
+                    or holder == os.getpid()
+                    or not _pid_alive(holder)
+                )
+                if attempt == 0 and stale:
+                    try:
+                        path.unlink()
+                    except FileNotFoundError:
+                        pass
+                    continue
+                raise StoreError(
+                    f"{self.directory} is locked by pid {holder}"
+                    f" ({path.name}); close the other"
+                    " ShardedDocumentStore first, or delete the"
+                    " lockfile if that process is gone"
+                )
+            with os.fdopen(fd, "w") as handle:
+                handle.write(str(os.getpid()))
+            with _OWNED_GUARD:
+                _OWNED_DIRS.add(self._lock_key)
+            return True
+        raise StoreError(  # two stale-break attempts lost the race
+            f"could not acquire {path}: another opener raced the"
+            " stale-lock takeover"
+        )
+
+    def _release_lockfile(self) -> None:
+        if not self._has_lockfile:
+            return
+        self._has_lockfile = False
+        with _OWNED_GUARD:
+            _OWNED_DIRS.discard(self._lock_key)
+        try:
+            (self.directory / _LOCKFILE_NAME).unlink()
+        except FileNotFoundError:
+            pass
 
     # -- wiring ----------------------------------------------------------
     def _attach_collection(self, collection: Collection) -> None:
@@ -168,12 +270,18 @@ class ShardedDocumentStore(DocumentStore):
                 self._on_mutation(name, op, payload)
 
             collection._journal = journal
-            if not self._loading:
-                self._write_manifest()
+            write_manifest = not self._loading
+        # The manifest fsync happens after the shard lock is released
+        # (ADA018): attach only needs the lock to publish the files
+        # entry and journal hook.
+        if write_manifest:
+            self._write_manifest()
 
     def _on_mutation(self, name: str, op: str, payload: Any) -> None:
         if self._loading:
             return
+        compact_due = False
+        index_changed = False
         with self._slock:
             if self._closed:
                 raise StoreError("sharded store is closed")
@@ -192,15 +300,24 @@ class ShardedDocumentStore(DocumentStore):
                 for shard in range(self.n_shards):
                     files.append(shard, {"op": "clear"})
             elif op == "index":
-                self._write_manifest()
-                return
+                index_changed = True
             else:
                 raise StoreError(f"unknown journal op: {op!r}")
-            if (
-                self.auto_compact_ops is not None
+            compact_due = (
+                not index_changed
+                and self.auto_compact_ops is not None
                 and files.pending >= self.auto_compact_ops
-            ):
-                self.compact(name)
+            )
+        # Both follow-ups run outside the shard lock: compacting from
+        # inside it would acquire the collection lock *after* the shard
+        # lock — the exact inversion of the documented order (ADA015) —
+        # and the manifest write fsyncs (ADA018). The journal runs
+        # under the collection lock, so compacting here re-enters it in
+        # the documented collection-before-store order.
+        if index_changed:
+            self._write_manifest()
+        elif compact_due:
+            self.compact(name)
 
     # -- manifest --------------------------------------------------------
     def _write_manifest(self) -> None:
@@ -222,7 +339,13 @@ class ShardedDocumentStore(DocumentStore):
                     for name, collection in self._collections.items()
                 },
             }
-            _atomic_write(
+            # Writing (and fsyncing) under the shard lock is deliberate:
+            # it serialises manifest writers, so the bytes on disk always
+            # correspond to the *latest* layout snapshot — two unlocked
+            # writers could land snapshots out of order and resurrect a
+            # dropped index definition. The manifest is tiny; the held
+            # fsync is bounded.
+            _atomic_write(  # adalint: disable=ADA018
                 self.directory / _MANIFEST_NAME,
                 json.dumps(layout, indent=2, sort_keys=True),
             )
@@ -236,8 +359,9 @@ class ShardedDocumentStore(DocumentStore):
             raise StoreError(
                 f"unsupported shard manifest version in {layout_path}"
             )
-        self.n_shards = int(layout["n_shards"])
-        self._loading = True
+        with self._slock:
+            self.n_shards = int(layout["n_shards"])
+            self._loading = True
         try:
             for name, info in layout.get("collections", {}).items():
                 collection = self.collection(name)
@@ -251,7 +375,8 @@ class ShardedDocumentStore(DocumentStore):
                         kind=index.get("kind", "hash"),
                     )
         finally:
-            self._loading = False
+            with self._slock:
+                self._loading = False
 
     def _replay_shard(self, name: str, shard: int) -> List[Dict[str, Any]]:
         """Final documents for one shard: base lines, then log ops."""
@@ -261,10 +386,11 @@ class ShardedDocumentStore(DocumentStore):
             if isinstance(document, dict) and "_id" in document:
                 state[_index_key(document["_id"])] = document
             else:
-                self.load_warnings.append(
-                    f"{files.base_path(shard).name}: skipped document"
-                    f" without _id"
-                )
+                with self._slock:
+                    self.load_warnings.append(
+                        f"{files.base_path(shard).name}: skipped"
+                        " document without _id"
+                    )
         log_path = files.log_path(shard)
         if log_path.exists():
             files.pending += self._replay_log(files, log_path, state)
@@ -288,9 +414,11 @@ class ShardedDocumentStore(DocumentStore):
             elif op == "clear":
                 state.clear()
             else:
-                self.load_warnings.append(
-                    f"{log_path.name}: skipped malformed log record"
-                )
+                with self._slock:
+                    self.load_warnings.append(
+                        f"{log_path.name}: skipped malformed log"
+                        " record"
+                    )
         return ops
 
     def _read_jsonl(self, path: Path) -> List[Any]:
@@ -304,10 +432,11 @@ class ShardedDocumentStore(DocumentStore):
                 try:
                     rows.append(json.loads(line))
                 except json.JSONDecodeError as exc:
-                    self.load_warnings.append(
-                        f"{path.name}:{lineno}: skipped corrupt line"
-                        f" ({exc.msg})"
-                    )
+                    with self._slock:
+                        self.load_warnings.append(
+                            f"{path.name}:{lineno}: skipped corrupt"
+                            f" line ({exc.msg})"
+                        )
         return rows
 
     # -- compaction ------------------------------------------------------
@@ -325,6 +454,8 @@ class ShardedDocumentStore(DocumentStore):
             collection = self.existing(collection_name)
             with collection._lock:
                 with self._slock:
+                    if self._closed:
+                        raise StoreError("sharded store is closed")
                     files = self._files[collection_name]
                     partitions: Dict[int, List[str]] = {
                         shard: [] for shard in range(self.n_shards)
@@ -334,8 +465,13 @@ class ShardedDocumentStore(DocumentStore):
                         partitions[shard].append(
                             json.dumps(document, sort_keys=True) + "\n"
                         )
+                    # Crash-safety requires this ordering to happen
+                    # with writers excluded: bases land (fsynced)
+                    # strictly before their logs are removed, against
+                    # a snapshot no mutation can move. Compaction is
+                    # the rare path; writers pay only during it.
                     for shard, lines in partitions.items():
-                        _atomic_write(
+                        _atomic_write(  # adalint: disable=ADA018
                             files.base_path(shard), "".join(lines)
                         )
                     files.remove_logs()
@@ -370,26 +506,40 @@ class ShardedDocumentStore(DocumentStore):
     ) -> None:
         """Compact every ``interval_s`` seconds (when at least
         ``min_pending`` log records accumulated) on a daemon thread."""
-        if self._compactor is not None and self._compactor.is_alive():
-            return
-        self._compactor_stop.clear()
+        with self._slock:
+            if self._closed:
+                raise StoreError("sharded store is closed")
+            if (
+                self._compactor is not None
+                and self._compactor.is_alive()
+            ):
+                return
+            self._compactor_stop.clear()
 
-        def run() -> None:
-            while not self._compactor_stop.wait(interval_s):
-                if self.pending_ops() >= min_pending:
-                    self.compact()
+            def run() -> None:
+                while not self._compactor_stop.wait(interval_s):
+                    if self.pending_ops() >= min_pending:
+                        self.compact()
 
-        self._compactor = threading.Thread(
-            target=run, name="kdb-compactor", daemon=True
-        )
-        self._compactor.start()
+            self._compactor = threading.Thread(
+                target=run, name="kdb-compactor", daemon=True
+            )
+            self._compactor.start()
 
-    def stop_background_compaction(self) -> None:
-        """Stop the background compaction thread (if running)."""
-        self._compactor_stop.set()
-        if self._compactor is not None:
-            self._compactor.join(timeout=5.0)
-            self._compactor = None
+    def stop_background_compaction(
+        self, timeout_s: float = 5.0
+    ) -> None:
+        """Stop and join the background compaction thread (if running).
+
+        The stop event wakes the compactor out of its interval wait;
+        the join is bounded by ``timeout_s`` and happens outside the
+        shard lock — an in-flight compaction needs that lock to finish.
+        """
+        with self._slock:
+            self._compactor_stop.set()
+            thread, self._compactor = self._compactor, None
+        if thread is not None:
+            thread.join(timeout=timeout_s)
 
     # -- lifecycle -------------------------------------------------------
     def drop_collection(self, name: str) -> None:
@@ -397,24 +547,35 @@ class ShardedDocumentStore(DocumentStore):
         super().drop_collection(name)
         with self._slock:
             files = self._files.pop(name, None)
-            if files is not None:
-                files.remove_all()
-            self._write_manifest()
+        if files is not None:
+            files.remove_all()
+        self._write_manifest()
 
     def close(self) -> None:
         """Stop background compaction, fsync and release log handles.
 
-        Idempotent, and deliberately does *not* compact: the logs are
-        already durable, and read-only tooling (``repro kdb stats``)
-        must be able to open and close a store without rewriting it.
+        Joins the compactor thread first (bounded), marks the store
+        closed under the shard lock — after which every journal append
+        and compaction attempt raises — then fsyncs and closes the log
+        handles outside it, and releases the pid lockfile. Idempotent,
+        and deliberately does *not* compact: the logs are already
+        durable, and read-only tooling (``repro kdb stats``) must be
+        able to open and close a store without rewriting it.
         """
         if self._closed:
             return
         self.stop_background_compaction()
         with self._slock:
-            for files in self._files.values():
-                files.close_handles(sync=True)
+            if self._closed:
+                return
             self._closed = True
+            file_list = list(self._files.values())
+            self._release_lockfile()
+        # Safe outside the lock: _closed is set, so no journal append
+        # can race these handles, and fsync under a hot lock is the
+        # ADA018 anti-pattern.
+        for files in file_list:
+            files.close_handles(sync=True)
 
     def __enter__(self) -> "ShardedDocumentStore":
         return self

@@ -1,8 +1,10 @@
 """The adalint command line: ``python -m repro.lint [paths...]``.
 
 Exit status is 0 when the tree is clean and 1 when there are findings
-(any severity), so the command can gate commits and CI. ``--json``
-emits the ``adalint/findings/v1`` document instead of human lines.
+(any severity), so the command can gate commits and CI. ``--format
+json`` emits the ``adalint/findings/v1`` document and ``--format
+sarif`` a SARIF 2.1.0 log (for code-scanning upload); ``--json`` stays
+as an alias of ``--format json``.
 """
 
 from __future__ import annotations
@@ -15,7 +17,9 @@ from typing import List, Optional
 
 from repro.lint.base import all_rules
 from repro.lint.config import load_config
+from repro.lint.findings import sarif_document
 from repro.lint.runner import (
+    RULESET_VERSION,
     default_src_paths,
     find_project_root,
     lint_paths,
@@ -36,9 +40,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: the src/ tree)",
     )
     parser.add_argument(
+        "--format",
+        choices=("human", "json", "sarif"),
+        default="human",
+        dest="output_format",
+        help="output format: human lines (default), the"
+        " adalint/findings/v1 JSON document, or a SARIF 2.1.0 log",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
-        help="emit the adalint/findings/v1 JSON document",
+        help="alias for --format json",
     )
     parser.add_argument(
         "--select",
@@ -157,8 +169,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         backend=args.backend,
         cache=cache,
     )
-    if args.json:
+    output_format = "json" if args.json else args.output_format
+    if output_format == "json":
         print(json.dumps(report.to_document(), indent=2, sort_keys=True))
+    elif output_format == "sarif":
+        document = sarif_document(
+            report.findings,
+            rules=all_rules(),
+            tool_version=RULESET_VERSION,
+        )
+        print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print(report.format_human())
     if args.stats:

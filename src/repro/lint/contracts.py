@@ -243,3 +243,54 @@ def manifest_schema() -> ManifestSchema:
         and frozenset(subs["resilience"])
         or _MANIFEST_FALLBACK.resilience_fields,
     )
+
+
+#: Constructors whose result carries a release obligation, mapped to
+#: the method set that discharges it. ADA017 matches the constructor by
+#: dotted-chain *tail* (``shared_memory.SharedMemory`` and
+#: ``SharedMemory`` both hit the ``SharedMemory`` entry; classmethod
+#: factories are listed as ``Class.method``). The set means "calling
+#: any one of these releases the resource": a ``SharedMemory`` mapping
+#: is only released by ``close()`` — ``unlink()`` destroys the segment
+#: but leaks the caller's own mapping, which is exactly the bug class
+#: the rule exists for.
+_RESOURCE_FALLBACK = {
+    "SharedMemory": frozenset({"close"}),
+    "SharedMatrix.create": frozenset({"close", "unlink"}),
+    "SharedMatrix.attach": frozenset({"close"}),
+    "ThreadPoolExecutor": frozenset({"shutdown"}),
+    "ProcessPoolExecutor": frozenset({"shutdown"}),
+    "ShardedDocumentStore": frozenset({"close"}),
+    "TemporaryDirectory": frozenset({"cleanup"}),
+}
+
+
+@lru_cache(maxsize=1)
+def resource_protocols() -> "dict[str, FrozenSet[str]]":
+    """Release protocols for ADA017, keyed by constructor tail.
+
+    The baked table is the contract; the source scan only *extends* it:
+    any class in :mod:`repro.data.blocks` or :mod:`repro.cloud.executor`
+    defining both ``__enter__`` and a ``close``/``shutdown`` method is
+    added with that method as its protocol, so new pooled/mapped
+    resources are covered without editing the linter.
+    """
+    protocols = dict(_RESOURCE_FALLBACK)
+    for module in ("repro.data.blocks", "repro.cloud.executor"):
+        tree = _module_tree(module)
+        if tree is None:
+            continue
+        for node in getattr(tree, "body", []):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+            if "__enter__" not in methods:
+                continue
+            release = methods & {"close", "shutdown", "cleanup"}
+            if release and node.name not in protocols:
+                protocols[node.name] = frozenset(release)
+    return protocols

@@ -1,16 +1,19 @@
 """The :class:`Finding` model and its serialisations.
 
 A finding is one rule violation at one source location. Findings render
-in two stable formats: the classic compiler-style human line
-(``path:line:col: RULE [severity] message``) and a JSON document
+in three stable formats: the classic compiler-style human line
+(``path:line:col: RULE [severity] message``), a JSON document
 (schema ``adalint/findings/v1``) whose key set is pinned by
-``tests/test_lint.py`` so downstream tooling can rely on it.
+``tests/test_lint.py`` so downstream tooling can rely on it, and a
+SARIF 2.1.0 log (:func:`sarif_document`) for code-scanning UIs — a
+fixed mapping from the v1 fields, so the v1 document stays the source
+of truth.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence
 
 #: Recognised severities, most severe first.
 SEVERITIES = ("error", "warning")
@@ -67,4 +70,74 @@ def report_document(
             finding.to_dict()
             for finding in sorted(findings, key=Finding.sort_key)
         ],
+    }
+
+
+#: SARIF spec pin; ``version`` and ``$schema`` in every emitted log.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/"
+    "schemas/sarif-schema-2.1.0.json"
+)
+
+
+def sarif_document(
+    findings: List[Finding],
+    rules: Optional[Sequence[Any]] = None,
+    tool_version: str = "",
+) -> Dict[str, Any]:
+    """The SARIF 2.1.0 log for one lint run.
+
+    Mapping from ``adalint/findings/v1``: one run, one ``result`` per
+    finding (``rule`` → ``ruleId``, ``severity`` → ``level``,
+    ``path``/``line``/``col`` → a single physical location). ``rules``
+    takes the registered rule classes so the driver carries the full
+    catalogue (id, name, description, default level) — viewers use it
+    to title and group results.
+    """
+    driver: Dict[str, Any] = {
+        "name": "adalint",
+        "rules": [
+            {
+                "id": rule.rule_id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {"level": rule.severity},
+            }
+            for rule in (rules or [])
+        ],
+    }
+    if tool_version:
+        driver["version"] = tool_version
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": (
+                finding.severity
+                if finding.severity in SEVERITIES
+                else "warning"
+            ),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": max(1, finding.col),
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in sorted(findings, key=Finding.sort_key)
+    ]
+    return {
+        # SARIF spells its schema pointer "$schema"; it is not a
+        # docstore query operator.
+        "$schema": _SARIF_SCHEMA_URI,  # adalint: disable=ADA007
+        "version": SARIF_VERSION,
+        "runs": [{"tool": {"driver": driver}, "results": results}],
     }

@@ -1,0 +1,469 @@
+"""Concurrency & resource-lifecycle rules: ADA015–ADA018.
+
+These rules consume the lock model added to the whole-program graph in
+``adalint-graph/2``: per-function lock acquisition sets, held-lock
+annotations on call sites / attribute writes / blocking operations, and
+the project-wide lock-order graph derived from them
+(:meth:`~repro.lint.graph.ProjectGraph.lock_order_edges`).
+
+The analysis is an under-approximation throughout, in the same spirit
+as the dataflow rules: a lock reference or call the linker cannot bind
+contributes nothing, so every finding is backed by a concrete resolved
+evidence chain. The flip side — mutations behind dynamic dispatch or
+untracked aliases are invisible — is documented in ``docs/API.md``
+under "Concurrency discipline".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.base import Rule, RuleContext, dotted_name, register
+from repro.lint.contracts import resource_protocols
+from repro.lint.graph import ProjectGraph
+from repro.lint.graph.summary import FunctionInfo
+from repro.lint.rules_dataflow import _graph_and_module, _Line
+
+#: Methods that run before (or after) the object is shared between
+#: threads, where unguarded writes are the normal construction idiom.
+_EXEMPT_METHODS = frozenset(
+    {
+        "__init__", "__new__", "__post_init__", "__del__",
+        "__getstate__", "__setstate__", "__reduce__", "__copy__",
+        "__deepcopy__",
+    }
+)
+
+
+class _ConcurrencyRule(Rule):
+    """Shared setup: bind the graph, then analyse summaries directly.
+
+    Unlike AST rules these do not visit the tree — everything they need
+    (acquisitions, writes, blocking ops, call sites) is already in the
+    module summary, which keeps them cheap and cache-friendly.
+    """
+
+    def run(self, context: RuleContext):
+        self.findings = []
+        self.context = context
+        self.graph, self.module = _graph_and_module(context)
+        summary = self.graph.modules.get(self.module)
+        if summary is not None:
+            self.check_module(summary)
+        return self.findings
+
+    def check_module(self, summary) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- helpers shared by the summary-driven rules --------------------
+    def _functions(self, summary):
+        for qualname, info in summary.functions.items():
+            yield f"{summary.module}:{qualname}", info
+
+    def _tokens(
+        self, info: FunctionInfo, refs
+    ) -> FrozenSet[str]:
+        return self.graph.held_tokens(
+            self.module, info.class_name, refs
+        )
+
+    def _held_at(
+        self, qualid: str, info: FunctionInfo, refs
+    ) -> FrozenSet[str]:
+        """Locks held at a site: lexical holds plus entry context."""
+        return self._tokens(info, refs) | self.graph.entry_held(qualid)
+
+    @staticmethod
+    def _short(token: str) -> str:
+        return token.rpartition(":")[2]
+
+
+# ----------------------------------------------------------------------
+# ADA015 — the project lock-order graph must be acyclic
+# ----------------------------------------------------------------------
+@register
+class LockOrderCycles(_ConcurrencyRule):
+    """ADA015: no cycles in the project-wide lock-order graph.
+
+    Every lexically nested acquisition, and every call made with a lock
+    held into a function that transitively acquires another lock,
+    contributes an order edge. A cycle means two threads can acquire
+    the same locks in opposite orders and deadlock. The canonical edge
+    this repo pins is ``Collection._lock -> ShardedDocumentStore.
+    _slock`` (collection before store, per ``shards.py``); anything
+    inducing the reverse edge is a deadlock waiting for load.
+
+    Each cycle is reported once, in the file holding its
+    lexicographically first evidence site, with the full call chain.
+    """
+
+    rule_id = "ADA015"
+    name = "lock-order-cycle"
+    severity = "error"
+    description = (
+        "lock acquisition order must be globally consistent: cycles in"
+        " the inferred lock-order graph are potential deadlocks"
+    )
+    default_paths = ("src",)
+
+    def check_module(self, summary) -> None:
+        for cycle in self.graph.lock_cycles():
+            anchor = min(
+                cycle,
+                key=lambda e: (e.module, e.qualname, e.line),
+            )
+            if anchor.module != self.module:
+                continue
+            tokens = [edge.source for edge in cycle]
+            tokens.append(cycle[0].source)
+            chain = " -> ".join(self._short(t) for t in tokens)
+            evidence = "; ".join(
+                edge.describe() for edge in cycle
+            )
+            self.report(
+                _Line(anchor.line),
+                f"lock-order cycle ({chain}): {evidence}"
+                " — two threads taking these paths concurrently can"
+                " deadlock",
+            )
+
+
+# ----------------------------------------------------------------------
+# ADA016 — guarded attributes must be written under their lock
+# ----------------------------------------------------------------------
+@register
+class GuardedStateWrites(_ConcurrencyRule):
+    """ADA016: attributes a class guards with its lock must be written
+    under that lock on every path.
+
+    Guard inference: an attribute written at least once while holding a
+    lock the class owns is *guarded* — every other write needs the same
+    lock (lexically, or proven held at entry for private helpers). For
+    classes that spawn threads (``threading.Thread`` constructed inside
+    a method) the rule is strict: the object is shared by construction,
+    so **all** attribute writes outside ``__init__``-like methods need
+    an owned lock.
+    """
+
+    rule_id = "ADA016"
+    name = "guarded-state-write"
+    severity = "error"
+    description = (
+        "attributes guarded by a class-owned lock (or any attribute of"
+        " a thread-spawning class) must only be mutated while holding"
+        " the lock"
+    )
+    default_paths = ("src",)
+
+    def check_module(self, summary) -> None:
+        for class_name, class_info in summary.classes.items():
+            if not class_info.lock_attrs:
+                continue
+            owned = self.graph.held_tokens(
+                self.module,
+                class_name,
+                (f"self:{attr}" for attr in class_info.lock_attrs),
+            )
+            if not owned:
+                continue
+            methods = [
+                (qualid, info)
+                for qualid, info in self._functions(summary)
+                if info.class_name == class_name
+            ]
+            guarded: Set[str] = set()
+            for qualid, info in methods:
+                for write in info.attr_writes:
+                    if self._tokens(info, write.held) & owned:
+                        guarded.add(write.attr)
+            strict = class_info.spawns_threads
+            lock_names = set(class_info.lock_attrs)
+            for qualid, info in methods:
+                method = info.qualname.rsplit(".", 1)[-1]
+                if method in _EXEMPT_METHODS:
+                    continue
+                for write in info.attr_writes:
+                    if write.attr in lock_names:
+                        continue
+                    if not strict and write.attr not in guarded:
+                        continue
+                    held = self._held_at(qualid, info, write.held)
+                    if held & owned:
+                        continue
+                    lock = self._short(sorted(owned)[0])
+                    why = (
+                        f"guarded attribute (written under {lock}"
+                        " elsewhere)"
+                        if write.attr in guarded
+                        else "attribute of a thread-spawning class"
+                    )
+                    self.report(
+                        _Line(write.line),
+                        f"{info.qualname} writes self.{write.attr}"
+                        f" without holding {lock} — {why}; wrap the"
+                        " write in the lock or justify with a pragma",
+                    )
+
+
+# ----------------------------------------------------------------------
+# ADA017 — resources with a release protocol released on all paths
+# ----------------------------------------------------------------------
+@register
+class MustReleaseResources(Rule):
+    """ADA017: resources carrying a release obligation must be released
+    on all paths.
+
+    The protocol table (:func:`repro.lint.contracts.
+    resource_protocols`) maps constructors to the methods that
+    discharge the obligation — e.g. a ``shared_memory.SharedMemory``
+    mapping is released only by ``close()``; ``unlink()`` destroys the
+    segment but leaks the caller's own mapping. Acceptable custody:
+    a ``with`` block, a release call in a ``finally`` block, or handing
+    the object to a tracked owner (returned/yielded, stored on an
+    object, passed to a call, aliased). A release reachable only on the
+    happy path is still a leak on the exception path and is flagged.
+    """
+
+    rule_id = "ADA017"
+    name = "must-release-resource"
+    severity = "error"
+    description = (
+        "objects with a close/shutdown/unlink protocol must be"
+        " released on every path (with / try-finally) or handed to a"
+        " tracked owner"
+    )
+    default_paths = ("src",)
+
+    def run(self, context: RuleContext):
+        self.protocols = resource_protocols()
+        return super().run(context)
+
+    # -- constructor matching ------------------------------------------
+    def _protocol_for(self, call: ast.AST) -> Optional[FrozenSet[str]]:
+        if not isinstance(call, ast.Call):
+            return None
+        chain = dotted_name(call.func)
+        if not chain:
+            return None
+        parts = chain.rsplit(".", 2)
+        tail = parts[-1]
+        pair = ".".join(parts[-2:]) if len(parts) > 1 else tail
+        if pair in self.protocols:
+            return self.protocols[pair]
+        if tail in self.protocols:
+            return self.protocols[tail]
+        return None
+
+    # -- per-function lexical analysis ---------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _check_function(self, func: ast.AST) -> None:
+        acquisitions: Dict[str, Tuple[ast.AST, FrozenSet[str]]] = {}
+        released_finally: Set[str] = set()
+        released_happy: Set[str] = set()
+        escaped: Set[str] = set()
+        with_managed: Set[str] = set()
+
+        def scan(node: ast.AST, in_finally: bool) -> None:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return  # nested functions are checked separately
+            if isinstance(node, ast.Try):
+                for part in node.body + node.orelse:
+                    scan(part, in_finally)
+                for handler in node.handlers:
+                    scan(handler, in_finally)
+                for part in node.finalbody:
+                    scan(part, True)
+                return
+            self._classify(
+                node,
+                in_finally,
+                acquisitions,
+                released_finally,
+                released_happy,
+                escaped,
+                with_managed,
+            )
+            for child in ast.iter_child_nodes(node):
+                scan(child, in_finally)
+
+        for statement in getattr(func, "body", []):
+            scan(statement, False)
+
+        for name, (site, releases) in acquisitions.items():
+            if name in escaped or name in with_managed:
+                continue
+            if name in released_finally:
+                continue
+            if name in released_happy:
+                self.report(
+                    site,
+                    f"{name} ({'/'.join(sorted(releases))}) is"
+                    " released only on the happy path — an exception"
+                    " before the release leaks it; use with or"
+                    " try/finally",
+                )
+            else:
+                self.report(
+                    site,
+                    f"{name} is acquired but never released"
+                    f" ({'/'.join(sorted(releases))}); use with,"
+                    " try/finally, or hand it to a tracked owner",
+                )
+
+    def _classify(
+        self,
+        node: ast.AST,
+        in_finally: bool,
+        acquisitions,
+        released_finally,
+        released_happy,
+        escaped,
+        with_managed,
+    ) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if self._protocol_for(item.context_expr) is not None:
+                    if isinstance(item.optional_vars, ast.Name):
+                        with_managed.add(item.optional_vars.id)
+                if isinstance(item.context_expr, ast.Name):
+                    with_managed.add(item.context_expr.id)
+            return
+        if isinstance(node, ast.Assign):
+            releases = self._protocol_for(node.value)
+            if releases is not None and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    acquisitions[target.id] = (node, releases)
+                    return
+                # Stored straight into an attribute/subscript: the
+                # owner tracks it.
+                return
+            if isinstance(node.value, ast.Name):
+                escaped.add(node.value.id)  # alias: custody transferred
+            return
+        if isinstance(node, ast.Expr):
+            value = node.value
+            releases = self._protocol_for(value)
+            if releases is not None:
+                self.report(
+                    node,
+                    "resource constructed and discarded without a"
+                    f" release ({'/'.join(sorted(releases))}); bind it"
+                    " or use with",
+                )
+                return
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+            ):
+                receiver = value.func.value
+                inner = self._protocol_for(receiver)
+                if inner is not None:
+                    # Ctor(...).method(...): released only when the
+                    # method discharges the protocol.
+                    if value.func.attr not in inner:
+                        self.report(
+                            node,
+                            f"temporary resource released via"
+                            f" .{value.func.attr}() which does not"
+                            " discharge its protocol"
+                            f" ({'/'.join(sorted(inner))}); the"
+                            " mapping itself leaks — bind it and"
+                            " release in finally",
+                        )
+                    return
+        # Release calls and escapes.
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute) and isinstance(
+                node.func.value, ast.Name
+            ):
+                name = node.func.value.id
+                held = acquisitions.get(name)
+                if held is not None and node.func.attr in held[1]:
+                    (released_finally if in_finally else (
+                        released_happy
+                    )).add(name)
+                    return
+            for argument in list(node.args) + [
+                keyword.value for keyword in node.keywords
+            ]:
+                for sub in ast.walk(argument):
+                    if isinstance(sub, ast.Name):
+                        escaped.add(sub.id)
+            return
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = getattr(node, "value", None)
+            if value is not None:
+                for sub in ast.walk(value):
+                    if isinstance(sub, ast.Name):
+                        escaped.add(sub.id)
+
+
+# ----------------------------------------------------------------------
+# ADA018 — no blocking operations while holding a lock
+# ----------------------------------------------------------------------
+@register
+class NoBlockingUnderLock(_ConcurrencyRule):
+    """ADA018: no blocking operation while a lock is held.
+
+    Blocking operations — ``time.sleep``, ``os.fsync``, executor
+    ``submit``/``result``/``shutdown``, ``.wait()``/``.join()`` —
+    executed under a lock stretch the critical section by an unbounded
+    amount and invite convoy effects or deadlock (a joined thread may
+    need the very lock the joiner holds). The check is transitive:
+    calling, with a lock held, a function that blocks somewhere below
+    is flagged at the call site with the originating evidence.
+    """
+
+    rule_id = "ADA018"
+    name = "no-blocking-under-lock"
+    severity = "error"
+    description = (
+        "time.sleep / fsync / executor waits / thread joins must not"
+        " run while holding a lock"
+    )
+    default_paths = ("src",)
+
+    def check_module(self, summary) -> None:
+        for qualid, info in self._functions(summary):
+            for op in info.blocking:
+                held = self._held_at(qualid, info, op.held)
+                if not held:
+                    continue
+                locks = ", ".join(
+                    sorted(self._short(t) for t in held)
+                )
+                self.report(
+                    _Line(op.line),
+                    f"{info.qualname} calls {op.op} while holding"
+                    f" {locks}; move the blocking call outside the"
+                    " critical section",
+                )
+            for callee, site in self.graph.callees(qualid):
+                held = self._held_at(qualid, info, site.held_locks)
+                if not held:
+                    continue
+                if held <= self.graph.entry_held(callee):
+                    continue  # the callee's own analysis reports it
+                evidence = self.graph.transitive_blocking(callee)
+                if not evidence:
+                    continue
+                first = evidence[0]
+                locks = ", ".join(
+                    sorted(self._short(t) for t in held)
+                )
+                self.report(
+                    _Line(site.line),
+                    f"{info.qualname} holds {locks} while calling"
+                    f" {callee.rpartition(':')[2]}, which blocks"
+                    f" ({first.op} at {first.qualname}:{first.line});"
+                    " release the lock first",
+                )

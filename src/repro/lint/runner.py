@@ -18,7 +18,9 @@ Incremental runs
 :func:`lint_paths` can reuse a :class:`~repro.lint.cache.LintCache`:
 module summaries are keyed on content hashes, per-file findings on
 content hash + ruleset version + the file's import-closure fingerprint
-+ config fingerprint. An unchanged tree re-lints with zero parses;
++ the project-wide concurrency fingerprint (the lock model the
+ADA015–ADA018 rules consume is global, not closure-local) + config
+fingerprint. An unchanged tree re-lints with zero parses;
 editing one file re-lints it and its import-graph dependents; bumping
 :data:`RULESET_VERSION` or editing ``[tool.adalint]`` invalidates
 everything. With ``jobs > 1`` files are linted in parallel through the
@@ -71,7 +73,7 @@ PARSE_ERROR_ID = "ADA000"
 
 #: Version of the rule set; part of every findings-cache key, so a
 #: rule change (signalled by bumping this) invalidates cached results.
-RULESET_VERSION = "adalint/3"
+RULESET_VERSION = "adalint/4"
 
 #: Id under which pragma/config hygiene findings are reported.
 _SUPPRESSION_RULE_ID = "ADA012"
@@ -210,7 +212,7 @@ def _pragma_findings(
                     message=(
                         f"unknown rule id {entry.rule_id!r} in"
                         " suppression pragma (known ids:"
-                        " ADA001..ADA014, ADA000, all)"
+                        " ADA001..ADA018, ADA000, all)"
                     ),
                     severity="warning",
                 )
@@ -459,6 +461,66 @@ def _resolve_cache(
     return LintCache(Path(cache))
 
 
+def _concurrency_fingerprint(
+    summaries: Sequence[ModuleSummary],
+) -> str:
+    """Fingerprint of the project's lock model.
+
+    The concurrency rules are *global*: a lock-order cycle can be
+    reported in a module that never imports its counterpart, so the
+    import-closure fingerprint that serves the dataflow rules is not
+    enough to invalidate their cached findings. This key digests every
+    module's lock-relevant structure — acquisition refs and nesting,
+    call refs with held locks, blocking ops, attribute writes, class
+    lock traits — *excluding line numbers*, so edits that merely shift
+    lines elsewhere keep the cache warm (the evidence lines a stale
+    finding cites may then lag by a line until the citing file itself
+    changes; the finding's own location cannot, since the reporting
+    file's content hash is part of the key).
+    """
+    parts: List[str] = []
+    for summary in sorted(summaries, key=lambda s: s.module):
+        for qualname in sorted(summary.functions):
+            info = summary.functions[qualname]
+            shape = (
+                summary.module,
+                qualname,
+                info.class_name or "",
+                info.returns,
+                sorted(
+                    f"{a.ref}<{','.join(a.under)}"
+                    for a in info.acquires
+                ),
+                sorted(
+                    f"{site.ref!r}^{','.join(site.held_locks)}"
+                    for site in info.calls
+                ),
+                sorted(
+                    f"{op.op}^{','.join(op.held)}"
+                    for op in info.blocking
+                ),
+                sorted(
+                    f"{w.attr}^{','.join(w.held)}"
+                    for w in info.attr_writes
+                ),
+            )
+            parts.append(repr(shape))
+        for class_name in sorted(summary.classes):
+            class_info = summary.classes[class_name]
+            parts.append(
+                repr(
+                    (
+                        summary.module,
+                        class_name,
+                        sorted(class_info.lock_attrs),
+                        class_info.spawns_threads,
+                        list(class_info.bases),
+                    )
+                )
+            )
+    return key_of(*parts)
+
+
 def _config_fingerprint(config: LintConfig) -> str:
     return key_of(
         repr(sorted(config.select)),
@@ -627,6 +689,7 @@ def lint_paths(
 
     # -- per-file findings (cached) ------------------------------------
     config_fp = _config_fingerprint(config)
+    concurrency_fp = _concurrency_fingerprint(summaries)
     results: Dict[str, List[Finding]] = {}
     pending: List[Tuple[str, str, str, Tuple[str, ...], bool]] = []
     finding_keys: Dict[str, str] = {}
@@ -649,6 +712,7 @@ def lint_paths(
             str(file_path),
             hashes[relpath],
             closure_fingerprint(module),
+            concurrency_fp,
             config_fp,
             ",".join(applicable),
             "unused" if emit_unused else "",

@@ -63,9 +63,9 @@ def test_repo_is_clean():
 # ----------------------------------------------------------------------
 # Rule registry
 # ----------------------------------------------------------------------
-def test_registry_ships_the_fourteen_rules():
+def test_registry_ships_the_eighteen_rules():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == [f"ADA{n:03d}" for n in range(1, 15)]
+    assert ids == [f"ADA{n:03d}" for n in range(1, 19)]
     assert all(r.severity in ("error", "warning") for r in all_rules())
 
 

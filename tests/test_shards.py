@@ -4,6 +4,9 @@ crash-safety, and Hypothesis identity properties (save/load/compact
 round trips; planner-vs-scan result equality on randomized queries)."""
 
 import json
+import os
+import subprocess
+import sys
 import threading
 
 import pytest
@@ -185,6 +188,135 @@ def test_compact_single_collection(sharded):
     sharded.compact("a")
     assert sharded.pending_ops("a") == 0
     assert sharded.pending_ops("b") > 0
+
+
+# ----------------------------------------------------------------------
+# single-writer pid lockfile
+# ----------------------------------------------------------------------
+def test_second_opener_gets_a_clear_store_error(tmp_path):
+    with ShardedDocumentStore(tmp_path / "db") as store:
+        store["c"].insert_one({"x": 1})
+        with pytest.raises(StoreError, match="already open"):
+            ShardedDocumentStore(tmp_path / "db")
+    # released on close: reopening afterwards is fine
+    assert len(ShardedDocumentStore(tmp_path / "db")["c"]) == 1
+
+
+def test_lockfile_written_and_removed(tmp_path):
+    lockfile = tmp_path / "db" / "_shards.lock"
+    store = ShardedDocumentStore(tmp_path / "db")
+    assert lockfile.exists()
+    assert int(lockfile.read_text()) == os.getpid()
+    store.close()
+    assert not lockfile.exists()
+
+
+def test_stale_lock_from_dead_process_is_broken(tmp_path):
+    directory = tmp_path / "db"
+    directory.mkdir()
+    # A pid that cannot be alive: spawn-and-reap one so the id is
+    # known-dead rather than guessed.
+    probe = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    dead_pid = int(probe.stdout)
+    (directory / "_shards.lock").write_text(str(dead_pid))
+    store = ShardedDocumentStore(directory)  # stale lock broken
+    store["c"].insert_one({"x": 1})
+    store.close()
+
+
+def test_garbage_lockfile_counts_as_stale(tmp_path):
+    directory = tmp_path / "db"
+    directory.mkdir()
+    (directory / "_shards.lock").write_text("not-a-pid")
+    store = ShardedDocumentStore(directory)
+    store.close()
+
+
+def test_live_foreign_holder_is_reported_by_pid(tmp_path):
+    directory = tmp_path / "db"
+    directory.mkdir()
+    holder = subprocess.Popen([sys.executable, "-c", "input()"],
+                              stdin=subprocess.PIPE)
+    try:
+        (directory / "_shards.lock").write_text(str(holder.pid))
+        with pytest.raises(StoreError, match=str(holder.pid)):
+            ShardedDocumentStore(directory)
+    finally:
+        holder.communicate(input=b"\n", timeout=10)
+
+
+def test_failed_open_releases_the_lockfile(tmp_path):
+    store = ShardedDocumentStore(tmp_path / "db")
+    store.close()
+    manifest_path = tmp_path / "db" / "_shards.json"
+    layout = json.loads(manifest_path.read_text())
+    layout["version"] = 999
+    manifest_path.write_text(json.dumps(layout))
+    with pytest.raises(StoreError):
+        ShardedDocumentStore(tmp_path / "db")
+    # the failed opener must not leave its lockfile behind
+    assert not (tmp_path / "db" / "_shards.lock").exists()
+    layout["version"] = 1
+    manifest_path.write_text(json.dumps(layout))
+    ShardedDocumentStore(tmp_path / "db").close()
+
+
+# ----------------------------------------------------------------------
+# close() vs the background compactor
+# ----------------------------------------------------------------------
+def test_close_stops_and_joins_the_compactor(tmp_path):
+    store = ShardedDocumentStore(tmp_path / "db", n_shards=2)
+    store["c"].insert_many([{} for _ in range(5)])
+    store.start_background_compaction(interval_s=0.01, min_pending=1)
+    compactor = store._compactor
+    assert compactor is not None and compactor.is_alive()
+    store.close()
+    assert store._compactor is None
+    compactor.join(timeout=5.0)
+    assert not compactor.is_alive()
+
+
+def test_compaction_on_closed_store_raises(tmp_path):
+    store = ShardedDocumentStore(tmp_path / "db", n_shards=2)
+    store["c"].insert_one({})
+    store.close()
+    with pytest.raises(StoreError):
+        store.compact()
+    with pytest.raises(StoreError):
+        store.start_background_compaction(interval_s=0.01)
+
+
+def test_close_then_reopen_never_races_compaction(tmp_path):
+    # Regression: close() used to leave the daemon compactor running;
+    # a reopen could then replay shards mid-rewrite. Hammer the
+    # close/reopen cycle with an aggressive compactor and check every
+    # reopen sees exactly the documents written so far.
+    directory = tmp_path / "db"
+    expected = {}
+    store = ShardedDocumentStore(directory, n_shards=2)
+    for round_no in range(5):
+        docs = [{"_id": f"{round_no}-{i}", "r": round_no}
+                for i in range(20)]
+        store["c"].insert_many(docs)
+        for doc in docs:
+            expected[doc["_id"]] = doc["r"]
+        store.start_background_compaction(
+            interval_s=0.001, min_pending=1
+        )
+        # give the compactor a chance to be mid-flight at close
+        store.pending_ops()
+        store.close()
+        store = ShardedDocumentStore(directory, n_shards=2)
+        found = {
+            doc["_id"]: doc["r"] for doc in store["c"].find()
+        }
+        assert found == expected
+    store.close()
 
 
 # ----------------------------------------------------------------------
