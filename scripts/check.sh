@@ -6,13 +6,34 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> purity certificates (byte-stable reproduction)"
+# Re-emit the adalint/certificates/v1 artifact and compare against the
+# committed copy: any semantic drift in src/ must come with a
+# re-emitted artifact in the same change.
+PYTHONPATH=src python -m repro.lint --emit-certs \
+    --certs-path certificates.regen.json >/dev/null
+if ! cmp -s contracts/certificates.json certificates.regen.json; then
+    echo "error: contracts/certificates.json is stale —" \
+         "re-run: PYTHONPATH=src python -m repro.lint --emit-certs" >&2
+    rm -f certificates.regen.json
+    exit 1
+fi
+rm -f certificates.regen.json
+
 echo "==> adalint (src/ benchmarks/ examples/)"
 # Emit the SARIF log first (for the CI artifact upload) even when
 # there are findings, then the human report with parse/cache stats;
-# the gate fails afterwards if either run reported anything.
+# the gate fails afterwards if either run reported anything. The
+# baseline diff (adalint.diff.sarif) carries only findings new since
+# the committed baseline, when one exists.
 lint_status=0
 PYTHONPATH=src python -m repro.lint --format sarif >adalint.sarif \
     || lint_status=$?
+if [ -f contracts/adalint.baseline.sarif ]; then
+    PYTHONPATH=src python -m repro.lint --format sarif \
+        --baseline contracts/adalint.baseline.sarif \
+        >adalint.diff.sarif || true
+fi
 PYTHONPATH=src python -m repro.lint --stats || lint_status=$?
 echo "==> lint stats: $(python - <<'EOF'
 import json

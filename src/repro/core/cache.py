@@ -35,6 +35,17 @@ from repro.kdb.documentstore import Collection, DocumentStore
 #: Default collection name for cache entries inside a document store.
 CACHE_COLLECTION = "analysis_cache"
 
+#: Fields of one cache-entry document (the ADA021 consumer contract;
+#: ``cert`` is present only on certificate-stamped entries).
+CACHE_ENTRY_FIELDS = (
+    "key",
+    "dataset",
+    "algorithm",
+    "params",
+    "payload",
+    "cert",
+)
+
 
 # ----------------------------------------------------------------------
 # Fingerprints
@@ -107,6 +118,7 @@ class AnalysisCache:
         self,
         collection: Optional[Collection] = None,
         metrics: Optional[Any] = None,
+        certificate: Optional[str] = None,
     ) -> None:
         if collection is None:
             collection = DocumentStore().collection(CACHE_COLLECTION)
@@ -117,6 +129,8 @@ class AnalysisCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.cert_misses = 0
+        self.certificate = certificate
         self.metrics = None
         if metrics is not None:
             self.bind_metrics(metrics)
@@ -133,8 +147,24 @@ class AnalysisCache:
             "cache.misses",
             "cache.stores",
             "cache.corrupt",
+            "cache.cert_miss",
         ):
             metrics.counter(name)
+        return self
+
+    def bind_certificate(
+        self, fingerprint: Optional[str]
+    ) -> "AnalysisCache":
+        """Tie entries to a producing-pipeline certificate fingerprint.
+
+        With a fingerprint bound, :meth:`put` stamps it into every
+        entry and :meth:`get` treats entries stamped with a *different*
+        fingerprint as misses (metered ``cache.cert_miss`` — the code
+        that produced them has semantically changed). Entries with no
+        stamp (pre-certificate caches), or an unbound fingerprint,
+        degrade to the uncertified behaviour.
+        """
+        self.certificate = fingerprint
         return self
 
     # ------------------------------------------------------------------
@@ -165,6 +195,12 @@ class AnalysisCache:
         document = self.collection.find_one({"key": key})
         if document is None:
             return self._miss()
+        if (
+            self.certificate is not None
+            and document.get("cert") is not None
+            and document["cert"] != self.certificate
+        ):
+            return self._cert_miss(key)
         if "payload" not in document:
             return self._drop_corrupt(key, "entry has no payload")
         payload = document["payload"]
@@ -186,6 +222,19 @@ class AnalysisCache:
             self.metrics.counter("cache.misses").inc()
         return None
 
+    def _cert_miss(self, key: str) -> None:
+        """Evict an entry whose producing code changed; degrade to miss.
+
+        Eviction (not just a miss) matters: :meth:`put` is idempotent
+        on the key, so a stale stamped entry left in place would block
+        the recomputed payload from ever being stored.
+        """
+        self.cert_misses += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache.cert_miss").inc()
+        self.collection.delete_many({"key": key})
+        return self._miss()
+
     def _drop_corrupt(self, key: str, reason: str) -> None:
         """Record and evict a corrupt entry, degrading to a miss."""
         self.corrupt += 1
@@ -203,15 +252,17 @@ class AnalysisCache:
             self.stores += 1
             if self.metrics is not None:
                 self.metrics.counter("cache.stores").inc()
-            self.collection.insert_one(
-                {
-                    "key": key,
-                    "dataset": dataset,
-                    "algorithm": algorithm,
-                    "params": fingerprint_params(params),
-                    "payload": payload,
-                }
-            )
+            entry = {
+                "key": key,
+                "dataset": dataset,
+                "algorithm": algorithm,
+                "params": fingerprint_params(params),
+                "payload": payload,
+                "cert": self.certificate,
+            }
+            if self.certificate is None:
+                del entry["cert"]
+            self.collection.insert_one(entry)
         return key
 
     def memoize(
@@ -248,5 +299,6 @@ class AnalysisCache:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "cert_misses": self.cert_misses,
             "entries": len(self.collection),
         }

@@ -1,0 +1,176 @@
+"""Runtime consumption of adalint purity certificates.
+
+The linter emits a committed ``adalint/certificates/v1`` artifact
+(``contracts/certificates.json``, see :mod:`repro.lint.certs`) that
+records, per project function, its transitive effect signature,
+determinism class, picklability and exception envelope, plus a closure
+fingerprint per engine phase. This module is the *consumer* side: a
+dependency-free loader the engine uses to
+
+* stamp :class:`repro.core.cache.AnalysisCache` entries with the
+  producing goal pipeline's fingerprint (a mismatch is a metered
+  ``cache.cert_miss``, never a stale hit), and
+* let ``executor="auto"`` decline to fan work out to process pools
+  when the submitted task's closure is not certified effect-free.
+
+Degradation semantics: a missing artifact means "no contracts" and
+every consumer behaves exactly as before this layer existed; a
+corrupt or schema-mismatched artifact additionally warns. Contracts
+can tighten behaviour, never break it.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Schema tag this loader understands (mirrors repro.lint.certs).
+CERTS_SCHEMA = "adalint/certificates/v1"
+
+#: Default artifact location, relative to the project root.
+CERTS_RELPATH = "contracts/certificates.json"
+
+#: Top-level fields of a well-formed certificate artifact. The
+#: producer is ``repro.lint.certs.build_certificates``; ADA021
+#: cross-checks the two field sets so they cannot drift silently.
+CERTIFICATE_FIELDS = (
+    "schema",
+    "ruleset",
+    "functions",
+    "phases",
+    "artifact_hash",
+)
+
+#: Fields of one per-function certificate record.
+FUNCTION_CERT_FIELDS = (
+    "code_hash",
+    "complete",
+    "determinism",
+    "effect_free",
+    "effects",
+    "exceptions",
+    "holes",
+    "line",
+    "picklable",
+)
+
+
+class ContractError(ValueError):
+    """A certificate artifact failed validation."""
+
+
+def validate_certificates(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Check an artifact is well-formed; returns it (raises otherwise)."""
+    if not isinstance(document, dict):
+        raise ContractError("certificate artifact must be an object")
+    if document.get("schema") != CERTS_SCHEMA:
+        raise ContractError(
+            f"unknown certificate schema {document.get('schema')!r}"
+        )
+    missing = [f for f in CERTIFICATE_FIELDS if f not in document]
+    if missing:
+        raise ContractError(
+            f"certificate artifact missing fields: {missing}"
+        )
+    if not isinstance(document["functions"], dict) or not isinstance(
+        document["phases"], dict
+    ):
+        raise ContractError(
+            "certificate functions/phases must be objects"
+        )
+    return document
+
+
+@dataclass
+class CertificateSet:
+    """The loaded artifact, with convenience lookups."""
+
+    functions: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    phases: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    artifact_hash: str = ""
+    ruleset: str = ""
+    path: Optional[Path] = None
+
+    @classmethod
+    def from_document(
+        cls,
+        document: Dict[str, Any],
+        path: Optional[Path] = None,
+    ) -> "CertificateSet":
+        validate_certificates(document)
+        return cls(
+            functions=dict(document["functions"]),
+            phases=dict(document["phases"]),
+            artifact_hash=str(document["artifact_hash"]),
+            ruleset=str(document["ruleset"]),
+            path=path,
+        )
+
+    def function(self, qualid: str) -> Optional[Dict[str, Any]]:
+        """One function's certificate record, or None."""
+        return self.functions.get(qualid)
+
+    def effect_free(self, qualid: str) -> Optional[bool]:
+        """Certified effect-freedom; None when uncertified."""
+        cert = self.functions.get(qualid)
+        if cert is None:
+            return None
+        return bool(cert.get("effect_free"))
+
+    def phase_fingerprint(self, phase: str) -> Optional[str]:
+        """The closure fingerprint of one engine phase, or None."""
+        record = self.phases.get(phase)
+        if not record or not record.get("exists"):
+            return None
+        fingerprint = record.get("fingerprint")
+        return str(fingerprint) if fingerprint else None
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+
+def default_certificates_path() -> Optional[Path]:
+    """The committed artifact for a source checkout, if present.
+
+    Resolves relative to this file (``src/repro/core/`` →
+    ``<root>/contracts/certificates.json``), so an installed package
+    without the artifact simply runs uncertified.
+    """
+    candidate = (
+        Path(__file__).resolve().parents[3] / CERTS_RELPATH
+    )
+    return candidate if candidate.is_file() else None
+
+
+def load_certificates(
+    path: Optional[Path] = None,
+) -> Optional[CertificateSet]:
+    """Load an artifact, degrading to None instead of raising.
+
+    With no ``path``, the checkout's committed artifact is used when
+    present and its absence is silent (installed packages have none).
+    An explicitly named or unreadable/invalid artifact that cannot be
+    loaded produces a :class:`UserWarning` — never an error: stale or
+    absent certificates mean "behave as before", not "fail".
+    """
+    if path is None:
+        path = default_certificates_path()
+        if path is None:
+            return None
+    try:
+        document = json.loads(
+            Path(path).read_text(encoding="utf-8")
+        )
+        return CertificateSet.from_document(document, Path(path))
+    except (OSError, UnicodeDecodeError, ValueError) as error:
+        warnings.warn(
+            f"ignoring certificate artifact {path}"
+            f" ({type(error).__name__}: {error});"
+            " running without contracts",
+            UserWarning,
+            stacklevel=2,
+        )
+        return None

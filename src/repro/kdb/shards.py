@@ -47,6 +47,11 @@ _MANIFEST_NAME = "_shards.json"
 _MANIFEST_VERSION = 1
 _LOCKFILE_NAME = "_shards.lock"
 
+#: Fields a shard-log record may carry (the ADA021 consumer contract;
+#: ``doc`` only on ``put``, ``id`` only on ``del``). ``_replay_log``
+#: is the reading side.
+LOG_RECORD_FIELDS = ("op", "doc", "id")
+
 #: Directories this process currently holds open (resolved paths),
 #: guarded by ``_OWNED_GUARD``. Lets the lockfile distinguish "same
 #: pid, still open" (a genuine double-open) from "same pid, stale file

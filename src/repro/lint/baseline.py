@@ -1,0 +1,120 @@
+"""SARIF baseline diffs: report only findings new since a baseline.
+
+A baseline is an earlier ``repro lint --format sarif`` log (typically
+the default branch's, published by CI). ``--baseline FILE`` suppresses
+every finding already present in it, so a change is judged on the
+findings it *introduces* — large legacy surfaces can turn a rule on
+without first paying down the whole backlog.
+
+Matching is content-relative, not line-relative: each SARIF result
+carries ``partialFingerprints["adalint/v1"]``
+(:func:`repro.lint.findings.finding_fingerprint` — rule id, path and
+the stripped source line text), so a finding that merely moved when
+code was inserted above it still matches its baseline entry. Results
+from older baselines without fingerprints fall back to exact
+``(ruleId, path, startLine)`` matching. An unreadable baseline
+suppresses nothing (degradation, never an error).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.lint.findings import (
+    FINGERPRINT_KEY,
+    Finding,
+    finding_fingerprint,
+)
+
+
+def load_baseline(path: Path) -> Optional[Dict[str, Any]]:
+    """The baseline SARIF document at ``path``, or None if unusable."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, ValueError):
+        return None
+    if not isinstance(document, dict) or not isinstance(
+        document.get("runs"), list
+    ):
+        return None
+    return document
+
+
+def _results(document: Dict[str, Any]):
+    for run in document.get("runs", []):
+        if not isinstance(run, dict):
+            continue
+        for result in run.get("results", []):
+            if isinstance(result, dict):
+                yield result
+
+
+def baseline_index(
+    document: Dict[str, Any],
+) -> Tuple[Set[str], Set[Tuple[str, str, int]]]:
+    """Index one baseline: fingerprints + (rule, path, line) triples.
+
+    Triples are only collected for results *without* a fingerprint —
+    a fingerprinted result should never also suppress a different
+    finding that happens to share its position.
+    """
+    fingerprints: Set[str] = set()
+    triples: Set[Tuple[str, str, int]] = set()
+    for result in _results(document):
+        partial = result.get("partialFingerprints")
+        fingerprint = (
+            partial.get(FINGERPRINT_KEY)
+            if isinstance(partial, dict)
+            else None
+        )
+        if fingerprint:
+            fingerprints.add(str(fingerprint))
+            continue
+        rule_id = str(result.get("ruleId", ""))
+        for location in result.get("locations", []):
+            try:
+                physical = location["physicalLocation"]
+                uri = str(physical["artifactLocation"]["uri"])
+                line = int(physical["region"]["startLine"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            triples.add((rule_id, uri, line))
+    return fingerprints, triples
+
+
+def diff_findings(
+    findings: List[Finding],
+    baseline: Dict[str, Any],
+    sources: Optional[Dict[str, Sequence[str]]] = None,
+) -> List[Finding]:
+    """The findings not present in ``baseline`` (the *new* ones)."""
+    fingerprints, triples = baseline_index(baseline)
+    fresh: List[Finding] = []
+    for finding in findings:
+        lines = (sources or {}).get(finding.path, ())
+        text = (
+            lines[finding.line - 1]
+            if 0 < finding.line <= len(lines)
+            else ""
+        )
+        if finding_fingerprint(finding, text) in fingerprints:
+            continue
+        triple = (
+            finding.rule_id,
+            finding.path.replace("\\", "/"),
+            finding.line,
+        )
+        if triple in triples:
+            continue
+        fresh.append(finding)
+    return fresh

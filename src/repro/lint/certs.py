@@ -1,0 +1,350 @@
+"""Purity certificates: the ``adalint/certificates/v1`` artifact.
+
+The certificate layer turns the invariants adalint *infers* (the
+ADA009 effect lattice, determinism, the ADA011 exception taxonomy)
+into a versioned, content-addressed JSON artifact the engine can read
+at runtime (:mod:`repro.core.contracts`). One certificate per project
+function records:
+
+* ``effects`` — the sorted transitive effect signature (the same
+  lattice ADA009 enforces: wall-clock, unseeded-rng, env-read, io,
+  global-write, mutates-param); ``effect_free`` is its emptiness;
+* ``determinism`` — ``"seeded"`` (reproducible under a fixed seed),
+  ``"tainted"`` (draws unseeded randomness) or ``"wall-clock"``
+  (reads the clock, the strongest taint);
+* ``picklable`` — whether the function object survives pickling onto
+  a process pool (module-level defs and methods do; closures don't);
+* ``exceptions`` — the transitive raise envelope (exception chains
+  raised anywhere in the call closure, as ADA011 sees them);
+* ``complete`` — whether the closure has no *holes*: call sites that
+  invoke a bare parameter (higher-order calls static analysis cannot
+  certify). ``holes`` lists them;
+* ``code_hash`` — a whitespace-normalised digest of the function's
+  own source span, so formatting edits never invalidate a
+  certificate but semantic edits always do.
+
+Per engine phase (``characterize`` → ``run-goal`` → ``rank`` →
+``persist``) the artifact also carries a **closure fingerprint**: a
+digest over every reachable function's ``code_hash``. The runtime
+cache stamps entries with the producing phase's fingerprint and
+treats a mismatch as a miss.
+
+Emission (``repro lint --emit-certs``) is deterministic and
+content-addressed: it depends only on the parsed source tree, never
+on lint parallelism, caching or wall time, so serial/threads/process
+backends and cold/warm caches all reproduce the committed artifact
+byte for byte. ADA022 reports source whose ``code_hash`` drifted
+from the committed artifact; ``scripts/check.sh`` re-emits and
+byte-compares in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.graph import (
+    ModuleSummary,
+    ProjectGraph,
+    extract_summary,
+    module_name_for,
+)
+
+#: Schema tag stamped on every certificate artifact.
+CERTS_SCHEMA = "adalint/certificates/v1"
+
+#: Where the committed artifact lives, relative to the project root.
+CERTS_RELPATH = "contracts/certificates.json"
+
+#: Effect kinds that taint determinism (vs. merely having effects).
+DETERMINISM_TAINTS = ("wall-clock", "unseeded-rng", "env-read")
+
+#: Engine phase entry points certified with a closure fingerprint.
+#: Order mirrors the pipeline: characterize -> run-goal -> rank ->
+#: persist.
+PHASE_ENTRY_POINTS = {
+    "characterize": (
+        "repro.preprocess.characterization:characterize_log"
+    ),
+    "run-goal": "repro.core.engine:ADAHealth._run_goal",
+    "rank": "repro.core.ranking:KnowledgeRanker.rank",
+    "persist": "repro.kdb.kdb:KnowledgeBase.store_items",
+}
+
+
+# ----------------------------------------------------------------------
+# Normalised source hashing
+# ----------------------------------------------------------------------
+def normalized_hash(lines: Iterable[str]) -> str:
+    """Digest of source lines, blind to trailing space / blank lines.
+
+    Line-based on purpose: it is identical across Python versions
+    (unlike token streams or ``ast.dump``), so the committed artifact
+    reproduces byte-for-byte on every interpreter in the CI matrix.
+    """
+    digest = hashlib.sha256()
+    for line in lines:
+        stripped = line.rstrip()
+        if not stripped:
+            continue
+        digest.update(stripped.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def function_spans(source: str) -> Dict[str, Tuple[int, int]]:
+    """``qualname -> (first, last)`` 1-based line span per function.
+
+    Qualnames follow the summary extractor's scheme (``fn``,
+    ``Class.method``, ``outer.<locals>.inner``); spans include
+    decorators, so decorating a function changes its ``code_hash``.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return {}
+    spans: Dict[str, Tuple[int, int]] = {}
+
+    def visit(node: ast.AST, prefix: str, in_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                sep = ".<locals>." if in_function else "."
+                qualname = (
+                    f"{prefix}{sep}{child.name}"
+                    if prefix
+                    else child.name
+                )
+                start = min(
+                    [child.lineno]
+                    + [d.lineno for d in child.decorator_list]
+                )
+                spans[qualname] = (
+                    start, child.end_lineno or child.lineno
+                )
+                visit(child, qualname, True)
+            elif isinstance(child, ast.ClassDef):
+                sep = ".<locals>." if in_function else "."
+                qualname = (
+                    f"{prefix}{sep}{child.name}"
+                    if prefix
+                    else child.name
+                )
+                visit(child, qualname, in_function)
+
+    visit(tree, "", False)
+    return spans
+
+
+def function_hashes(source: str) -> Dict[str, str]:
+    """``qualname -> code_hash`` for every function in ``source``."""
+    lines = source.splitlines()
+    return {
+        qualname: normalized_hash(lines[start - 1 : end])
+        for qualname, (start, end) in function_spans(source).items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Certificate construction
+# ----------------------------------------------------------------------
+def closure_holes(graph: ProjectGraph, qualid: str) -> List[str]:
+    """Higher-order holes in ``qualid``'s transitive call closure.
+
+    A *hole* is a call site that invokes one of the enclosing
+    function's bare parameters — the one call shape whose callee (and
+    therefore effects) static analysis cannot certify. Each entry is
+    ``"module:qualname calls parameter 'p' at line N"``, sorted.
+    """
+    holes: List[str] = []
+    for member in graph.reachable_from(qualid):
+        info = graph.function(member)
+        if info is None:
+            continue
+        params = {p for p in info.params if p not in ("self", "cls")}
+        for site in info.calls:
+            if (
+                site.ref
+                and site.ref[0] == "name"
+                and site.ref[1] in params
+            ):
+                holes.append(
+                    f"{member} calls parameter {site.ref[1]!r}"
+                    f" at line {site.line}"
+                )
+    return sorted(set(holes))
+
+
+def _determinism_class(kinds: Iterable[str]) -> str:
+    kinds = set(kinds)
+    if "wall-clock" in kinds:
+        return "wall-clock"
+    if "unseeded-rng" in kinds or "env-read" in kinds:
+        return "tainted"
+    return "seeded"
+
+
+def function_certificate(
+    graph: ProjectGraph,
+    qualid: str,
+    code_hashes: Dict[str, Dict[str, str]],
+) -> Dict:
+    """The certificate record for one function.
+
+    ``code_hashes`` maps module -> qualname -> normalised hash (from
+    :func:`function_hashes` over each module's source).
+    """
+    module, _, qualname = qualid.partition(":")
+    info = graph.function(qualid)
+    effects = sorted(
+        {effect.kind for effect in graph.effects(qualid)}
+    )
+    exceptions = set()
+    for member in graph.reachable_from(qualid):
+        member_info = graph.function(member)
+        if member_info is None:
+            continue
+        for chain, _line in member_info.raises:
+            exceptions.add(chain)
+    holes = closure_holes(graph, qualid)
+    return {
+        "code_hash": code_hashes.get(module, {}).get(qualname, ""),
+        "complete": not holes,
+        "determinism": _determinism_class(effects),
+        "effect_free": not effects,
+        "effects": effects,
+        "exceptions": sorted(exceptions),
+        "holes": holes,
+        "line": info.line if info is not None else 0,
+        "picklable": "<locals>" not in qualname,
+    }
+
+
+def phase_fingerprint(
+    graph: ProjectGraph,
+    entry: str,
+    code_hashes: Dict[str, Dict[str, str]],
+) -> str:
+    """Digest of the entry's closure: every member's ``code_hash``.
+
+    Whitespace-only edits anywhere leave it unchanged; a semantic
+    edit to any function reachable from the entry changes it.
+    """
+    parts = []
+    for member in sorted(graph.reachable_from(entry)):
+        module, _, qualname = member.partition(":")
+        parts.append(
+            f"{member}={code_hashes.get(module, {}).get(qualname, '')}"
+        )
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x1e")
+    return digest.hexdigest()
+
+
+def build_certificates(
+    graph: ProjectGraph, sources: Dict[str, str]
+) -> Dict:
+    """The full ``adalint/certificates/v1`` document.
+
+    ``sources`` maps module name -> source text for every module the
+    artifact should certify (conventionally the ``src/`` tree). The
+    result is pure data derived from the parse — no timestamps, no
+    environment — and is therefore reproducible byte-for-byte.
+    """
+    from repro.lint.runner import RULESET_VERSION
+
+    code_hashes = {
+        module: function_hashes(source)
+        for module, source in sources.items()
+    }
+    functions: Dict[str, Dict] = {}
+    for qualid, _info in graph.all_functions():
+        module = qualid.partition(":")[0]
+        if module not in sources:
+            continue
+        functions[qualid] = function_certificate(
+            graph, qualid, code_hashes
+        )
+    phases: Dict[str, Dict] = {}
+    for phase, entry in PHASE_ENTRY_POINTS.items():
+        exists = graph.function(entry) is not None
+        phases[phase] = {
+            "entry": entry,
+            "exists": exists,
+            "fingerprint": (
+                phase_fingerprint(graph, entry, code_hashes)
+                if exists
+                else ""
+            ),
+            "members": (
+                len(graph.reachable_from(entry)) if exists else 0
+            ),
+        }
+    document = {
+        "schema": CERTS_SCHEMA,
+        "ruleset": RULESET_VERSION,
+        "functions": functions,
+        "phases": phases,
+    }
+    document["artifact_hash"] = hashlib.sha256(
+        json.dumps(document, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return document
+
+
+def render_certificates(document: Dict) -> str:
+    """The canonical byte-stable serialisation of the artifact."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Emission (the ``--emit-certs`` path)
+# ----------------------------------------------------------------------
+def emit_certificates(root: Path) -> Tuple[Dict, str]:
+    """Build the artifact for ``root``'s ``src/`` tree.
+
+    Returns ``(document, rendered_text)``. Parses the tree directly
+    (no lint cache, no executor) so the output depends on nothing but
+    the source bytes.
+    """
+    src_tree = Path(root) / "src"
+    targets = [src_tree] if src_tree.is_dir() else [Path(root)]
+    sources: Dict[str, str] = {}
+    summaries: List[ModuleSummary] = []
+    for target in targets:
+        for file_path in sorted(target.rglob("*.py")):
+            relpath = file_path.resolve().relative_to(
+                Path(root).resolve()
+            ).as_posix()
+            try:
+                source = file_path.read_text(encoding="utf-8")
+                tree = ast.parse(source)
+            except (OSError, UnicodeDecodeError, SyntaxError):
+                continue
+            module = module_name_for(relpath)
+            sources[module] = source
+            summaries.append(extract_summary(tree, relpath, module))
+    graph = ProjectGraph(summaries)
+    document = build_certificates(graph, sources)
+    return document, render_certificates(document)
+
+
+def load_artifact(path: Path) -> Optional[Dict]:
+    """The committed artifact at ``path``, or None if unusable."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, ValueError):
+        return None
+    if (
+        not isinstance(document, dict)
+        or document.get("schema") != CERTS_SCHEMA
+        or not isinstance(document.get("functions"), dict)
+    ):
+        return None
+    return document

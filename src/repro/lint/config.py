@@ -30,6 +30,12 @@ except ImportError:  # pragma: no cover - py39/py310 fallback
     tomllib = None
 
 
+#: Paths no lint run should ever look at, regardless of project
+#: config: the linter's own cache, emitted SARIF logs and the
+#: committed certificate artifacts (generated outputs, not source).
+DEFAULT_EXCLUDES = (".adalint-cache", "*.sarif", "contracts")
+
+
 @dataclass
 class LintConfig:
     """Resolved adalint configuration."""
@@ -64,7 +70,8 @@ class LintConfig:
 
     def file_excluded(self, relpath: str) -> bool:
         return any(
-            path_matches(relpath, pattern) for pattern in self.exclude
+            path_matches(relpath, pattern)
+            for pattern in (*DEFAULT_EXCLUDES, *self.exclude)
         )
 
 

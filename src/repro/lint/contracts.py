@@ -294,3 +294,193 @@ def resource_protocols() -> "dict[str, FrozenSet[str]]":
             if release and node.name not in protocols:
                 protocols[node.name] = frozenset(release)
     return protocols
+
+
+# ----------------------------------------------------------------------
+# The versioned-schema contract registry (ADA021)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SchemaContract:
+    """One producer/consumer pair of a versioned JSON record.
+
+    The *producer* is the function (or method) whose dict literals
+    build the record; the *consumer* is the tuple constant naming the
+    fields the reading side understands (a ``validate_*`` companion or
+    replay loop enforces it at runtime). ADA021 extracts both sides
+    from source and reports producer keys the consumer does not
+    declare — the "added a field without bumping the schema" drift
+    ADA007/ADA008 only caught for two hand-picked schemas.
+    """
+
+    name: str  #: short label, e.g. ``"analysis-cache-entry"``
+    schema_tag: str  #: ``"schema"`` stamp value; "" for untagged records
+    producer_module: str
+    producer_scope: str  #: ``fn`` or ``Class.method`` in that module
+    consumer_module: str
+    consumer_constant: str  #: ``*_FIELDS`` tuple naming the contract
+    fields: FrozenSet[str]  #: resolved consumer field set
+    #: Keys the producer may emit beyond the per-record contract —
+    #: sub-document keys of nested literals inside the same scope.
+    nested: FrozenSet[str] = frozenset()
+
+
+def _tuple_constant(module: str, name: str) -> FrozenSet[str]:
+    """String elements of ``NAME = (...)`` in a module (may be empty)."""
+    tree = _module_tree(module)
+    if tree is None:
+        return frozenset()
+    for node in getattr(tree, "body", []):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == name
+                and isinstance(node.value, (ast.Tuple, ast.List))
+            ):
+                return frozenset(
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                )
+    return frozenset()
+
+
+def _fields_or(module: str, name: str, fallback) -> FrozenSet[str]:
+    extracted = _tuple_constant(module, name)
+    return extracted if extracted else frozenset(fallback)
+
+
+#: SARIF 2.1.0 vocabulary the fixed mapping in ``sarif_document`` may
+#: emit (top level plus the nested objects it builds). SARIF is an
+#: external standard, so the consumer side is this pin, not a
+#: ``validate_*`` in the tree.
+_SARIF_FIELDS = frozenset(
+    {
+        "$schema", "version", "runs", "tool", "driver", "results",
+        "name", "rules", "id", "shortDescription", "text",
+        "defaultConfiguration", "level", "ruleId", "message",
+        "locations", "physicalLocation", "artifactLocation", "uri",
+        "region", "startLine", "startColumn", "partialFingerprints",
+    }
+)
+
+
+@lru_cache(maxsize=1)
+def schema_contracts() -> "tuple[SchemaContract, ...]":
+    """Every versioned JSON producer/consumer pair in the tree.
+
+    Consumer field sets are extracted from the named ``*_FIELDS``
+    constants in the consumer modules (baked fallbacks keep the rule
+    usable outside a checkout); producer key sets are read from the
+    producing scope's dict literals at lint time, so the check always
+    judges the source being linted.
+    """
+    findings_fields = _fields_or(
+        "repro.lint.findings",
+        "FINDINGS_FIELDS",
+        {"schema", "files_checked", "counts", "findings",
+         "rule_stats"},
+    )
+    cert_fields = _fields_or(
+        "repro.core.contracts",
+        "CERTIFICATE_FIELDS",
+        {"schema", "ruleset", "functions", "phases", "artifact_hash"},
+    )
+    cert_fn_fields = _fields_or(
+        "repro.core.contracts",
+        "FUNCTION_CERT_FIELDS",
+        {"code_hash", "complete", "determinism", "effect_free",
+         "effects", "exceptions", "holes", "line", "picklable"},
+    )
+    cache_fields = _fields_or(
+        "repro.core.cache",
+        "CACHE_ENTRY_FIELDS",
+        {"key", "dataset", "algorithm", "params", "payload", "cert"},
+    )
+    log_fields = _fields_or(
+        "repro.kdb.shards",
+        "LOG_RECORD_FIELDS",
+        {"op", "doc", "id"},
+    )
+    manifest = manifest_schema()
+    return (
+        SchemaContract(
+            name="lint-findings",
+            schema_tag="adalint/findings/v1",
+            producer_module="repro.lint.findings",
+            producer_scope="report_document",
+            consumer_module="repro.lint.findings",
+            consumer_constant="FINDINGS_FIELDS",
+            fields=findings_fields,
+        ),
+        SchemaContract(
+            name="lint-sarif",
+            schema_tag="",  # stamps "$schema", not "schema"
+            producer_module="repro.lint.findings",
+            producer_scope="sarif_document",
+            consumer_module="repro.lint.contracts",
+            consumer_constant="_SARIF_FIELDS",
+            fields=_SARIF_FIELDS,
+        ),
+        SchemaContract(
+            name="purity-certificates",
+            schema_tag="adalint/certificates/v1",
+            producer_module="repro.lint.certs",
+            producer_scope="build_certificates",
+            consumer_module="repro.core.contracts",
+            consumer_constant="CERTIFICATE_FIELDS",
+            fields=cert_fields,
+            # per-phase records built inside the same scope
+            nested=frozenset(
+                {"entry", "exists", "fingerprint", "members"}
+            ),
+        ),
+        SchemaContract(
+            name="function-certificate",
+            schema_tag="",
+            producer_module="repro.lint.certs",
+            producer_scope="function_certificate",
+            consumer_module="repro.core.contracts",
+            consumer_constant="FUNCTION_CERT_FIELDS",
+            fields=cert_fn_fields,
+        ),
+        SchemaContract(
+            name="analysis-cache-entry",
+            schema_tag="",
+            producer_module="repro.core.cache",
+            producer_scope="AnalysisCache.put",
+            consumer_module="repro.core.cache",
+            consumer_constant="CACHE_ENTRY_FIELDS",
+            fields=cache_fields,
+        ),
+        SchemaContract(
+            name="shard-log-record",
+            schema_tag="",
+            producer_module="repro.kdb.shards",
+            producer_scope="ShardedDocumentStore._on_mutation",
+            consumer_module="repro.kdb.shards",
+            consumer_constant="LOG_RECORD_FIELDS",
+            fields=log_fields,
+        ),
+        SchemaContract(
+            name="run-manifest",
+            schema_tag=manifest.schema_tag,
+            producer_module="repro.obs.manifest",
+            producer_scope="RunManifestBuilder._document",
+            consumer_module="repro.obs.manifest",
+            consumer_constant="MANIFEST_FIELDS",
+            fields=manifest.top_fields,
+            # resilience["degraded_goals"] is a sub-document write
+            nested=frozenset({"degraded_goals"}),
+        ),
+    )
+
+
+def contract_for_tag(tag: str) -> Optional[SchemaContract]:
+    """The registered contract stamping ``tag``, if any."""
+    for contract in schema_contracts():
+        if contract.schema_tag and contract.schema_tag == tag:
+            return contract
+    return None

@@ -12,6 +12,7 @@ of truth.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -20,6 +21,37 @@ SEVERITIES = ("error", "warning")
 
 #: Schema tag stamped on every JSON report (bump on breaking changes).
 FINDINGS_SCHEMA = "adalint/findings/v1"
+
+#: Top-level fields of the JSON report (the ADA021 consumer contract;
+#: ``rule_stats`` is present only when profiling ran).
+FINDINGS_FIELDS = (
+    "schema",
+    "files_checked",
+    "counts",
+    "findings",
+    "rule_stats",
+)
+
+
+def validate_report(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Check a findings report is well-formed; returns it (or raises)."""
+    if document.get("schema") != FINDINGS_SCHEMA:
+        raise ValueError(
+            f"unknown findings schema {document.get('schema')!r}"
+        )
+    unknown = sorted(set(document) - set(FINDINGS_FIELDS))
+    if unknown:
+        raise ValueError(f"unknown report fields: {unknown}")
+    required = [
+        name
+        for name in FINDINGS_FIELDS
+        if name != "rule_stats" and name not in document
+    ]
+    if required:
+        raise ValueError(f"report missing fields: {required}")
+    if not isinstance(document["findings"], list):
+        raise ValueError("report findings must be a list")
+    return document
 
 
 @dataclass(frozen=True)
@@ -56,13 +88,20 @@ class Finding:
 
 
 def report_document(
-    findings: List[Finding], files_checked: int
+    findings: List[Finding],
+    files_checked: int,
+    rule_stats: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
-    """The full JSON report for one lint run."""
+    """The full JSON report for one lint run.
+
+    ``rule_stats`` (per-rule profiling: ``{"wall_s", "findings"}``
+    keyed by rule id) is included only when the runner collected it,
+    so reports stay byte-compatible for consumers that predate it.
+    """
     counts = {severity: 0 for severity in SEVERITIES}
     for finding in findings:
         counts[finding.severity] = counts.get(finding.severity, 0) + 1
-    return {
+    document = {
         "schema": FINDINGS_SCHEMA,
         "files_checked": files_checked,
         "counts": counts,
@@ -71,6 +110,36 @@ def report_document(
             for finding in sorted(findings, key=Finding.sort_key)
         ],
     }
+    if rule_stats is not None:
+        document["rule_stats"] = {
+            rule_id: dict(stats)
+            for rule_id, stats in sorted(rule_stats.items())
+        }
+    return validate_report(document)
+
+
+#: Key under ``partialFingerprints`` carrying adalint's stable
+#: finding identity (bump if the fingerprint recipe changes).
+FINGERPRINT_KEY = "adalint/v1"
+
+
+def finding_fingerprint(finding: Finding, line_text: str = "") -> str:
+    """Content-relative identity of one finding for baseline diffs.
+
+    Hashes the rule id, the (slash-normalised) path and the stripped
+    source line text — deliberately *not* the line number or message,
+    so a finding that merely moved (code inserted above it) or whose
+    message embeds positions still matches its baseline entry.
+    """
+    digest = hashlib.sha256()
+    for part in (
+        finding.rule_id,
+        finding.path.replace("\\", "/"),
+        line_text.strip(),
+    ):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x1e")
+    return digest.hexdigest()
 
 
 #: SARIF spec pin; ``version`` and ``$schema`` in every emitted log.
@@ -85,6 +154,7 @@ def sarif_document(
     findings: List[Finding],
     rules: Optional[Sequence[Any]] = None,
     tool_version: str = "",
+    sources: Optional[Dict[str, Sequence[str]]] = None,
 ) -> Dict[str, Any]:
     """The SARIF 2.1.0 log for one lint run.
 
@@ -93,7 +163,10 @@ def sarif_document(
     ``path``/``line``/``col`` → a single physical location). ``rules``
     takes the registered rule classes so the driver carries the full
     catalogue (id, name, description, default level) — viewers use it
-    to title and group results.
+    to title and group results. ``sources`` maps a finding's path to
+    its source lines; when given, each result carries a
+    ``partialFingerprints`` entry (:func:`finding_fingerprint`) that
+    baseline diffs match on.
     """
     driver: Dict[str, Any] = {
         "name": "adalint",
@@ -109,8 +182,9 @@ def sarif_document(
     }
     if tool_version:
         driver["version"] = tool_version
-    results = [
-        {
+    results = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        result: Dict[str, Any] = {
             "ruleId": finding.rule_id,
             "level": (
                 finding.severity
@@ -132,8 +206,17 @@ def sarif_document(
                 }
             ],
         }
-        for finding in sorted(findings, key=Finding.sort_key)
-    ]
+        if sources is not None:
+            lines = sources.get(finding.path, ())
+            text = (
+                lines[finding.line - 1]
+                if 0 < finding.line <= len(lines)
+                else ""
+            )
+            result["partialFingerprints"] = {
+                FINGERPRINT_KEY: finding_fingerprint(finding, text)
+            }
+        results.append(result)
     return {
         # SARIF spells its schema pointer "$schema"; it is not a
         # docstore query operator.

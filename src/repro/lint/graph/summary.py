@@ -12,7 +12,7 @@ Summaries are plain-data and JSON-serialisable, so the incremental lint
 cache can persist them keyed on the file's content hash: a warm run
 rebuilds the project graph without parsing a single file.
 
-Direct-effect inference recognises five kinds (the transitive closure
+Direct-effect inference recognises six kinds (the transitive closure
 is computed by :class:`repro.lint.graph.project.ProjectGraph`):
 
 ``wall-clock``
@@ -21,6 +21,10 @@ is computed by :class:`repro.lint.graph.project.ProjectGraph`):
 ``unseeded-rng``
     unseeded/None-seeded ``default_rng``, legacy ``np.random.*`` draws,
     stdlib ``random`` calls.
+``env-read``
+    ``os.getenv(...)``, ``os.environ.get(...)`` and ``os.environ[...]``
+    reads — a determinism taint for ADA020 (the environment varies
+    between hosts/runs) without being an ``io`` effect.
 ``io``
     ``open``/``print``/``input``, ``shutil.*``/``subprocess.*``,
     mutating ``os.*`` calls, ``write_text``/``write_bytes``.
@@ -71,7 +75,7 @@ from repro.lint.base import dotted_name
 
 #: Bump when the summary format or extraction logic changes; part of
 #: every summary-cache key, so stale summaries are never reused.
-GRAPH_VERSION = "adalint-graph/2"
+GRAPH_VERSION = "adalint-graph/3"
 
 #: Method names that mutate their receiver in place.
 _MUTATORS = frozenset(
@@ -919,6 +923,17 @@ class _FunctionExtractor(ast.NodeVisitor):
         self.info.raises.append((chain, node.lineno))
         self.generic_visit(node)
 
+    # -- environment reads ----------------------------------------------
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.ctx, ast.Load) and dotted_name(
+            node.value
+        ) in ("os.environ", "environ"):
+            self._effect(
+                "env-read", "os.environ", node.lineno,
+                "reads the process environment via os.environ[...]",
+            )
+        self.generic_visit(node)
+
     # -- config reads ----------------------------------------------------
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if isinstance(node.ctx, ast.Load):
@@ -1107,9 +1122,21 @@ class _FunctionExtractor(ast.NodeVisitor):
         elif parts[0] == "random" and len(parts) > 1 and (
             self.summary.imports.get("random", ("", None))[0] == "random"
         ):
+            # random.Random(seed) is an explicitly seeded instance,
+            # not the module-global RNG.
+            if not (tail == "Random" and _rng_seeded(node)):
+                self._effect(
+                    "unseeded-rng", chain, line,
+                    f"uses stdlib random global state via {chain}()",
+                )
+        # environment reads (determinism taint, not I/O)
+        if (parts[0] == "os" and tail == "getenv") or chain in (
+            "os.environ.get",
+            "environ.get",
+        ):
             self._effect(
-                "unseeded-rng", chain, line,
-                f"uses stdlib random global state via {chain}()",
+                "env-read", chain, line,
+                f"reads the process environment via {chain}()",
             )
         # I/O
         if (

@@ -1,0 +1,532 @@
+"""Certificate and contract rules: ADA019–ADA022.
+
+The certificate layer (:mod:`repro.lint.certs`) makes adalint's
+inferred invariants consumable at runtime; these rules keep that
+bridge sound. ADA019 demands *complete* certificates (no
+higher-order holes) for the code the engine schedules — phase entry
+points and anything submitted to an executor. ADA020 is an
+inter-procedural determinism-taint check: wall-clock, unseeded-RNG
+and environment reads must not flow into persisted artifacts (K-DB
+documents, manifests, cache entries) — the manifest's ``started_at``
+path is the one sanctioned sink. ADA021 generalises ADA007/ADA008
+into a registry of *every* versioned JSON producer/consumer pair
+(:func:`repro.lint.contracts.schema_contracts`). ADA022 reports code
+whose normalised content hash drifted from the committed certificate
+artifact, so ``contracts/certificates.json`` can never silently lag
+the source it certifies.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint import certs
+from repro.lint.base import Rule, RuleContext, dotted_name, register
+from repro.lint.contracts import contract_for_tag, schema_contracts
+from repro.lint.graph import extract_summary
+from repro.lint.rules_dataflow import _graph_and_module, _Line
+from repro.lint.rules_parallelism import (
+    _is_process_pool_call,
+    _task_argument,
+)
+
+#: Effect kinds ADA020 treats as determinism taints.
+_TAINT_KINDS = frozenset(certs.DETERMINISM_TAINTS)
+
+#: Modules whose taints are sanctioned: the run manifest's
+#: ``started_at``/``finished_at``/``wall_s`` fields are *supposed* to
+#: record wall time — that path is the one blessed clock-to-artifact
+#: flow.
+_SANCTIONED_TAINT_MODULES = frozenset({"repro.obs.manifest"})
+
+#: Resolved callees that persist artifacts (K-DB documents, run
+#: manifests, analysis-cache entries).
+_SINK_QUALIDS = frozenset(
+    {
+        "repro.kdb.documentstore:Collection.insert_one",
+        "repro.kdb.documentstore:Collection.insert_many",
+        "repro.kdb.kdb:KnowledgeBase.record_run",
+        "repro.kdb.kdb:KnowledgeBase.store_items",
+        "repro.core.cache:AnalysisCache.put",
+        "repro.core.cache:AnalysisCache.memoize",
+    }
+)
+
+#: Method tails that mark a persistence sink even when the receiver
+#: cannot be resolved (duck-typed stores, fixtures).
+_SINK_TAILS = frozenset(
+    {"insert_one", "insert_many", "record_run", "store_items"}
+)
+
+
+# ----------------------------------------------------------------------
+# ADA019 — scheduled code must carry a complete certificate
+# ----------------------------------------------------------------------
+@register
+class OperatorContract(Rule):
+    """ADA019: phase entry points and executor-submitted callables
+    must be fully certifiable.
+
+    A certificate is *complete* when the transitive call closure has
+    no holes — call sites that invoke a bare parameter, the one shape
+    whose callee (and therefore effects, determinism and exceptions)
+    static analysis cannot see. The engine's scheduler trusts
+    certificates to decide caching and fan-out; code it schedules
+    must either be hole-free or carry a justified suppression pragma
+    explaining why the dynamic callee is safe.
+    """
+
+    rule_id = "ADA019"
+    name = "operator-contract"
+    severity = "error"
+    description = (
+        "engine phase entry points and executor-submitted callables"
+        " must have a complete (hole-free) purity certificate or a"
+        " justified pragma"
+    )
+
+    def run(self, context: RuleContext):
+        self.findings = []
+        self.context = context
+        self.graph, self.module = _graph_and_module(context)
+        self._pools: Set[str] = set()
+        self._check_phase_entries()
+        self.visit(context.tree)
+        return self.findings
+
+    def _check_phase_entries(self) -> None:
+        for phase, entry in certs.PHASE_ENTRY_POINTS.items():
+            module, _, qualname = entry.partition(":")
+            if module != self.module:
+                continue
+            info = self.graph.function(entry)
+            if info is None:
+                self.report(
+                    _Line(1),
+                    f"phase entry point {entry!r} ({phase}) not"
+                    " found in this module; update"
+                    " repro.lint.certs.PHASE_ENTRY_POINTS",
+                )
+                continue
+            holes = certs.closure_holes(self.graph, entry)
+            if holes:
+                self.report(
+                    _Line(info.line),
+                    f"phase entry point {qualname!r} ({phase}) has an"
+                    " incomplete certificate:"
+                    f" {'; '.join(holes[:3])}"
+                    + ("; ..." if len(holes) > 3 else ""),
+                )
+
+    # -- process-pool bindings (mirrors ADA009) ------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_process_pool_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._pools.add(target.id)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if _is_process_pool_call(item.context_expr) and isinstance(
+                item.optional_vars, ast.Name
+            ):
+                self._pools.add(item.optional_vars.id)
+        self.generic_visit(node)
+
+    visit_AsyncWith = visit_With
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = node.func
+        tail = dotted_name(callee).rsplit(".", 1)[-1]
+        target = None
+        via = None
+        if tail == "TaskSpec":
+            target = _task_argument(node)
+            via = "TaskSpec"
+        elif tail == "run_chunked":
+            target = node.args[1] if len(node.args) > 1 else None
+            if target is None:
+                for keyword in node.keywords:
+                    if keyword.arg == "fn":
+                        target = keyword.value
+            via = "run_chunked"
+        elif (
+            isinstance(callee, ast.Attribute)
+            and callee.attr == "submit"
+            and isinstance(callee.value, ast.Name)
+            and callee.value.id in self._pools
+        ):
+            target = node.args[0] if node.args else None
+            via = f"{callee.value.id}.submit"
+        if target is not None and via is not None:
+            self._check_submission(node, target, via)
+        self.generic_visit(node)
+
+    def _check_submission(
+        self, node: ast.Call, target: ast.AST, via: str
+    ) -> None:
+        chain = dotted_name(target)
+        if not chain:
+            return  # lambdas/odd expressions are ADA003's problem
+        qualid = self.graph.resolve_symbol(self.module, chain)
+        if qualid is None:
+            self.report(
+                node,
+                f"callable {chain!r} handed to {via} cannot be"
+                " certified: it does not resolve in the project"
+                " graph, so no purity certificate covers it",
+            )
+            return
+        holes = certs.closure_holes(self.graph, qualid)
+        if holes:
+            self.report(
+                node,
+                f"callable {chain!r} handed to {via} has an"
+                " incomplete certificate:"
+                f" {'; '.join(holes[:3])}"
+                + ("; ..." if len(holes) > 3 else ""),
+            )
+
+
+# ----------------------------------------------------------------------
+# ADA020 — determinism taint must not reach persisted artifacts
+# ----------------------------------------------------------------------
+@register
+class DeterminismTaint(Rule):
+    """ADA020: no clock/RNG/environment taint into persisted state.
+
+    A function that persists an artifact (inserts K-DB documents,
+    records a run manifest, stores a cache entry) while its transitive
+    call closure reads the wall clock, draws unseeded randomness or
+    reads the process environment produces artifacts that differ
+    between identical runs — exactly the provenance the K-DB exists
+    to make reproducible. The one sanctioned flow is the manifest
+    builder's own timing fields (``started_at`` et al.), which are
+    wall-time *by contract*.
+    """
+
+    rule_id = "ADA020"
+    name = "determinism-taint"
+    severity = "error"
+    description = (
+        "wall-clock / unseeded-RNG / environment reads must not flow"
+        " into persisted artifacts (K-DB documents, manifests, cache"
+        " entries); the manifest timing fields are the one sanctioned"
+        " sink"
+    )
+
+    def run(self, context: RuleContext):
+        self.findings = []
+        self.context = context
+        graph, module = _graph_and_module(context)
+        summary = graph.modules.get(module)
+        if summary is None:
+            return self.findings
+        for qualname in sorted(summary.functions):
+            info = summary.functions[qualname]
+            qualid = f"{module}:{qualname}"
+            taints = [
+                effect
+                for effect in graph.effects(qualid)
+                if effect.kind in _TAINT_KINDS
+                and effect.module not in _SANCTIONED_TAINT_MODULES
+            ]
+            if not taints:
+                continue
+            for site in info.calls:
+                sink = self._sink_name(graph, module, qualname, site)
+                if sink is None:
+                    continue
+                effect = min(taints, key=lambda e: e.sort_key())
+                origin = (
+                    f"{effect.module}:{effect.qualname}:{effect.line}"
+                )
+                evidence = f"{effect.description} (at {origin}"
+                path = graph.call_path(
+                    qualid,
+                    lambda q: q
+                    == f"{effect.module}:{effect.qualname}",
+                )
+                if path and len(path) > 1:
+                    steps = " -> ".join(
+                        q.partition(":")[2] for q in path
+                    )
+                    evidence += f", via {steps}"
+                evidence += ")"
+                self.report(
+                    _Line(site.line),
+                    f"{qualname!r} persists an artifact via {sink}"
+                    " while its call closure is determinism-tainted:"
+                    f" {evidence}",
+                )
+        return self.findings
+
+    @staticmethod
+    def _sink_name(graph, module, qualname, site) -> Optional[str]:
+        """The persistence sink a call site hits, or None."""
+        resolved = graph.resolve_call(module, qualname, site)
+        if resolved in _SINK_QUALIDS:
+            return resolved.partition(":")[2]
+        if resolved is None and site.ref and len(site.ref) > 1:
+            tail = str(site.ref[-1]).rsplit(".", 1)[-1]
+            if tail in _SINK_TAILS:
+                return tail
+        return None
+
+
+# ----------------------------------------------------------------------
+# ADA021 — versioned JSON schemas must not drift from their contracts
+# ----------------------------------------------------------------------
+@register
+class SchemaDrift(Rule):
+    """ADA021: every versioned JSON producer must match its consumer.
+
+    The contract registry
+    (:func:`repro.lint.contracts.schema_contracts`) pairs each
+    versioned record — findings documents, SARIF logs, purity
+    certificates, analysis-cache entries, shard log records, run
+    manifests — with the ``*_FIELDS`` constant its consumer
+    validates against. Producing a key the consumer does not declare
+    is drift: bump the schema tag or update the consumer contract
+    (and its ``validate_*``) in the same change. Literals elsewhere
+    that stamp a registered schema tag are checked against the same
+    field set (the generalisation of ADA008's manifest check).
+    """
+
+    rule_id = "ADA021"
+    name = "schema-drift"
+    severity = "error"
+    description = (
+        "versioned JSON producers must only emit fields their"
+        " registered consumer contract declares (registry:"
+        " repro.lint.contracts.schema_contracts)"
+    )
+
+    def run(self, context: RuleContext):
+        self.findings = []
+        self.context = context
+        self._producer_modules = {
+            contract.producer_module for contract in schema_contracts()
+        }
+        for contract in schema_contracts():
+            if contract.producer_module == context.module:
+                self._check_producer(context, contract)
+        self.visit(context.tree)
+        return self.findings
+
+    def _check_producer(self, context, contract) -> None:
+        scope = self._scope_node(context.tree, contract.producer_scope)
+        if scope is None:
+            return
+        allowed = contract.fields | contract.nested
+        for key, node in self._produced_keys(scope):
+            if key not in allowed:
+                self.report(
+                    node,
+                    f"field {key!r} produced for"
+                    f" {contract.name} is not declared by"
+                    f" {contract.consumer_module}."
+                    f"{contract.consumer_constant}; bump the schema"
+                    " tag or update the consumer contract",
+                )
+
+    @staticmethod
+    def _scope_node(tree: ast.AST, scope: str) -> Optional[ast.AST]:
+        """Find ``fn`` or ``Class.method`` in a module tree."""
+        parts = scope.split(".")
+        body = getattr(tree, "body", [])
+        for part in parts:
+            found = None
+            for node in body:
+                if (
+                    isinstance(
+                        node,
+                        (
+                            ast.FunctionDef,
+                            ast.AsyncFunctionDef,
+                            ast.ClassDef,
+                        ),
+                    )
+                    and node.name == part
+                ):
+                    found = node
+                    break
+            if found is None:
+                return None
+            body = found.body
+        return found
+
+    @staticmethod
+    def _produced_keys(scope: ast.AST):
+        """(key, node) for every produced string key in a scope:
+        dict-literal keys plus subscript-assignment targets."""
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        yield key.value, key
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        yield target.slice.value, target
+
+    # -- tag-stamped literals anywhere ---------------------------------
+    def visit_Dict(self, node: ast.Dict) -> None:
+        tag = None
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "schema"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                tag = value.value
+        contract = contract_for_tag(tag) if tag else None
+        if (
+            contract is not None
+            # ADA008 owns the manifest literal check; the producer
+            # modules are already covered by the registry pass above.
+            and contract.name != "run-manifest"
+            and self.context is not None
+            and self.context.module != contract.producer_module
+        ):
+            allowed = (
+                contract.fields | contract.nested | {"schema"}
+            )
+            for key in node.keys:
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and key.value not in allowed
+                ):
+                    self.report(
+                        key,
+                        f"unknown field {key.value!r} in a literal"
+                        f" stamped {contract.schema_tag!r}; the"
+                        f" {contract.name} contract declares"
+                        f" {contract.consumer_module}."
+                        f"{contract.consumer_constant}",
+                    )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# ADA022 — source must match the committed certificate artifact
+# ----------------------------------------------------------------------
+@register
+class StaleCertificate(Rule):
+    """ADA022: committed certificates must match the source they cover.
+
+    Compares every function's normalised content hash against the
+    committed ``contracts/certificates.json``. A mismatch means the
+    code changed semantically after the artifact was emitted — the
+    runtime would be consuming stale contracts. Whitespace-only edits
+    hash identically and never trip this rule. Fix by re-running
+    ``repro lint --emit-certs``. Absent artifacts disable the rule
+    (degradation, not failure).
+    """
+
+    rule_id = "ADA022"
+    name = "stale-certificate"
+    severity = "error"
+    default_paths = ("src",)
+    description = (
+        "function content hashes must match the committed certificate"
+        " artifact (contracts/certificates.json); re-emit with"
+        " repro lint --emit-certs after semantic edits"
+    )
+
+    def run(self, context: RuleContext):
+        self.findings = []
+        self.context = context
+        artifact = self._artifact(context)
+        if artifact is None:
+            return self.findings
+        module = context.module
+        certified: Dict[str, Dict] = {
+            qualid.partition(":")[2]: cert
+            for qualid, cert in artifact["functions"].items()
+            if qualid.partition(":")[0] == module
+        }
+        summary = extract_summary(
+            context.tree, context.relpath, module
+        )
+        spans = certs.function_spans(context.source)
+        hashes = certs.function_hashes(context.source)
+        for qualname in sorted(summary.functions):
+            current = hashes.get(qualname, "")
+            line = spans.get(
+                qualname, (summary.functions[qualname].line, 0)
+            )[0]
+            cert = certified.pop(qualname, None)
+            if cert is None:
+                self.report(
+                    _Line(line),
+                    f"{qualname!r} has no certificate in"
+                    f" {certs.CERTS_RELPATH}; re-run"
+                    " repro lint --emit-certs",
+                )
+            elif cert.get("code_hash", "") != current:
+                self.report(
+                    _Line(line),
+                    f"{qualname!r} changed since its certificate was"
+                    f" emitted (stale {certs.CERTS_RELPATH}); re-run"
+                    " repro lint --emit-certs",
+                )
+        for qualname in sorted(certified):
+            self.report(
+                _Line(1),
+                f"certificate for {qualname!r} covers a function"
+                " that no longer exists; re-run"
+                " repro lint --emit-certs",
+            )
+        return self.findings
+
+    @staticmethod
+    def _artifact(context: RuleContext) -> Optional[Dict]:
+        """The committed artifact for this file's project, if any.
+
+        In-memory snippets (``lint_source``) have no file behind
+        ``context.path`` and are never judged against a checkout's
+        artifact — only files that exist on disk belong to a project.
+        """
+        from repro.lint.runner import find_project_root
+
+        if not Path(context.path).is_file():
+            return None
+        root = find_project_root(Path(context.path))
+        return _cached_artifact(root / certs.CERTS_RELPATH)
+
+
+_ARTIFACT_CACHE: Dict[Tuple[str, int, int], Optional[Dict]] = {}
+
+
+def _cached_artifact(path: Path) -> Optional[Dict]:
+    """Load (and memoise) one artifact, keyed on path + mtime + size."""
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    key = (str(path), stat.st_mtime_ns, stat.st_size)
+    if key not in _ARTIFACT_CACHE:
+        _ARTIFACT_CACHE.clear()  # one artifact per run is plenty
+        _ARTIFACT_CACHE[key] = certs.load_artifact(path)
+    return _ARTIFACT_CACHE[key]
+
+
+#: Names re-exported for fixtures/tests.
+__all__ = [
+    "OperatorContract",
+    "DeterminismTaint",
+    "SchemaDrift",
+    "StaleCertificate",
+]

@@ -33,6 +33,7 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,6 +49,7 @@ from typing import (
 )
 
 from repro.lint.base import Rule, RuleContext, all_rules, get_rule
+from repro.lint.certs import CERTS_RELPATH, load_artifact
 from repro.lint.cache import (
     DEFAULT_CACHE_DIR,
     LintCache,
@@ -73,7 +75,8 @@ PARSE_ERROR_ID = "ADA000"
 
 #: Version of the rule set; part of every findings-cache key, so a
 #: rule change (signalled by bumping this) invalidates cached results.
-RULESET_VERSION = "adalint/4"
+#: adalint/5 adds the certificate rules ADA019-ADA022.
+RULESET_VERSION = "adalint/5"
 
 #: Id under which pragma/config hygiene findings are reported.
 _SUPPRESSION_RULE_ID = "ADA012"
@@ -90,6 +93,10 @@ class LintReport:
     files_parsed: int = 0
     #: Per-file finding lists served from the incremental cache.
     cache_hits: int = 0
+    #: Per-rule profiling over the files actually linted this run
+    #: (cache-served files cost no rule time and are not attributed):
+    #: ``rule id -> {"wall_s": float, "findings": int}``.
+    rule_stats: Dict[str, Dict] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -108,14 +115,29 @@ class LintReport:
         return "\n".join(lines)
 
     def format_stats(self) -> str:
-        return (
+        lines = [
             f"{self.files_checked} files checked,"
             f" {self.files_parsed} parsed,"
             f" {self.cache_hits} served from cache"
+        ]
+        by_cost = sorted(
+            self.rule_stats.items(),
+            key=lambda item: (-item[1]["wall_s"], item[0]),
         )
+        for rule_id, stats in by_cost:
+            noun = (
+                "finding" if stats["findings"] == 1 else "findings"
+            )
+            lines.append(
+                f"  {rule_id}: {stats['wall_s'] * 1000:.1f} ms,"
+                f" {stats['findings']} {noun}"
+            )
+        return "\n".join(lines)
 
     def to_document(self) -> Dict:
-        return report_document(self.findings, self.files_checked)
+        return report_document(
+            self.findings, self.files_checked, self.rule_stats
+        )
 
 
 # ----------------------------------------------------------------------
@@ -212,7 +234,7 @@ def _pragma_findings(
                     message=(
                         f"unknown rule id {entry.rule_id!r} in"
                         " suppression pragma (known ids:"
-                        " ADA001..ADA018, ADA000, all)"
+                        " ADA001..ADA022, ADA000, all)"
                     ),
                     severity="warning",
                 )
@@ -316,6 +338,18 @@ def default_src_paths(root: Optional[Path] = None) -> Tuple[Path, ...]:
 # ----------------------------------------------------------------------
 # Single-file linting
 # ----------------------------------------------------------------------
+def _merge_rule_stats(
+    into: Dict[str, Dict], stats: Dict[str, Dict]
+) -> None:
+    """Accumulate per-rule wall time and finding counts."""
+    for rule_id, stat in stats.items():
+        slot = into.setdefault(
+            rule_id, {"wall_s": 0.0, "findings": 0}
+        )
+        slot["wall_s"] += stat["wall_s"]
+        slot["findings"] += stat["findings"]
+
+
 def _lint_file(
     source: str,
     path: str,
@@ -325,8 +359,14 @@ def _lint_file(
     module: str = "",
     emit_unused: bool = False,
     tree: Optional[ast.AST] = None,
+    stats: Optional[Dict[str, Dict]] = None,
 ) -> List[Finding]:
-    """Lint one parsed (or parseable) file; returns kept findings."""
+    """Lint one parsed (or parseable) file; returns kept findings.
+
+    With ``stats``, each rule's wall time and raw finding count are
+    accumulated into it (profiling; monotonic clock, never persisted
+    into artifacts).
+    """
     comments = scan_comments(source)
     suppressions = parse_suppressions(comments)
     if tree is None:
@@ -355,7 +395,19 @@ def _lint_file(
     raw: List[Finding] = []
     for rule_class in rule_classes:
         rule: Rule = rule_class()
-        raw.extend(rule.run(context))
+        started = time.perf_counter()
+        found = rule.run(context)
+        if stats is not None:
+            _merge_rule_stats(
+                stats,
+                {
+                    rule_class.rule_id: {
+                        "wall_s": time.perf_counter() - started,
+                        "findings": len(found),
+                    }
+                },
+            )
+        raw.extend(found)
     kept = [
         finding for finding in raw if not suppressions.match(finding)
     ]
@@ -416,17 +468,19 @@ def lint_source(
 def _lint_batch_task(
     batch: Sequence[Tuple[str, str, str, Tuple[str, ...], bool]],
     summary_docs: Sequence[Dict],
-) -> List[Tuple[str, List[Finding]]]:
+) -> Tuple[List[Tuple[str, List[Finding]]], Dict[str, Dict]]:
     """Worker task: lint a batch of files against a shared graph.
 
     Module-level and fed plain data (sources, rule ids, summary
     documents) so it pickles cleanly onto any executor backend —
-    including process pools under spawn.
+    including process pools under spawn. Returns the per-file finding
+    lists plus this batch's per-rule profiling stats.
     """
     graph = ProjectGraph(
         ModuleSummary.from_dict(doc) for doc in summary_docs
     )
     results: List[Tuple[str, List[Finding]]] = []
+    stats: Dict[str, Dict] = {}
     for source, path, relpath, rule_ids, emit_unused in batch:
         rule_classes = [get_rule(rule_id) for rule_id in rule_ids]
         results.append(
@@ -440,10 +494,11 @@ def _lint_batch_task(
                     project=graph,
                     module=module_name_for(relpath),
                     emit_unused=emit_unused,
+                    stats=stats,
                 ),
             )
         )
-    return results
+    return results, stats
 
 
 # ----------------------------------------------------------------------
@@ -690,6 +745,15 @@ def lint_paths(
     # -- per-file findings (cached) ------------------------------------
     config_fp = _config_fingerprint(config)
     concurrency_fp = _concurrency_fingerprint(summaries)
+    # ADA022 judges files against the committed certificate artifact,
+    # so its content is part of every finding key: re-emitting certs
+    # invalidates cached findings exactly like a code edit would.
+    certs_artifact = load_artifact(root / CERTS_RELPATH)
+    certs_fp = (
+        certs_artifact.get("artifact_hash", "")
+        if certs_artifact
+        else ""
+    )
     results: Dict[str, List[Finding]] = {}
     pending: List[Tuple[str, str, str, Tuple[str, ...], bool]] = []
     finding_keys: Dict[str, str] = {}
@@ -714,6 +778,7 @@ def lint_paths(
             closure_fingerprint(module),
             concurrency_fp,
             config_fp,
+            certs_fp,
             ",".join(applicable),
             "unused" if emit_unused else "",
         )
@@ -751,10 +816,12 @@ def lint_paths(
                 ]
             )
             for value in outcome.results:
-                if not isinstance(value, list):  # TaskFailure
+                if not isinstance(value, tuple):  # TaskFailure
                     raise value.error
-                for relpath, findings in value:
+                batch_results, batch_stats = value
+                for relpath, findings in batch_results:
                     results[relpath] = findings
+                _merge_rule_stats(report.rule_stats, batch_stats)
         else:
             for source, path, relpath, rule_ids, emit_unused in (
                 pending
@@ -768,6 +835,7 @@ def lint_paths(
                     module=module_name_for(relpath),
                     emit_unused=emit_unused,
                     tree=trees.get(relpath),
+                    stats=report.rule_stats,
                 )
         if store:
             fresh = {entry[2] for entry in pending}

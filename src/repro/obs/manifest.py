@@ -190,14 +190,25 @@ class RunManifestBuilder:
         )
 
     def record_cache(
-        self, enabled: bool, hits: int, misses: int, stores: int
+        self,
+        enabled: bool,
+        hits: int,
+        misses: int,
+        stores: int,
+        cert_misses: int = 0,
     ) -> None:
-        """Record the analysis cache's traffic for this run."""
+        """Record the analysis cache's traffic for this run.
+
+        ``cert_misses`` counts lookups rejected because the entry was
+        produced under a different purity-certificate fingerprint
+        (they are also included in ``misses``).
+        """
         self.cache = {
             "enabled": bool(enabled),
             "hits": int(hits),
             "misses": int(misses),
             "stores": int(stores),
+            "cert_misses": int(cert_misses),
         }
 
     def record_executor(

@@ -76,6 +76,7 @@ def test_cache_miss_put_hit_roundtrip():
         "misses": 1,
         "stores": 1,
         "corrupt": 0,
+        "cert_misses": 0,
         "entries": 1,
     }
 

@@ -1,0 +1,282 @@
+"""Runtime consumption of purity certificates (repro.core.contracts).
+
+Covers the degrading loader, certificate-stamped analysis-cache
+entries (a fingerprint mismatch is a metered ``cache.cert_miss`` that
+evicts), the ``executor="auto"`` fan-out gate, and the seeded
+end-to-end proof: an engine re-run hits the cache under matching
+certificates and meters cert misses after a (simulated) semantic edit
+of the goal pipeline.
+"""
+
+import json
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import ADAHealth, EngineConfig
+from repro.core.cache import AnalysisCache
+from repro.core.contracts import (
+    CERTS_RELPATH,
+    CertificateSet,
+    ContractError,
+    default_certificates_path,
+    load_certificates,
+    validate_certificates,
+)
+from repro.obs.metrics import Metrics
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _document(fingerprint="fp-1", functions=None):
+    return {
+        "schema": "adalint/certificates/v1",
+        "ruleset": "adalint/5",
+        "functions": functions or {},
+        "phases": {
+            "run-goal": {
+                "entry": "repro.core.engine:ADAHealth._run_goal",
+                "exists": True,
+                "fingerprint": fingerprint,
+                "members": 3,
+            },
+            "rank": {
+                "entry": "repro.core.ranking:KnowledgeRanker.rank",
+                "exists": False,
+                "fingerprint": "",
+                "members": 0,
+            },
+        },
+        "artifact_hash": "abc",
+    }
+
+
+def _cert_set(fingerprint="fp-1", functions=None):
+    return CertificateSet.from_document(
+        _document(fingerprint, functions)
+    )
+
+
+# ----------------------------------------------------------------------
+# Validation and loading
+# ----------------------------------------------------------------------
+def test_validate_certificates_accepts_well_formed():
+    assert validate_certificates(_document()) == _document()
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: d.pop("schema"),
+        lambda d: d.update(schema="adalint/certificates/v99"),
+        lambda d: d.pop("functions"),
+        lambda d: d.update(functions=[]),
+        lambda d: d.pop("artifact_hash"),
+    ],
+)
+def test_validate_certificates_rejects_malformed(mutate):
+    document = _document()
+    mutate(document)
+    with pytest.raises(ContractError):
+        validate_certificates(document)
+
+
+def test_certificate_set_lookups():
+    certs = _cert_set(
+        functions={
+            "repro.core.engine:_run_goal_task": {
+                "effect_free": True, "determinism": "seeded",
+            }
+        }
+    )
+    assert len(certs) == 1
+    assert certs.effect_free(
+        "repro.core.engine:_run_goal_task"
+    ) is True
+    assert certs.effect_free("repro.core.engine:unknown") is None
+    assert certs.phase_fingerprint("run-goal") == "fp-1"
+    assert certs.phase_fingerprint("rank") is None  # exists: false
+    assert certs.phase_fingerprint("persist") is None  # absent
+
+
+def test_load_certificates_explicit_path(tmp_path):
+    artifact = tmp_path / "certs.json"
+    artifact.write_text(json.dumps(_document()), encoding="utf-8")
+    certs = load_certificates(artifact)
+    assert certs is not None
+    assert certs.path == artifact
+    assert certs.ruleset == "adalint/5"
+
+
+def test_load_certificates_warns_and_degrades_on_corruption(tmp_path):
+    corrupt = tmp_path / "certs.json"
+    corrupt.write_text("{broken", encoding="utf-8")
+    with pytest.warns(UserWarning, match="running without contracts"):
+        assert load_certificates(corrupt) is None
+    wrong_schema = tmp_path / "wrong.json"
+    wrong_schema.write_text(
+        json.dumps({"schema": "nope"}), encoding="utf-8"
+    )
+    with pytest.warns(UserWarning):
+        assert load_certificates(wrong_schema) is None
+
+
+def test_checkout_artifact_loads_by_default():
+    path = default_certificates_path()
+    assert path is not None
+    assert path == REPO_ROOT / CERTS_RELPATH
+    certs = load_certificates()
+    assert certs is not None
+    assert len(certs) > 500
+    assert certs.phase_fingerprint("run-goal")
+    # the engine's goal task is certified effect-free, so "auto" may
+    # fan out; this pin breaks if someone adds an effect to the task
+    assert certs.effect_free(
+        "repro.core.engine:_run_goal_task"
+    ) is True
+
+
+# ----------------------------------------------------------------------
+# Certificate-stamped cache entries
+# ----------------------------------------------------------------------
+def test_cache_cert_mismatch_is_metered_miss_and_evicts():
+    metrics = Metrics()
+    cache = AnalysisCache(metrics=metrics, certificate="fp-old")
+    cache.put("ds", "alg", {"k": 1}, {"value": 1})
+    assert cache.get("ds", "alg", {"k": 1}) == {"value": 1}
+    assert cache.cert_misses == 0
+
+    cache.bind_certificate("fp-new")  # the producing code "changed"
+    assert cache.get("ds", "alg", {"k": 1}) is None
+    assert cache.cert_misses == 1
+    assert metrics.counter_value("cache.cert_miss") == 1
+
+    # eviction matters: put is idempotent on the key, so the stale
+    # entry must be gone for the recomputed payload to stick
+    cache.put("ds", "alg", {"k": 1}, {"value": 2})
+    assert cache.get("ds", "alg", {"k": 1}) == {"value": 2}
+    assert cache.stats()["cert_misses"] == 1
+
+
+def test_cache_unstamped_entries_degrade_to_hits():
+    cache = AnalysisCache()  # pre-certificate cache
+    cache.put("ds", "alg", {"k": 1}, {"value": 1})
+    cache.bind_certificate("fp-new")
+    # entries without a stamp predate certificates; still served
+    assert cache.get("ds", "alg", {"k": 1}) == {"value": 1}
+    assert cache.cert_misses == 0
+
+
+def test_cache_unbound_certificate_ignores_stamps():
+    stamped = AnalysisCache(certificate="fp-1")
+    stamped.put("ds", "alg", {"k": 1}, {"value": 1})
+    stamped.bind_certificate(None)
+    assert stamped.get("ds", "alg", {"k": 1}) == {"value": 1}
+    assert stamped.cert_misses == 0
+
+
+# ----------------------------------------------------------------------
+# The executor="auto" fan-out gate
+# ----------------------------------------------------------------------
+def _auto_engine(certificates):
+    return ADAHealth(
+        config=EngineConfig(
+            executor="auto", certificates=certificates
+        )
+    )
+
+
+def test_fanout_gate_degrades_without_certificates():
+    assert _auto_engine(False)._certified_for_fanout() is True
+    # a set that does not cover the task: pre-certificate behaviour
+    assert _auto_engine(_cert_set())._certified_for_fanout() is True
+
+
+def test_fanout_gate_blocks_uncertified_effects():
+    tainted = _cert_set(
+        functions={
+            "repro.core.engine:_run_goal_task": {
+                "effect_free": False, "determinism": "wall-clock",
+            }
+        }
+    )
+    engine = _auto_engine(tainted)
+    assert engine._certified_for_fanout() is False
+    big_log = SimpleNamespace(n_records=10 ** 9)
+    resolved = engine._resolved_executor(big_log)
+    assert resolved == "serial"
+    # multi-core hosts reach the certificate gate and meter the
+    # fallback; single-core hosts resolve serial before it
+    import os
+
+    if (os.cpu_count() or 1) > 1:
+        assert (
+            engine.metrics.counter_value(
+                "contracts.auto_serial_fallback"
+            )
+            == 1
+        )
+
+
+def test_fanout_gate_allows_certified_effect_free():
+    clean = _cert_set(
+        functions={
+            "repro.core.engine:_run_goal_task": {
+                "effect_free": True, "determinism": "seeded",
+            }
+        }
+    )
+    assert _auto_engine(clean)._certified_for_fanout() is True
+
+
+# ----------------------------------------------------------------------
+# Seeded end-to-end: cache hits under matching certs, metered misses
+# after a semantic edit
+# ----------------------------------------------------------------------
+def _engine_with(cache, certificates, seed=7):
+    return ADAHealth(
+        config=EngineConfig(
+            k_values=(2, 3),
+            n_folds=2,
+            use_cache=True,
+            certificates=certificates,
+        ),
+        seed=seed,
+        cache=cache,
+    )
+
+
+def _signature(result):
+    return [
+        (item.kind, item.title, round(item.score, 12))
+        for item in result.items
+    ]
+
+
+def test_engine_cache_certified_hit_then_metered_cert_miss(tiny_log):
+    cache = AnalysisCache()
+    cold = _engine_with(cache, _cert_set("fp-a"))
+    cold_result = cold.analyze(tiny_log, name="cold", user="t")
+    assert cache.stores > 0
+
+    # same certificates: the second engine's run is served from cache
+    warm = _engine_with(cache, _cert_set("fp-a"))
+    warm_result = warm.analyze(tiny_log, name="warm", user="t")
+    assert _signature(warm_result) == _signature(cold_result)
+    assert warm.cache.hits > 0
+    assert warm.cache.cert_misses == 0
+
+    # a different run-goal closure fingerprint simulates a semantic
+    # edit of the pipeline: stamped entries become metered cert
+    # misses, are evicted, and the recomputation is stored again
+    edited = _engine_with(cache, _cert_set("fp-b"))
+    stores_before = cache.stores
+    edited_result = edited.analyze(tiny_log, name="edited", user="t")
+    assert cache.cert_misses > 0
+    assert (
+        edited.metrics.counter_value("cache.cert_miss")
+        == cache.cert_misses
+    )
+    assert cache.stores > stores_before
+    assert _signature(edited_result) == _signature(cold_result)

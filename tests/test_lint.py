@@ -63,9 +63,9 @@ def test_repo_is_clean():
 # ----------------------------------------------------------------------
 # Rule registry
 # ----------------------------------------------------------------------
-def test_registry_ships_the_eighteen_rules():
+def test_registry_ships_the_twenty_two_rules():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == [f"ADA{n:03d}" for n in range(1, 19)]
+    assert ids == [f"ADA{n:03d}" for n in range(1, 23)]
     assert all(r.severity in ("error", "warning") for r in all_rules())
 
 
@@ -608,10 +608,12 @@ def test_json_document_schema_is_stable(tmp_path):
     document = report.to_document()
     assert document["schema"] == FINDINGS_SCHEMA == "adalint/findings/v1"
     assert sorted(document) == [
-        "counts", "files_checked", "findings", "schema",
+        "counts", "files_checked", "findings", "rule_stats", "schema",
     ]
     assert document["files_checked"] == 1
     assert set(document["counts"]) == {"error", "warning"}
+    for stats in document["rule_stats"].values():
+        assert sorted(stats) == ["findings", "wall_s"]
     for entry in document["findings"]:
         assert sorted(entry) == [
             "col", "line", "message", "path", "rule", "severity",

@@ -1,0 +1,584 @@
+"""Tests for the purity-certificate layer and the ADA019-022 rules.
+
+Covers: deterministic, byte-stable emission of the
+``adalint/certificates/v1`` artifact (including the committed
+``contracts/certificates.json`` reproducing exactly), the normalised
+code hash (blind to whitespace, sensitive to semantics), the phase
+closure fingerprints, bad/good fixtures for ADA019-ADA022, SARIF
+baseline diffs, and the per-rule profiling counters.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths, lint_source
+from repro.lint.baseline import (
+    baseline_index,
+    diff_findings,
+    load_baseline,
+)
+from repro.lint.certs import (
+    CERTS_RELPATH,
+    CERTS_SCHEMA,
+    PHASE_ENTRY_POINTS,
+    emit_certificates,
+    function_hashes,
+    load_artifact,
+    phase_fingerprint,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.findings import (
+    FINGERPRINT_KEY,
+    Finding,
+    finding_fingerprint,
+    sarif_document,
+)
+from repro.lint.graph import ProjectGraph, extract_summary
+from repro.lint.rules_certs import (
+    DeterminismTaint,
+    OperatorContract,
+    SchemaDrift,
+)
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_PROJECT_SOURCE = '''\
+"""A module certified by the test project."""
+
+
+def pure(x):
+    return x + 1
+
+
+def caller(x):
+    return pure(x) * 2
+'''
+
+
+def _make_project(tmp_path: Path) -> Path:
+    """A tiny src-layout project emit_certificates can certify."""
+    (tmp_path / "pyproject.toml").write_text(
+        '[project]\nname = "demo"\n', encoding="utf-8"
+    )
+    package = tmp_path / "src" / "pkg"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text("", encoding="utf-8")
+    (package / "mod.py").write_text(_PROJECT_SOURCE, encoding="utf-8")
+    return tmp_path
+
+
+def run_rule(rule_class, source, **kwargs):
+    return lint_source(
+        textwrap.dedent(source), rules=[rule_class], **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# Artifact determinism and the normalised code hash
+# ----------------------------------------------------------------------
+def test_emission_is_deterministic_and_byte_stable(tmp_path):
+    root = _make_project(tmp_path)
+    first_doc, first_text = emit_certificates(root)
+    second_doc, second_text = emit_certificates(root)
+    assert first_text == second_text
+    assert first_doc["artifact_hash"] == second_doc["artifact_hash"]
+    assert first_doc["schema"] == CERTS_SCHEMA
+    assert set(first_doc["functions"]) == {
+        "pkg.mod:pure", "pkg.mod:caller",
+    }
+    cert = first_doc["functions"]["pkg.mod:caller"]
+    assert cert["complete"] is True
+    assert cert["determinism"] == "seeded"
+    assert cert["effect_free"] is True
+    assert cert["picklable"] is True
+
+
+def test_load_artifact_round_trips(tmp_path):
+    root = _make_project(tmp_path)
+    document, text = emit_certificates(root)
+    target = root / CERTS_RELPATH
+    target.parent.mkdir()
+    target.write_text(text, encoding="utf-8")
+    loaded = load_artifact(target)
+    assert loaded == document
+    assert load_artifact(root / "nope.json") is None
+    target.write_text("not json", encoding="utf-8")
+    assert load_artifact(target) is None
+
+
+def test_committed_artifact_reproduces_byte_identically():
+    """The CI acceptance gate: re-emission matches the committed file."""
+    committed = REPO_ROOT / CERTS_RELPATH
+    assert committed.is_file(), (
+        "contracts/certificates.json missing; run"
+        " `repro lint --emit-certs`"
+    )
+    document, text = emit_certificates(REPO_ROOT)
+    assert committed.read_text(encoding="utf-8") == text
+    assert (
+        load_artifact(committed)["artifact_hash"]
+        == document["artifact_hash"]
+    )
+
+
+def test_committed_artifact_certifies_every_phase():
+    artifact = load_artifact(REPO_ROOT / CERTS_RELPATH)
+    assert set(artifact["phases"]) == set(PHASE_ENTRY_POINTS)
+    for phase, record in artifact["phases"].items():
+        assert record["exists"] is True, phase
+        assert record["fingerprint"]
+        assert record["members"] > 0
+
+
+def test_code_hash_blind_to_whitespace_not_semantics():
+    base = "def f(x):\n    return x + 1\n"
+    reformatted = "def f(x):   \n\n    return x + 1\n\n"
+    edited = "def f(x):\n    return x + 2\n"
+    assert function_hashes(base) == function_hashes(reformatted)
+    assert (
+        function_hashes(base)["f"] != function_hashes(edited)["f"]
+    )
+
+
+def _caller_fingerprint(source: str) -> str:
+    summary = extract_summary(source, "src/m.py", "m")
+    graph = ProjectGraph([summary])
+    return phase_fingerprint(
+        graph, "m:caller", {"m": function_hashes(source)}
+    )
+
+
+def test_phase_fingerprint_tracks_the_whole_closure():
+    base = (
+        "def helper(x):\n    return x + 1\n\n"
+        "def caller(x):\n    return helper(x)\n"
+    )
+    reformatted = base.replace("return x + 1", "return x + 1   ")
+    callee_edit = base.replace("return x + 1", "return x - 1")
+    assert _caller_fingerprint(base) == _caller_fingerprint(reformatted)
+    # editing a *callee* changes the entry's closure fingerprint
+    assert _caller_fingerprint(base) != _caller_fingerprint(callee_edit)
+
+
+# ----------------------------------------------------------------------
+# ADA019 — operator contracts for scheduled code
+# ----------------------------------------------------------------------
+def test_ada019_reports_holed_submission():
+    findings = run_rule(
+        OperatorContract,
+        """
+        from repro.cloud import TaskSpec
+
+        def holed(fn, x):
+            return fn(x)
+
+        def schedule(items):
+            return [TaskSpec(holed, (len, i)) for i in items]
+        """,
+    )
+    assert [f.rule_id for f in findings] == ["ADA019"]
+    assert "incomplete certificate" in findings[0].message
+
+
+def test_ada019_reports_unresolvable_submission():
+    findings = run_rule(
+        OperatorContract,
+        """
+        def schedule(executor, items):
+            from repro.cloud.executor import run_chunked
+
+            return run_chunked(executor, mystery_worker, items)
+        """,
+    )
+    assert [f.rule_id for f in findings] == ["ADA019"]
+    assert "cannot be certified" in findings[0].message
+
+
+def test_ada019_accepts_certifiable_submission():
+    findings = run_rule(
+        OperatorContract,
+        """
+        from repro.cloud import TaskSpec
+
+        def worker(x):
+            return x * 2
+
+        def schedule(items):
+            return [TaskSpec(worker, (i,)) for i in items]
+        """,
+    )
+    assert findings == []
+
+
+def test_ada019_checks_phase_entry_points():
+    missing = run_rule(
+        OperatorContract,
+        """
+        def unrelated():
+            return 1
+        """,
+        path="src/repro/core/ranking.py",
+    )
+    assert [f.rule_id for f in missing] == ["ADA019"]
+    assert "phase entry point" in missing[0].message
+
+    present = run_rule(
+        OperatorContract,
+        """
+        class KnowledgeRanker:
+            def rank(self, items):
+                return sorted(items)
+        """,
+        path="src/repro/core/ranking.py",
+    )
+    assert present == []
+
+
+# ----------------------------------------------------------------------
+# ADA020 — determinism taint into persistence sinks
+# ----------------------------------------------------------------------
+_TAINTED_PERSIST = """
+    import time
+
+    def snapshot():
+        return {"at": time.time()}
+
+    def persist(kb, doc):
+        stamped = dict(doc, stamp=snapshot())
+        return kb.record_run(stamped)
+    """
+
+
+def test_ada020_reports_tainted_persistence():
+    findings = run_rule(DeterminismTaint, _TAINTED_PERSIST)
+    assert [f.rule_id for f in findings] == ["ADA020"]
+    assert "record_run" in findings[0].message
+    assert "determinism-tainted" in findings[0].message
+
+
+def test_ada020_accepts_untainted_persistence():
+    findings = run_rule(
+        DeterminismTaint,
+        """
+        def persist(kb, doc):
+            return kb.record_run(dict(doc, stamp=0))
+        """,
+    )
+    assert findings == []
+
+
+def test_ada020_sanctions_the_manifest_module():
+    # The same tainted flow inside repro.obs.manifest is the blessed
+    # clock-to-artifact path (started_at/finished_at/wall_s).
+    findings = run_rule(
+        DeterminismTaint,
+        _TAINTED_PERSIST,
+        path="src/repro/obs/manifest.py",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# ADA021 — schema drift against the contract registry
+# ----------------------------------------------------------------------
+def test_ada021_reports_unknown_field_in_tagged_literal():
+    findings = run_rule(
+        SchemaDrift,
+        """
+        ARTIFACT = {
+            "schema": "adalint/certificates/v1",
+            "ruleset": "adalint/5",
+            "functions": {},
+            "phases": {},
+            "artifact_hash": "abc",
+            "emitted_at": "2026-08-08",
+        }
+        """,
+    )
+    assert [f.rule_id for f in findings] == ["ADA021"]
+    assert "'emitted_at'" in findings[0].message
+
+
+def test_ada021_accepts_contract_conforming_literal():
+    findings = run_rule(
+        SchemaDrift,
+        """
+        ARTIFACT = {
+            "schema": "adalint/certificates/v1",
+            "ruleset": "adalint/5",
+            "functions": {},
+            "phases": {},
+            "artifact_hash": "abc",
+        }
+        """,
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# ADA022 — stale certificates (needs a real project on disk)
+# ----------------------------------------------------------------------
+def _emit_into(root: Path) -> Path:
+    _document, text = emit_certificates(root)
+    target = root / CERTS_RELPATH
+    target.parent.mkdir(exist_ok=True)
+    target.write_text(text, encoding="utf-8")
+    return target
+
+
+def _ada022(root: Path):
+    report = lint_paths(
+        [root / "src"], root=root, select=["ADA022"]
+    )
+    return report.findings
+
+
+def test_ada022_ignores_whitespace_but_catches_semantic_drift(tmp_path):
+    root = _make_project(tmp_path)
+    _emit_into(root)
+    module = root / "src" / "pkg" / "mod.py"
+    assert _ada022(root) == []
+
+    # whitespace-only edit: certificate still valid
+    module.write_text(
+        module.read_text(encoding="utf-8").replace(
+            "return x + 1", "return x + 1  "
+        ),
+        encoding="utf-8",
+    )
+    assert _ada022(root) == []
+
+    # semantic edit without re-emission: stale certificate
+    module.write_text(
+        module.read_text(encoding="utf-8").replace(
+            "x + 1", "x + 2"
+        ),
+        encoding="utf-8",
+    )
+    findings = _ada022(root)
+    assert [f.rule_id for f in findings] == ["ADA022"]
+    assert "stale" in findings[0].message
+
+    # re-emission clears it
+    _emit_into(root)
+    assert _ada022(root) == []
+
+
+def test_ada022_reports_added_and_removed_functions(tmp_path):
+    root = _make_project(tmp_path)
+    _emit_into(root)
+    module = root / "src" / "pkg" / "mod.py"
+
+    source = module.read_text(encoding="utf-8")
+    module.write_text(
+        source + "\n\ndef fresh(y):\n    return y\n", encoding="utf-8"
+    )
+    findings = _ada022(root)
+    assert [f.rule_id for f in findings] == ["ADA022"]
+    assert "no certificate" in findings[0].message
+
+    module.write_text(
+        source.replace(
+            "def caller(x):\n    return pure(x) * 2\n", ""
+        ),
+        encoding="utf-8",
+    )
+    findings = _ada022(root)
+    assert any(
+        "no longer exists" in finding.message for finding in findings
+    )
+
+
+def test_ada022_disabled_without_an_artifact(tmp_path):
+    root = _make_project(tmp_path)
+    assert _ada022(root) == []  # degradation, not failure
+
+
+# ----------------------------------------------------------------------
+# SARIF baseline diffs
+# ----------------------------------------------------------------------
+def test_baseline_diff_is_content_relative():
+    old = Finding(
+        path="src/a.py", line=3, col=5, rule_id="ADA005",
+        message="no bare assert",
+    )
+    sources = {"src/a.py": ["", "", "    assert x"]}
+    baseline = sarif_document([old], sources=sources)
+
+    # same finding, moved four lines down by an insertion above it
+    moved = Finding(
+        path="src/a.py", line=7, col=5, rule_id="ADA005",
+        message="no bare assert",
+    )
+    moved_sources = {"src/a.py": [""] * 6 + ["    assert x"]}
+    fresh_finding = Finding(
+        path="src/a.py", line=1, col=1, rule_id="ADA001",
+        message="unseeded rng",
+    )
+    fresh = diff_findings(
+        [moved, fresh_finding], baseline, moved_sources
+    )
+    assert fresh == [fresh_finding]
+
+
+def test_baseline_without_fingerprints_matches_exact_position():
+    old = Finding(
+        path="src/a.py", line=3, col=5, rule_id="ADA005",
+        message="no bare assert",
+    )
+    baseline = sarif_document([old])  # no sources -> no fingerprints
+    fingerprints, triples = baseline_index(baseline)
+    assert fingerprints == set()
+    assert triples == {("ADA005", "src/a.py", 3)}
+
+    same_place = diff_findings([old], baseline)
+    assert same_place == []
+    moved = Finding(
+        path="src/a.py", line=7, col=5, rule_id="ADA005",
+        message="no bare assert",
+    )
+    assert diff_findings([moved], baseline) == [moved]
+
+
+def test_fingerprint_ignores_line_number_and_message():
+    at_three = Finding(
+        path="src/a.py", line=3, col=5, rule_id="ADA005",
+        message="no bare assert (line 3)",
+    )
+    at_nine = Finding(
+        path="src/a.py", line=9, col=5, rule_id="ADA005",
+        message="no bare assert (line 9)",
+    )
+    assert finding_fingerprint(
+        at_three, "    assert x"
+    ) == finding_fingerprint(at_nine, "  assert x  ")
+
+
+def test_load_baseline_degrades_on_garbage(tmp_path):
+    missing = tmp_path / "nope.sarif"
+    assert load_baseline(missing) is None
+    bad = tmp_path / "bad.sarif"
+    bad.write_text("{not json", encoding="utf-8")
+    assert load_baseline(bad) is None
+    wrong_shape = tmp_path / "shape.sarif"
+    wrong_shape.write_text('{"runs": 3}', encoding="utf-8")
+    assert load_baseline(wrong_shape) is None
+
+
+def test_cli_baseline_reports_only_new_findings(
+    tmp_path, capsys, monkeypatch
+):
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x):\n    assert x\n", encoding="utf-8")
+    assert lint_main(["--format", "sarif", "bad.py"]) == 1
+    baseline = tmp_path / "baseline.sarif"
+    baseline.write_text(capsys.readouterr().out, encoding="utf-8")
+    results = json.loads(baseline.read_text(encoding="utf-8"))[
+        "runs"
+    ][0]["results"]
+    assert [r["ruleId"] for r in results] == ["ADA005"]
+    assert all(FINGERPRINT_KEY in r["partialFingerprints"] for r in results)
+
+    # nothing new since the baseline: clean exit, empty run
+    assert (
+        lint_main(
+            ["--format", "sarif", "--baseline", "baseline.sarif",
+             "bad.py"]
+        )
+        == 0
+    )
+    document = json.loads(capsys.readouterr().out)
+    assert document["runs"][0]["results"] == []
+
+    # a new violation: only it is reported, the old one stays quiet
+    bad.write_text(
+        "def f(x, b=[]):\n    assert x\n", encoding="utf-8"
+    )
+    assert (
+        lint_main(
+            ["--format", "sarif", "--baseline", "baseline.sarif",
+             "bad.py"]
+        )
+        == 1
+    )
+    document = json.loads(capsys.readouterr().out)
+    assert [
+        r["ruleId"] for r in document["runs"][0]["results"]
+    ] == ["ADA004"]
+
+
+def test_cli_warns_on_unusable_baseline(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x):\n    assert x\n", encoding="utf-8")
+    assert (
+        lint_main(["--baseline", "missing.sarif", "bad.py"]) == 1
+    )
+    captured = capsys.readouterr()
+    assert "unusable baseline" in captured.err
+    assert "ADA005" in captured.out
+
+
+# ----------------------------------------------------------------------
+# Per-rule profiling
+# ----------------------------------------------------------------------
+def test_rule_stats_profile_wall_time_and_findings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(x, b=[]):\n    assert x\n", encoding="utf-8"
+    )
+    report = lint_paths([bad], config=LintConfig(), root=tmp_path)
+    assert report.rule_stats["ADA005"]["findings"] == 1
+    assert report.rule_stats["ADA004"]["findings"] == 1
+    for stats in report.rule_stats.values():
+        assert stats["wall_s"] >= 0.0
+    formatted = report.format_stats()
+    assert "ADA005" in formatted and "ms" in formatted
+
+
+def test_rule_stats_match_across_backends(tmp_path):
+    for index in range(3):
+        (tmp_path / f"bad{index}.py").write_text(
+            "def f(x):\n    assert x\n", encoding="utf-8"
+        )
+    serial = lint_paths(
+        [tmp_path], config=LintConfig(), root=tmp_path
+    )
+    threaded = lint_paths(
+        [tmp_path], config=LintConfig(), root=tmp_path,
+        jobs=2, backend="threads",
+    )
+    assert serial.findings == threaded.findings
+    assert {
+        rule_id: stats["findings"]
+        for rule_id, stats in serial.rule_stats.items()
+        if stats["findings"]
+    } == {
+        rule_id: stats["findings"]
+        for rule_id, stats in threaded.rule_stats.items()
+        if stats["findings"]
+    }
+
+
+# ----------------------------------------------------------------------
+# Default excludes
+# ----------------------------------------------------------------------
+def test_default_excludes_skip_cache_and_contract_dirs(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "ok.py").write_text("VALUE = 1\n", encoding="utf-8")
+    bad = "def f(x):\n    assert x\n"
+    for name in (".adalint-cache", "contracts"):
+        directory = tmp_path / name
+        directory.mkdir()
+        (directory / "junk.py").write_text(bad, encoding="utf-8")
+    report = lint_paths(
+        [tmp_path], config=LintConfig(), root=tmp_path
+    )
+    assert report.findings == []
