@@ -57,5 +57,8 @@ PYTHONPATH=src python -m pytest -x -q -m blocks
 echo "==> K-DB scale smoke (sharded store + planner)"
 PYTHONPATH=src python -m pytest -x -q -m kdb_scale benchmarks/test_kdb_scale.py
 
+echo "==> crash-consistency sweep (fault injection + fsck recovery)"
+PYTHONPATH=src python -m pytest -x -q -m crash
+
 echo "==> tier-1 tests"
 PYTHONPATH=src python -m pytest -x -q "$@"

@@ -8,7 +8,10 @@ Commands
 ``table1``     regenerate the paper's Table I on a log
 ``partial``    regenerate the §IV-B partial-mining experiment
 ``figure1``    print the architecture diagram (paper Figure 1)
-``kdb``        inspect (``stats``) or compact a sharded K-DB directory
+``kdb``        inspect (``stats``), compact, or ``fsck [--repair]`` a
+               sharded K-DB directory
+``shm``        list (``ls``) or reclaim (``reap``) shared-memory
+               segments leaked by crashed runs
 ``lint``       run the adalint invariant checks (see :mod:`repro.lint`)
 
 Every command that reads a dataset accepts either a JSONL file produced
@@ -179,6 +182,32 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="restrict to one collection (compact only)",
         )
+    fsck = kdb_commands.add_parser(
+        "fsck",
+        help="check durability invariants (checksums, sequences,"
+        " generations, lockfile); --repair fixes what it finds",
+    )
+    fsck.add_argument("directory", help="sharded K-DB directory")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="truncate torn tails, drop stale logs/locks, quarantine"
+        " and re-compact damaged shards",
+    )
+    fsck.add_argument("--json", action="store_true", dest="as_json")
+
+    shm = commands.add_parser(
+        "shm",
+        help="list or reclaim shared-memory segments leaked by"
+        " crashed runs",
+    )
+    shm_commands = shm.add_subparsers(dest="shm_command", required=True)
+    shm_commands.add_parser(
+        "ls", help="list leaked library segments in /dev/shm"
+    )
+    shm_commands.add_parser(
+        "reap", help="unlink every leaked library segment"
+    )
 
     lint = commands.add_parser(
         "lint",
@@ -362,6 +391,8 @@ def cmd_kdb(args) -> int:
     if not (directory / "_shards.json").exists():
         print(f"no sharded K-DB at {directory}", file=sys.stderr)
         return 1
+    if args.kdb_command == "fsck":
+        return _cmd_kdb_fsck(directory, args)
     store = ShardedDocumentStore(directory)
     try:
         if args.kdb_command == "compact":
@@ -376,6 +407,42 @@ def cmd_kdb(args) -> int:
                 print(f"warning: {warning}", file=sys.stderr)
     finally:
         store.close()
+    return 0
+
+
+def _cmd_kdb_fsck(directory: Path, args) -> int:
+    import json
+
+    from repro.kdb.fsck import fsck
+
+    report = fsck(directory, repair=args.repair)
+    if args.as_json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        for issue in report.issues:
+            status = "repaired" if issue.repaired else issue.severity
+            print(f"[{status}] {issue.path}: {issue.detail}")
+        print(
+            f"checked {report.files_checked} file(s),"
+            f" {report.records} record(s):"
+            f" {'clean' if report.clean else f'{len(report.issues)} issue(s)'}"
+        )
+    return 0 if report.ok else 1
+
+
+def cmd_shm(args) -> int:
+    from repro.data.blocks import leaked_segments, reap_segments
+
+    if args.shm_command == "reap":
+        reaped = reap_segments()
+        for name in reaped:
+            print(f"reaped {name}")
+        print(f"reaped {len(reaped)} segment(s)")
+        return 0
+    segments = leaked_segments()
+    for name in segments:
+        print(name)
+    print(f"{len(segments)} leaked segment(s)", file=sys.stderr)
     return 0
 
 
@@ -414,6 +481,7 @@ _COMMANDS = {
     "partial": cmd_partial,
     "figure1": cmd_figure1,
     "kdb": cmd_kdb,
+    "shm": cmd_shm,
     "lint": cmd_lint,
 }
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import zlib
 from typing import Any, Callable, Dict, Optional
 
 import numpy as np
@@ -36,15 +37,24 @@ from repro.kdb.documentstore import Collection, DocumentStore
 CACHE_COLLECTION = "analysis_cache"
 
 #: Fields of one cache-entry document (the ADA021 consumer contract;
-#: ``cert`` is present only on certificate-stamped entries).
+#: ``cert`` is present only on certificate-stamped entries; ``crc``
+#: checksums the canonical-JSON payload so on-disk damage surfaces as
+#: a metered corrupt-miss instead of a poisoned hit).
 CACHE_ENTRY_FIELDS = (
     "key",
     "dataset",
     "algorithm",
     "params",
     "payload",
+    "crc",
     "cert",
 )
+
+
+def payload_crc(payload: Any) -> str:
+    """CRC-32 (hex) of a payload's canonical JSON form."""
+    encoded = json.dumps(payload, sort_keys=True, default=str)
+    return f"{zlib.crc32(encoded.encode('utf-8')) & 0xFFFFFFFF:08x}"
 
 
 # ----------------------------------------------------------------------
@@ -204,6 +214,10 @@ class AnalysisCache:
         if "payload" not in document:
             return self._drop_corrupt(key, "entry has no payload")
         payload = document["payload"]
+        # Entries written since PR 10 carry a payload checksum; its
+        # absence (a pre-checksum entry) is not corruption.
+        if "crc" in document and document["crc"] != payload_crc(payload):
+            return self._drop_corrupt(key, "payload checksum mismatch")
         if decode is not None:
             try:
                 payload = decode(payload)
@@ -258,6 +272,7 @@ class AnalysisCache:
                 "algorithm": algorithm,
                 "params": fingerprint_params(params),
                 "payload": payload,
+                "crc": payload_crc(payload),
                 "cert": self.certificate,
             }
             if self.certificate is None:

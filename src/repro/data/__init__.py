@@ -20,6 +20,7 @@ from repro.data.blocks import (
     SharedMatrixHandle,
     leaked_segments,
     open_matrix,
+    reap_segments,
 )
 from repro.data.io import load_csv, load_jsonl, save_csv, save_jsonl
 from repro.data.records import ExamLog, ExamRecord, PatientInfo
@@ -61,6 +62,7 @@ __all__ = [
     "open_matrix",
     "paper_dataset",
     "profile_labels",
+    "reap_segments",
     "save_csv",
     "save_jsonl",
     "small_dataset",

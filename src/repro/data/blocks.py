@@ -70,6 +70,34 @@ def leaked_segments() -> List[str]:
     )
 
 
+def reap_segments(names: Optional[Sequence[str]] = None) -> List[str]:
+    """Unlink leaked library segments; returns the names removed.
+
+    The orphan reaper for crashed runs (``repro shm reap``): a worker
+    killed hard — SIGKILL, OOM — never reaches its ``finally`` block,
+    so its :data:`SEGMENT_PREFIX` segments pin host memory until
+    something removes them. Only library-prefixed names are touched
+    (foreign ``/dev/shm`` entries are never reaped); ``names``
+    restricts the reap further. A segment that vanishes concurrently
+    is skipped, so the reaper is safe to run repeatedly or in
+    parallel.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # non-POSIX host: nothing to reap
+        return []
+    targets = leaked_segments() if names is None else [
+        name for name in names if name.startswith(SEGMENT_PREFIX)
+    ]
+    reaped = []
+    for name in targets:
+        try:
+            os.unlink(os.path.join(root, name))
+        except FileNotFoundError:
+            continue
+        reaped.append(name)
+    return reaped
+
+
 def _untrack(shm: shared_memory.SharedMemory) -> None:
     """Unregister an *attached* segment from the resource tracker.
 

@@ -13,8 +13,14 @@ from repro.kdb.kdb import (
     DegreePredictor,
     KnowledgeBase,
 )
+from repro.kdb.fsck import FsckIssue, FsckReport, fsck
 from repro.kdb.planner import QueryPlan, plan_query
 from repro.kdb.shards import ShardedDocumentStore, shard_of
+from repro.kdb.storage import (
+    FaultyStorage,
+    LocalStorage,
+    SimulatedCrash,
+)
 
 __all__ = [
     "COLLECTIONS",
@@ -26,12 +32,18 @@ __all__ = [
     "DegreePredictor",
     "DocumentStore",
     "FEEDBACK",
+    "FaultyStorage",
+    "FsckIssue",
+    "FsckReport",
     "KnowledgeBase",
+    "LocalStorage",
     "QueryPlan",
     "RAW_DATASETS",
     "SELECTED_KNOWLEDGE",
     "ShardedDocumentStore",
+    "SimulatedCrash",
     "TRANSFORMED_DATASETS",
+    "fsck",
     "plan_query",
     "shard_of",
 ]

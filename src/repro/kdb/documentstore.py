@@ -37,7 +37,6 @@ import bisect
 import copy
 import json
 import math
-import os
 import re
 import threading
 import time
@@ -62,6 +61,7 @@ from repro.exceptions import (
     StoreError,
 )
 from repro.kdb.planner import QueryPlan, plan_query
+from repro.kdb.storage import atomic_write as _atomic_write
 
 Document = Dict[str, Any]
 Query = Dict[str, Any]
@@ -784,6 +784,10 @@ class Collection:
         self._lock = threading.RLock()
         #: Mutation hook for the shard layer (op, payload); not pickled.
         self._journal: Optional[Callable[[str, Any], None]] = None
+        #: Pre-mutation veto hook (raises to refuse the write *before*
+        #: it is applied in memory — e.g. the sharded store's ENOSPC
+        #: write-protection); not pickled.
+        self._write_guard: Optional[Callable[[], None]] = None
         #: Optional ``repro.obs.Metrics`` registry for query telemetry.
         self.metrics = None
         #: True for snapshots: all mutating calls raise ``StoreError``.
@@ -796,18 +800,22 @@ class Collection:
         state = dict(self.__dict__)
         state.pop("_lock", None)
         state.pop("_journal", None)
+        state.pop("_write_guard", None)
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
         self._lock = threading.RLock()
         self._journal = None
+        self._write_guard = None
 
     def _require_writable(self) -> None:
         if self.read_only:
             raise StoreError(
                 f"collection {self.name!r} is a read-only snapshot"
             )
+        if self._write_guard is not None:
+            self._write_guard()
 
     def _notify(self, op: str, payload: Any = None) -> None:
         self._version += 1
@@ -1491,13 +1499,3 @@ class DocumentStore:
                     kind=index.get("kind", "hash"),
                 )
         return store
-
-
-def _atomic_write(path: Path, content: str) -> None:
-    """Write ``content`` to ``path`` via a temp file and ``os.replace``."""
-    temporary = path.with_name(path.name + ".tmp")
-    with open(temporary, "w") as handle:
-        handle.write(content)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temporary, path)

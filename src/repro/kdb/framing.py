@@ -1,0 +1,224 @@
+"""Checksummed v2 record framing for K-DB shard files.
+
+PR 7's shard files were plain JSONL: any line that failed to parse was
+silently skipped, which conflates the *expected* failure (a torn final
+append from a crash mid-write) with the *alarming* one (corruption in
+the middle of a log that silently shortens history). The v2 frame makes
+the two distinguishable:
+
+    v2|<seq>|<gen>|<crc32:08x>|<canonical JSON payload>
+
+* ``seq`` — monotonic per framed run (``0`` is the header frame, real
+  records count from ``1``), so a missing *whole line* surfaces as a
+  sequence gap even though every surviving line checksums clean;
+* ``gen`` — the collection's compaction generation, so a stale log
+  left behind by a crash mid-compaction is recognisable against its
+  already-folded base (log gen < base gen) instead of relying on
+  replay idempotence;
+* ``crc32`` — over ``"<seq>|<gen>|<payload>"``, so a torn or bit-
+  flipped line fails closed.
+
+A *header frame* (sequence 0, payload ``{"_frame": "header"}``) opens
+every framed run and carries the generation even for empty files. A
+header appearing mid-file starts a new run (sequence expectations
+reset) — that is how appends continue a legacy v1 file: v1 lines
+replay as plain JSON, then the first append under the new code writes
+a header and frames from there. Old stores therefore open unchanged
+and upgrade to full v2 framing on their next compaction.
+
+:func:`scan_file` is the one reader. It classifies every physical line
+and reports — without deciding policy — the decoded records, the
+file's generation, interior corruption, sequence anomalies, and
+whether the *final* line is torn (plus the byte offset to truncate it
+away). Policy (truncate vs quarantine) lives with the callers:
+:mod:`repro.kdb.shards` recovery and :mod:`repro.kdb.fsck`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, List, Optional
+
+#: Line prefix of a v2 frame.
+FRAME_PREFIX = "v2|"
+
+#: Payload of a header frame (sequence 0; opens every framed run).
+HEADER_PAYLOAD = {"_frame": "header"}
+
+
+def _crc(seq: int, gen: int, body: str) -> str:
+    value = zlib.crc32(f"{seq}|{gen}|{body}".encode("utf-8"))
+    return f"{value & 0xFFFFFFFF:08x}"
+
+
+def frame_line(payload: Any, seq: int, gen: int) -> str:
+    """One framed record line (no trailing newline)."""
+    body = json.dumps(payload, sort_keys=True)
+    return f"v2|{seq}|{gen}|{_crc(seq, gen, body)}|{body}"
+
+
+def header_line(gen: int) -> str:
+    """The header frame opening a framed run of generation ``gen``."""
+    return frame_line(HEADER_PAYLOAD, 0, gen)
+
+
+@dataclass
+class DecodedLine:
+    """One physical line, classified."""
+
+    kind: str  #: ``"frame"``, ``"header"``, ``"v1"`` or ``"corrupt"``
+    payload: Any = None
+    seq: Optional[int] = None
+    gen: Optional[int] = None
+    reason: str = ""
+
+
+def decode_line(line: str) -> DecodedLine:
+    """Classify one physical line (without its newline)."""
+    if line.startswith(FRAME_PREFIX):
+        parts = line.split("|", 4)
+        if len(parts) != 5:
+            return DecodedLine("corrupt", reason="truncated frame")
+        _, seq_text, gen_text, crc_text, body = parts
+        try:
+            seq = int(seq_text)
+            gen = int(gen_text)
+        except ValueError:
+            return DecodedLine(
+                "corrupt", reason="non-integer frame fields"
+            )
+        if _crc(seq, gen, body) != crc_text:
+            return DecodedLine(
+                "corrupt", seq=seq, gen=gen, reason="checksum mismatch"
+            )
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            # The checksum passed but the body does not parse: only
+            # possible if the frame was *written* around a bad body.
+            return DecodedLine(
+                "corrupt", seq=seq, gen=gen,
+                reason=f"unparseable body ({exc.msg})",
+            )
+        if (
+            isinstance(payload, dict)
+            and payload.get("_frame") == "header"
+        ):
+            return DecodedLine("header", payload, seq, gen)
+        return DecodedLine("frame", payload, seq, gen)
+    try:
+        return DecodedLine("v1", json.loads(line))
+    except json.JSONDecodeError as exc:
+        return DecodedLine("corrupt", reason=f"not JSON ({exc.msg})")
+
+
+@dataclass
+class CorruptLine:
+    """One interior line that failed to decode (quarantine candidate)."""
+
+    lineno: int
+    raw: str
+    reason: str
+
+
+@dataclass
+class ScannedFile:
+    """Everything :func:`scan_file` learned about one shard file."""
+
+    path: Path
+    #: Decoded record payloads, in file order (headers excluded).
+    records: List[Any] = field(default_factory=list)
+    #: Generation of the last framed run (None for pure-v1 files).
+    gen: Optional[int] = None
+    #: Count of valid v2 record frames / legacy v1 lines.
+    frames: int = 0
+    v1_lines: int = 0
+    #: The final line failed to decode (expected crash signature).
+    torn_tail: bool = False
+    torn_raw: str = ""
+    #: Byte offset where the torn final line starts (truncate target).
+    keep_bytes: int = 0
+    #: Undecodable lines *before* the final one (never expected).
+    corrupt: List[CorruptLine] = field(default_factory=list)
+    #: Sequence discontinuities and mid-run generation switches.
+    anomalies: List[str] = field(default_factory=list)
+
+    @property
+    def next_seq(self) -> Optional[int]:
+        """Sequence the next append should use (None: no framed run)."""
+        return self._next_seq
+
+    _next_seq: Optional[int] = None
+
+
+def scan_file(path: Path) -> Optional[ScannedFile]:
+    """Scan one shard file; ``None`` if it does not exist."""
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except FileNotFoundError:
+        return None
+    scan = ScannedFile(path=path)
+    offset = 0
+    expected: Optional[int] = None
+    # Pending corrupt line: only promoted to `corrupt` once a later
+    # line proves it is not the torn tail.
+    pending: Optional[CorruptLine] = None
+    pending_start = 0
+    for lineno, line_bytes in enumerate(raw.splitlines(True), start=1):
+        start = offset
+        offset += len(line_bytes)
+        text = line_bytes.decode("utf-8", errors="replace")
+        stripped = text.rstrip("\r\n")
+        if not stripped.strip():
+            continue
+        decoded = decode_line(stripped)
+        if decoded.kind == "corrupt":
+            if pending is not None:
+                scan.corrupt.append(pending)
+            pending = CorruptLine(lineno, stripped, decoded.reason)
+            pending_start = start
+            continue
+        if pending is not None:
+            scan.corrupt.append(pending)
+            pending = None
+        if decoded.kind == "header":
+            if scan.gen is not None and decoded.gen != scan.gen:
+                scan.anomalies.append(
+                    f"line {lineno}: generation switched"
+                    f" {scan.gen} -> {decoded.gen} mid-file"
+                )
+            scan.gen = decoded.gen
+            expected = 1
+        elif decoded.kind == "frame":
+            scan.frames += 1
+            if scan.gen is None:
+                scan.gen = decoded.gen
+            elif decoded.gen != scan.gen:
+                scan.anomalies.append(
+                    f"line {lineno}: frame generation {decoded.gen}"
+                    f" != file generation {scan.gen}"
+                )
+            if expected is not None and decoded.seq != expected:
+                scan.anomalies.append(
+                    f"line {lineno}: sequence jumped to"
+                    f" {decoded.seq}, expected {expected}"
+                )
+            expected = (decoded.seq or 0) + 1
+            scan.records.append(decoded.payload)
+        else:  # v1
+            scan.v1_lines += 1
+            scan.records.append(decoded.payload)
+        scan.keep_bytes = offset
+    if pending is not None:
+        scan.torn_tail = True
+        scan.torn_raw = pending.raw
+        scan.keep_bytes = pending_start
+    else:
+        scan.keep_bytes = offset
+    scan._next_seq = expected
+    return scan

@@ -305,12 +305,16 @@ class KnowledgeBase:
         n_shards: int = 8,
         auto_compact_ops: Optional[int] = None,
         metrics: Any = None,
+        storage: Any = None,
     ) -> "KnowledgeBase":
         """Open (or create) a knowledge base on sharded storage.
 
         Mutations append to per-shard logs as they happen — no explicit
         :meth:`save` step; call :meth:`compact` (or rely on
         ``auto_compact_ops``) to fold logs into base partitions.
+        ``metrics`` is handed to the store *before* replay, so the
+        ``kdb.recovery.*`` counters see what opening had to repair;
+        ``storage`` swaps the I/O layer (fault injection in tests).
         """
         from repro.kdb.shards import ShardedDocumentStore
 
@@ -318,6 +322,8 @@ class KnowledgeBase:
             directory,
             n_shards=n_shards,
             auto_compact_ops=auto_compact_ops,
+            storage=storage,
+            metrics=metrics,
         )
         return cls(store=store, metrics=metrics)
 

@@ -6,7 +6,7 @@ collection as ``N`` hash partitions on disk:
 
 * ``<collection>.shard-0007.jsonl`` — the *base*: one full document per
   line, rewritten only by compaction (crash-safe via the same
-  ``_atomic_write``/``os.replace`` discipline the flat store uses), and
+  ``atomic_write``/``os.replace`` discipline the flat store uses), and
 * ``<collection>.shard-0007.log.jsonl`` — the *log*: an append-only
   stream of ``{"op": "put"|"del"|"clear", ...}`` records, one per
   mutation, flushed on every append.
@@ -20,6 +20,31 @@ removed, and replaying a full log over a compacted base converges to
 the same state, so a crash at any point during compaction loses
 nothing). Compaction can also run on a background thread or be
 triggered automatically every ``auto_compact_ops`` journaled ops.
+
+Since PR 10 every record is written in the checksummed v2 framing of
+:mod:`repro.kdb.framing` (CRC-32 + per-file sequence number +
+compaction generation) and every byte reaches disk through the
+pluggable :mod:`repro.kdb.storage` layer, so recovery can tell the
+*expected* crash signature from real damage:
+
+* a **torn tail** — the final log line fails its checksum — is the
+  in-flight append of a crash: it is truncated away silently and
+  metered as ``kdb.recovery.torn_tail``;
+* **interior corruption** — a bad line *before* the end, a sequence
+  gap, a mid-file generation switch, or any bad line in an
+  atomically-written base — is never silently dropped: the raw line is
+  preserved in a ``.quarantine.jsonl`` sidecar, the collection is
+  flagged in :attr:`ShardedDocumentStore.degraded_collections`, and
+  ``kdb.recovery.quarantined`` is metered;
+* a **stale log** (generation older than its base) is the signature of
+  a crash between compaction's base writes and its log removals: the
+  ops are already folded into the base, so recovery completes the
+  interrupted removal (``kdb.recovery.stale_log``).
+
+Pre-checksum (v1) files still replay — plain JSON lines — and upgrade
+to v2 framing on their next compaction. A journal append that fails
+with an ``OSError`` (``ENOSPC``) write-protects the store until
+:meth:`compact` rewrites a consistent on-disk state.
 
 Shard placement hashes the canonical JSON of the document ``_id`` with
 CRC-32 (:func:`shard_of`), so placement is stable across processes and
@@ -39,18 +64,33 @@ from repro.exceptions import StoreError
 from repro.kdb.documentstore import (
     Collection,
     DocumentStore,
-    _atomic_write,
     _index_key,
 )
+from repro.kdb.framing import (
+    CorruptLine,
+    ScannedFile,
+    frame_line,
+    header_line,
+    scan_file,
+)
+from repro.kdb.storage import LocalStorage
+from repro.obs.metrics import KDB_RECOVERY_COUNTERS
 
 _MANIFEST_NAME = "_shards.json"
-_MANIFEST_VERSION = 1
+#: Current manifest version; version-1 manifests (pre-generation) are
+#: still accepted on open.
+_MANIFEST_VERSION = 2
 _LOCKFILE_NAME = "_shards.lock"
 
 #: Fields a shard-log record may carry (the ADA021 consumer contract;
 #: ``doc`` only on ``put``, ``id`` only on ``del``). ``_replay_log``
 #: is the reading side.
 LOG_RECORD_FIELDS = ("op", "doc", "id")
+
+#: Metric counters the recovery path maintains (pre-registered by
+#: :meth:`ShardedDocumentStore.bind_metrics` so snapshots always carry
+#: them; mirrored in :attr:`ShardedDocumentStore.recovery_stats`).
+RECOVERY_COUNTERS = KDB_RECOVERY_COUNTERS
 
 #: Directories this process currently holds open (resolved paths),
 #: guarded by ``_OWNED_GUARD``. Lets the lockfile distinguish "same
@@ -74,9 +114,23 @@ def _pid_alive(pid: int) -> bool:
 
 
 def _read_lock_pid(path: Path) -> Optional[int]:
+    """The pid holding a lockfile, or ``None`` if the file is stale.
+
+    Lockfiles are written as ``<pid>\\n``; the trailing newline is a
+    completeness marker. A crash between creating the lockfile and
+    finishing the pid write leaves a torn prefix (``"2"`` out of
+    ``"29020\\n"``) that could parse as some other *live* process —
+    without the marker such a lockfile could never be safely broken.
+    """
     try:
-        return int(path.read_text().strip() or "0")
-    except (OSError, ValueError):
+        content = path.read_text()
+    except OSError:
+        return None
+    if not content.endswith("\n"):
+        return None  # torn write: the holder never finished creating it
+    try:
+        return int(content.strip() or "0")
+    except ValueError:
         return None
 
 
@@ -87,17 +141,27 @@ def shard_of(doc_id: Any, n_shards: int) -> int:
 
 
 class _ShardFiles:
-    """Filenames and append handles for one collection's partitions."""
+    """Filenames, append handles and framing state for one collection."""
 
     def __init__(
-        self, directory: Path, name: str, n_shards: int
+        self,
+        directory: Path,
+        name: str,
+        n_shards: int,
+        storage: Any,
     ) -> None:
         self.directory = directory
         self.name = name
         self.n_shards = n_shards
+        self.storage = storage
         self._handles: Dict[int, Any] = {}
         #: Log records appended since the last compaction.
         self.pending = 0
+        #: Compaction generation stamped into every frame.
+        self.gen = 0
+        #: Next frame sequence per shard log (None: open a new framed
+        #: run — fresh log, or a legacy v1 tail).
+        self.next_seq: Dict[int, Optional[int]] = {}
 
     def base_path(self, shard: int) -> Path:
         return self.directory / f"{self.name}.shard-{shard:04d}.jsonl"
@@ -107,37 +171,44 @@ class _ShardFiles:
             self.directory / f"{self.name}.shard-{shard:04d}.log.jsonl"
         )
 
+    def quarantine_path(self, shard: int) -> Path:
+        return (
+            self.directory
+            / f"{self.name}.shard-{shard:04d}.quarantine.jsonl"
+        )
+
     def append(self, shard: int, record: Dict[str, Any]) -> None:
         handle = self._handles.get(shard)
         if handle is None:
-            handle = open(self.log_path(shard), "a")
+            handle = self.storage.open_append(self.log_path(shard))
             self._handles[shard] = handle
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
-        handle.flush()
+        seq = self.next_seq.get(shard)
+        if seq is None:
+            # Open a new framed run: fresh log, or appending after a
+            # legacy v1 tail (the header resets sequence expectations).
+            handle.write_line(header_line(self.gen))
+            seq = 1
+        handle.write_line(frame_line(record, seq, self.gen))
+        self.next_seq[shard] = seq + 1
         self.pending += 1
 
     def close_handles(self, sync: bool = False) -> None:
         for handle in self._handles.values():
-            if sync:
-                handle.flush()
-                os.fsync(handle.fileno())
-            handle.close()
+            handle.close(sync=sync)
         self._handles.clear()
 
     def remove_logs(self) -> None:
         self.close_handles()
         for shard in range(self.n_shards):
-            path = self.log_path(shard)
-            if path.exists():
-                path.unlink()
+            self.storage.remove(self.log_path(shard))
         self.pending = 0
+        self.next_seq = {}
 
     def remove_all(self) -> None:
         self.remove_logs()
         for shard in range(self.n_shards):
-            path = self.base_path(shard)
-            if path.exists():
-                path.unlink()
+            self.storage.remove(self.base_path(shard))
+            self.storage.remove(self.quarantine_path(shard))
 
     def disk_bytes(self) -> Dict[str, int]:
         base = log = 0
@@ -157,6 +228,15 @@ class ShardedDocumentStore(DocumentStore):
     starts a fresh store. Every mutation is journaled synchronously to
     the owning shard's log, so the on-disk state trails memory by at
     most the one record being appended.
+
+    ``storage`` is the I/O funnel every write goes through — the real
+    filesystem by default, or a seeded
+    :class:`repro.kdb.storage.FaultyStorage` so chaos tests can kill
+    the store at every write boundary. ``metrics`` binds a
+    :class:`repro.obs.Metrics` registry *before* replay, so the
+    recovery counters (``kdb.recovery.*``) observe what opening the
+    directory had to repair; the same tallies are always available in
+    :attr:`recovery_stats`.
 
     Lock ordering: a collection's write lock is always taken *before*
     the store-wide shard lock (the journal runs inside the collection
@@ -179,6 +259,8 @@ class ShardedDocumentStore(DocumentStore):
         directory: Union[str, Path],
         n_shards: int = 8,
         auto_compact_ops: Optional[int] = None,
+        storage: Optional[Any] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         super().__init__()
         if n_shards < 1:
@@ -187,13 +269,33 @@ class ShardedDocumentStore(DocumentStore):
         self.directory.mkdir(parents=True, exist_ok=True)
         self.n_shards = n_shards
         self.auto_compact_ops = auto_compact_ops
+        self.storage = storage if storage is not None else LocalStorage()
         self._files: Dict[str, _ShardFiles] = {}
         self._slock = threading.RLock()
         self._loading = False
         self._closed = False
         self._compactor: Optional[threading.Thread] = None
         self._compactor_stop = threading.Event()
+        #: Collections whose on-disk history shows unexpected damage
+        #: (quarantined records, sequence gaps, generation mismatches).
+        #: Cleared by the compaction that rewrites them.
+        self.degraded_collections: Set[str] = set()
+        #: What opening this directory had to recover (mirrors the
+        #: ``kdb.recovery.*`` counters).
+        self.recovery_stats: Dict[str, int] = {
+            "torn_tail": 0,
+            "quarantined": 0,
+            "stale_log": 0,
+            "seq_gap": 0,
+            "gen_mismatch": 0,
+        }
+        #: Collection whose journal append failed (ENOSPC...): memory
+        #: is ahead of disk, so mutations raise until compact().
+        self._journal_failed: Optional[str] = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
         self._lock_key = str(self.directory.resolve())
+        self._has_lockfile = False
         self._has_lockfile = self._acquire_lockfile()
         try:
             if (self.directory / _MANIFEST_NAME).exists():
@@ -205,14 +307,25 @@ class ShardedDocumentStore(DocumentStore):
                 self._release_lockfile()
             raise
 
+    def bind_metrics(self, metrics) -> None:
+        """Attach a metrics registry (query plans *and* recovery)."""
+        super().bind_metrics(metrics)
+        for name in RECOVERY_COUNTERS:
+            metrics.counter(name)
+
+    def _meter(self, event: str, count: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(f"kdb.recovery.{event}").inc(count)
+
     # -- single-writer lockfile ------------------------------------------
     def _acquire_lockfile(self) -> bool:
         path = self.directory / _LOCKFILE_NAME
         for attempt in (0, 1):
             try:
-                fd = os.open(
-                    str(path),
-                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                # trailing newline = completeness marker; see
+                # _read_lock_pid
+                self.storage.create_exclusive(
+                    path, f"{os.getpid()}\n"
                 )
             except FileExistsError:
                 with _OWNED_GUARD:
@@ -230,10 +343,8 @@ class ShardedDocumentStore(DocumentStore):
                     or not _pid_alive(holder)
                 )
                 if attempt == 0 and stale:
-                    try:
-                        path.unlink()
-                    except FileNotFoundError:
-                        pass
+                    with self._slock:
+                        self.storage.remove(path)
                     continue
                 raise StoreError(
                     f"{self.directory} is locked by pid {holder}"
@@ -241,8 +352,6 @@ class ShardedDocumentStore(DocumentStore):
                     " ShardedDocumentStore first, or delete the"
                     " lockfile if that process is gone"
                 )
-            with os.fdopen(fd, "w") as handle:
-                handle.write(str(os.getpid()))
             with _OWNED_GUARD:
                 _OWNED_DIRS.add(self._lock_key)
             return True
@@ -257,10 +366,7 @@ class ShardedDocumentStore(DocumentStore):
         self._has_lockfile = False
         with _OWNED_GUARD:
             _OWNED_DIRS.discard(self._lock_key)
-        try:
-            (self.directory / _LOCKFILE_NAME).unlink()
-        except FileNotFoundError:
-            pass
+        self.storage.remove(self.directory / _LOCKFILE_NAME)
 
     # -- wiring ----------------------------------------------------------
     def _attach_collection(self, collection: Collection) -> None:
@@ -268,19 +374,43 @@ class ShardedDocumentStore(DocumentStore):
         with self._slock:
             if name not in self._files:
                 self._files[name] = _ShardFiles(
-                    self.directory, name, self.n_shards
+                    self.directory, name, self.n_shards, self.storage
                 )
 
             def journal(op: str, payload: Any = None) -> None:
                 self._on_mutation(name, op, payload)
 
             collection._journal = journal
+            collection._write_guard = self._refuse_if_write_protected
             write_manifest = not self._loading
         # The manifest fsync happens after the shard lock is released
         # (ADA018): attach only needs the lock to publish the files
         # entry and journal hook.
         if write_manifest:
             self._write_manifest()
+
+    def _refuse_if_write_protected(self) -> None:
+        """Pre-mutation veto (installed as each collection's
+        ``_write_guard``): refuse writes *before* they land in memory.
+
+        The journal-failure check must run here rather than in
+        :meth:`_on_mutation` — by journal time the document is already
+        applied in memory, and compact() reconciles *from* memory, so a
+        refusal raised after the apply would silently persist the op it
+        claimed to refuse.
+        """
+        if self._loading:
+            return
+        with self._slock:
+            if self._closed:
+                raise StoreError("sharded store is closed")
+            if self._journal_failed is not None:
+                raise StoreError(
+                    f"journal append for"
+                    f" {self._journal_failed!r} failed earlier (disk"
+                    " full?); the store is write-protected until"
+                    " compact() rewrites a consistent on-disk state"
+                )
 
     def _on_mutation(self, name: str, op: str, payload: Any) -> None:
         if self._loading:
@@ -291,23 +421,34 @@ class ShardedDocumentStore(DocumentStore):
             if self._closed:
                 raise StoreError("sharded store is closed")
             files = self._files[name]
-            if op == "put":
-                files.append(
-                    shard_of(payload["_id"], self.n_shards),
-                    {"op": "put", "doc": payload},
-                )
-            elif op == "del":
-                files.append(
-                    shard_of(payload, self.n_shards),
-                    {"op": "del", "id": payload},
-                )
-            elif op == "clear":
-                for shard in range(self.n_shards):
-                    files.append(shard, {"op": "clear"})
-            elif op == "index":
-                index_changed = True
-            else:
-                raise StoreError(f"unknown journal op: {op!r}")
+            try:
+                if op == "put":
+                    files.append(
+                        shard_of(payload["_id"], self.n_shards),
+                        {"op": "put", "doc": payload},
+                    )
+                elif op == "del":
+                    files.append(
+                        shard_of(payload, self.n_shards),
+                        {"op": "del", "id": payload},
+                    )
+                elif op == "clear":
+                    for shard in range(self.n_shards):
+                        files.append(shard, {"op": "clear"})
+                elif op == "index":
+                    index_changed = True
+                else:
+                    raise StoreError(f"unknown journal op: {op!r}")
+            except OSError as exc:
+                # The op is applied in memory but its journal record
+                # never landed: write-protect until compact() folds
+                # the (ahead) memory state into fresh bases.
+                self._journal_failed = name
+                raise StoreError(
+                    f"journal append for {name!r} failed: {exc};"
+                    " in-memory state is ahead of disk — compact()"
+                    " to reconcile and re-enable writes"
+                ) from exc
             compact_due = (
                 not index_changed
                 and self.auto_compact_ops is not None
@@ -339,7 +480,12 @@ class ShardedDocumentStore(DocumentStore):
                                 "kind": index.kind,
                             }
                             for index in collection._indexes.values()
-                        ]
+                        ],
+                        "generation": (
+                            self._files[name].gen
+                            if name in self._files
+                            else 0
+                        ),
                     }
                     for name, collection in self._collections.items()
                 },
@@ -350,7 +496,7 @@ class ShardedDocumentStore(DocumentStore):
             # writers could land snapshots out of order and resurrect a
             # dropped index definition. The manifest is tiny; the held
             # fsync is bounded.
-            _atomic_write(  # adalint: disable=ADA018
+            self.storage.atomic_write(
                 self.directory / _MANIFEST_NAME,
                 json.dumps(layout, indent=2, sort_keys=True),
             )
@@ -360,7 +506,7 @@ class ShardedDocumentStore(DocumentStore):
         layout_path = self.directory / _MANIFEST_NAME
         with open(layout_path) as handle:
             layout = json.load(handle)
-        if layout.get("version") != _MANIFEST_VERSION:
+        if layout.get("version") not in (1, _MANIFEST_VERSION):
             raise StoreError(
                 f"unsupported shard manifest version in {layout_path}"
             )
@@ -370,8 +516,13 @@ class ShardedDocumentStore(DocumentStore):
         try:
             for name, info in layout.get("collections", {}).items():
                 collection = self.collection(name)
+                manifest_gen = int(info.get("generation", 0))
+                with self._slock:
+                    self._files[name].gen = manifest_gen
                 for shard in range(self.n_shards):
-                    for document in self._replay_shard(name, shard):
+                    for document in self._replay_shard(
+                        name, shard, manifest_gen
+                    ):
                         collection._install(document)
                 for index in info.get("indexes", []):
                     collection.create_index(
@@ -383,33 +534,93 @@ class ShardedDocumentStore(DocumentStore):
             with self._slock:
                 self._loading = False
 
-    def _replay_shard(self, name: str, shard: int) -> List[Dict[str, Any]]:
-        """Final documents for one shard: base lines, then log ops."""
+    def _replay_shard(
+        self, name: str, shard: int, manifest_gen: int
+    ) -> List[Dict[str, Any]]:
+        """Final documents for one shard: base records, then log ops.
+
+        The stale-log baseline is strictly per shard — the manifest
+        generation plus *this shard's own* base — never the running
+        collection maximum: a crash mid-compaction leaves early shards
+        on the new generation while later shards still carry their
+        (unfolded!) old-generation logs, and judging those against a
+        neighbour's generation would discard real ops.
+        """
         files = self._files[name]
         state: Dict[Any, Dict[str, Any]] = {}
-        for document in self._read_jsonl(files.base_path(shard)):
-            if isinstance(document, dict) and "_id" in document:
-                state[_index_key(document["_id"])] = document
+        base_gen = manifest_gen
+        base = scan_file(files.base_path(shard))
+        if base is not None:
+            if base.gen is not None:
+                base_gen = max(base_gen, base.gen)
+            for document in base.records:
+                if isinstance(document, dict) and "_id" in document:
+                    state[_index_key(document["_id"])] = document
+                else:
+                    with self._slock:
+                        self.load_warnings.append(
+                            f"{base.path.name}: skipped"
+                            " document without _id"
+                        )
+            # Bases are written atomically (whole file or nothing), so
+            # *any* undecodable base line — even the last — is real
+            # damage, never an in-flight append: quarantine it.
+            bad = list(base.corrupt)
+            if base.torn_tail:
+                bad.append(
+                    CorruptLine(0, base.torn_raw, "torn base tail")
+                )
+            if bad:
+                self._quarantine(name, shard, base.path, bad)
+            self._flag_anomalies(name, base)
+        log = scan_file(files.log_path(shard))
+        if log is not None:
+            log_gen = log.gen if log.gen is not None else base_gen
+            if log_gen < base_gen:
+                # Crash signature of compaction: bases landed, this
+                # log's removal did not. Its ops are already folded
+                # into the base — finish the removal.
+                self._recover_stale_log(name, files, shard)
             else:
-                with self._slock:
-                    self.load_warnings.append(
-                        f"{files.base_path(shard).name}: skipped"
-                        " document without _id"
-                    )
-        log_path = files.log_path(shard)
-        if log_path.exists():
-            files.pending += self._replay_log(files, log_path, state)
+                if log_gen > base_gen:
+                    with self._slock:
+                        self.recovery_stats["gen_mismatch"] += 1
+                        self.degraded_collections.add(name)
+                        self.load_warnings.append(
+                            f"{log.path.name}: log generation"
+                            f" {log_gen} ahead of base generation"
+                            f" {base_gen} (base missing or rolled"
+                            " back?)"
+                        )
+                    self._meter("gen_mismatch")
+                files.pending += self._replay_log(
+                    name, shard, log, state
+                )
+                if log.torn_tail:
+                    # The expected crash signature: the final append
+                    # never completed. Truncate it away — silent,
+                    # metered, never a warning.
+                    self.storage.truncate(log.path, log.keep_bytes)
+                    with self._slock:
+                        self.recovery_stats["torn_tail"] += 1
+                    self._meter("torn_tail")
+                files.next_seq[shard] = log.next_seq
+                base_gen = max(base_gen, log_gen)
+        with self._slock:
+            files.gen = max(files.gen, base_gen)
         return list(state.values())
 
     def _replay_log(
         self,
-        files: _ShardFiles,
-        log_path: Path,
+        name: str,
+        shard: int,
+        log: ScannedFile,
         state: Dict[Any, Dict[str, Any]],
     ) -> int:
+        """Apply one scanned log's ops to ``state``; returns op count."""
+        files = self._files[name]
         ops = 0
-        for record in self._read_jsonl(log_path):
-            ops += 1
+        for record in log.records:
             op = record.get("op") if isinstance(record, dict) else None
             if op == "put" and isinstance(record.get("doc"), dict):
                 document = record["doc"]
@@ -419,30 +630,105 @@ class ShardedDocumentStore(DocumentStore):
             elif op == "clear":
                 state.clear()
             else:
-                with self._slock:
-                    self.load_warnings.append(
-                        f"{log_path.name}: skipped malformed log"
-                        " record"
-                    )
+                # Decoded cleanly (checksum passed, or legacy v1) but
+                # is not a log op: preserve and flag, never drop.
+                self._quarantine(
+                    name,
+                    shard,
+                    log.path,
+                    [
+                        CorruptLine(
+                            0,
+                            json.dumps(
+                                record, sort_keys=True, default=str
+                            ),
+                            "unrecognised log record",
+                        )
+                    ],
+                )
+                continue
+            ops += 1
+        if log.corrupt:
+            # A bad line *followed by good ones* is not a torn append:
+            # something damaged the middle of the history.
+            self._quarantine(name, shard, log.path, log.corrupt)
+        self._flag_anomalies(name, log)
         return ops
 
-    def _read_jsonl(self, path: Path) -> List[Any]:
-        rows: List[Any] = []
-        if not path.exists():
-            return rows
-        with open(path) as handle:
-            for lineno, line in enumerate(handle, start=1):
-                if not line.strip():
-                    continue
-                try:
-                    rows.append(json.loads(line))
-                except json.JSONDecodeError as exc:
-                    with self._slock:
-                        self.load_warnings.append(
-                            f"{path.name}:{lineno}: skipped corrupt"
-                            f" line ({exc.msg})"
+    def _quarantine(
+        self,
+        name: str,
+        shard: int,
+        source: Path,
+        lines: List[CorruptLine],
+    ) -> None:
+        """Preserve damaged lines in a sidecar and flag the collection."""
+        files = self._files[name]
+        sidecar = files.quarantine_path(shard)
+        existing: Set[Any] = set()
+        if sidecar.exists():
+            with open(sidecar) as handle:
+                for line in handle:
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(entry, dict):
+                        existing.add(
+                            (entry.get("source"), entry.get("raw"))
                         )
-        return rows
+        fresh = [
+            line
+            for line in lines
+            if (source.name, line.raw) not in existing
+        ]
+        if fresh:
+            handle = self.storage.open_append(sidecar)
+            try:
+                for line in fresh:
+                    handle.write_line(
+                        json.dumps(
+                            {
+                                "source": source.name,
+                                "line": line.lineno,
+                                "raw": line.raw,
+                                "reason": line.reason,
+                            },
+                            sort_keys=True,
+                        )
+                    )
+            finally:
+                handle.close(sync=True)
+        with self._slock:
+            self.recovery_stats["quarantined"] += len(lines)
+            self.degraded_collections.add(name)
+            for line in lines:
+                self.load_warnings.append(
+                    f"{source.name}:{line.lineno}: quarantined corrupt"
+                    f" record ({line.reason}) -> {sidecar.name}"
+                )
+        self._meter("quarantined", len(lines))
+
+    def _flag_anomalies(self, name: str, scan: ScannedFile) -> None:
+        """Sequence gaps / generation switches: damage, not crashes."""
+        if not scan.anomalies:
+            return
+        with self._slock:
+            self.recovery_stats["seq_gap"] += len(scan.anomalies)
+            self.degraded_collections.add(name)
+            for anomaly in scan.anomalies:
+                self.load_warnings.append(
+                    f"{scan.path.name}: {anomaly}"
+                )
+        self._meter("seq_gap", len(scan.anomalies))
+
+    def _recover_stale_log(
+        self, name: str, files: _ShardFiles, shard: int
+    ) -> None:
+        with self._slock:
+            self.storage.remove(files.log_path(shard))
+            self.recovery_stats["stale_log"] += 1
+        self._meter("stale_log")
 
     # -- compaction ------------------------------------------------------
     def compact(self, name: Optional[str] = None) -> None:
@@ -451,8 +737,14 @@ class ShardedDocumentStore(DocumentStore):
         With ``name`` compacts one collection, otherwise all. For each
         collection the write lock is held while the in-memory state is
         partitioned and written: new bases land atomically first, logs
-        are removed after — a crash in between leaves logs that replay
-        idempotently over the new bases.
+        are removed after — a crash in between leaves logs that are
+        recognised as stale (their generation trails the new bases')
+        and removed on the next open. Compaction bumps the collection's
+        generation, rewrites every base in v2 framing (upgrading any
+        pre-checksum files), clears a degraded flag (the damaged
+        history is preserved in its quarantine sidecar), and lifts a
+        journal-failure write-protection once disk again reflects
+        memory.
         """
         names = [name] if name is not None else list(self._collections)
         for collection_name in names:
@@ -462,13 +754,19 @@ class ShardedDocumentStore(DocumentStore):
                     if self._closed:
                         raise StoreError("sharded store is closed")
                     files = self._files[collection_name]
+                    new_gen = files.gen + 1
                     partitions: Dict[int, List[str]] = {
-                        shard: [] for shard in range(self.n_shards)
+                        shard: [header_line(new_gen)]
+                        for shard in range(self.n_shards)
                     }
                     for document in collection._documents.values():
                         shard = shard_of(document["_id"], self.n_shards)
                         partitions[shard].append(
-                            json.dumps(document, sort_keys=True) + "\n"
+                            frame_line(
+                                document,
+                                len(partitions[shard]),
+                                new_gen,
+                            )
                         )
                     # Crash-safety requires this ordering to happen
                     # with writers excluded: bases land (fsynced)
@@ -476,10 +774,15 @@ class ShardedDocumentStore(DocumentStore):
                     # a snapshot no mutation can move. Compaction is
                     # the rare path; writers pay only during it.
                     for shard, lines in partitions.items():
-                        _atomic_write(  # adalint: disable=ADA018
-                            files.base_path(shard), "".join(lines)
+                        self.storage.atomic_write(
+                            files.base_path(shard),
+                            "".join(line + "\n" for line in lines),
                         )
                     files.remove_logs()
+                    files.gen = new_gen
+                    self.degraded_collections.discard(collection_name)
+                    if self._journal_failed == collection_name:
+                        self._journal_failed = None
         self._write_manifest()
 
     def pending_ops(self, name: Optional[str] = None) -> int:
@@ -500,6 +803,8 @@ class ShardedDocumentStore(DocumentStore):
                     "n_shards": self.n_shards,
                     "pending_ops": files.pending,
                     "indexes": collection.index_names(),
+                    "generation": files.gen,
+                    "degraded": name in self.degraded_collections,
                 }
                 entry.update(files.disk_bytes())
                 out[name] = entry
@@ -552,6 +857,7 @@ class ShardedDocumentStore(DocumentStore):
         super().drop_collection(name)
         with self._slock:
             files = self._files.pop(name, None)
+            self.degraded_collections.discard(name)
         if files is not None:
             files.remove_all()
         self._write_manifest()
@@ -581,6 +887,33 @@ class ShardedDocumentStore(DocumentStore):
         # ADA018 anti-pattern.
         for files in file_list:
             files.close_handles(sync=True)
+
+    def simulate_crash(self) -> None:
+        """Abandon the store the way a dying process would (test API).
+
+        Forgets the in-process ownership and drops the append handles
+        *without* writing anything: the pid lockfile stays on disk
+        (the next opener must prove it stale), logs keep whatever
+        bytes reached the filesystem, and no fsync or compaction
+        runs. The crash-point sweep uses this after
+        :class:`repro.kdb.storage.SimulatedCrash` fires, so the same
+        process can immediately reopen the directory and exercise
+        recovery.
+        """
+        self.stop_background_compaction()
+        with self._slock:
+            self._closed = True
+            self._has_lockfile = False
+            file_list = list(self._files.values())
+        with _OWNED_GUARD:
+            _OWNED_DIRS.discard(self._lock_key)
+        for files in file_list:
+            for handle in list(files._handles.values()):
+                try:
+                    handle.close()
+                except Exception:  # torn handles may already be dead
+                    continue
+            files._handles.clear()
 
     def __enter__(self) -> "ShardedDocumentStore":
         return self

@@ -397,7 +397,8 @@ def schema_contracts() -> "tuple[SchemaContract, ...]":
     cache_fields = _fields_or(
         "repro.core.cache",
         "CACHE_ENTRY_FIELDS",
-        {"key", "dataset", "algorithm", "params", "payload", "cert"},
+        {"key", "dataset", "algorithm", "params", "payload", "crc",
+         "cert"},
     )
     log_fields = _fields_or(
         "repro.kdb.shards",

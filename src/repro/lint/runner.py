@@ -75,8 +75,8 @@ PARSE_ERROR_ID = "ADA000"
 
 #: Version of the rule set; part of every findings-cache key, so a
 #: rule change (signalled by bumping this) invalidates cached results.
-#: adalint/5 adds the certificate rules ADA019-ADA022.
-RULESET_VERSION = "adalint/5"
+#: adalint/6 adds the storage-funnel rule ADA023.
+RULESET_VERSION = "adalint/6"
 
 #: Id under which pragma/config hygiene findings are reported.
 _SUPPRESSION_RULE_ID = "ADA012"
@@ -234,7 +234,7 @@ def _pragma_findings(
                     message=(
                         f"unknown rule id {entry.rule_id!r} in"
                         " suppression pragma (known ids:"
-                        " ADA001..ADA022, ADA000, all)"
+                        " ADA001..ADA023, ADA000, all)"
                     ),
                     severity="warning",
                 )

@@ -61,6 +61,7 @@ from repro.obs.tracer import (
     NullTracer,
     Span,
     Tracer,
+    read_spans,
 )
 
 __all__ = [
@@ -88,6 +89,7 @@ __all__ = [
     "Span",
     "TrackedLock",
     "Tracer",
+    "read_spans",
     "track_store_locks",
     "validate_manifest",
 ]

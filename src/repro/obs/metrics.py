@@ -24,6 +24,21 @@ import math
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+#: Counter names the K-DB crash-recovery path maintains (PR 10).
+#: Pre-registered when a registry is bound to a sharded store, so
+#: snapshots always carry them — a clean open reports explicit zeros
+#: rather than absent keys. ``torn_tail`` and ``stale_log`` count
+#: *expected* crash signatures (repaired silently); ``quarantined``,
+#: ``seq_gap`` and ``gen_mismatch`` count damage that flags the
+#: collection degraded.
+KDB_RECOVERY_COUNTERS: Tuple[str, ...] = (
+    "kdb.recovery.torn_tail",
+    "kdb.recovery.quarantined",
+    "kdb.recovery.stale_log",
+    "kdb.recovery.seq_gap",
+    "kdb.recovery.gen_mismatch",
+)
+
 #: Default histogram bounds: exponential grid for seconds-scale timings.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.001,

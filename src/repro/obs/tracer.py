@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import threading
 import time
 from pathlib import Path
@@ -181,10 +182,20 @@ class JsonlSink:
     The handle is opened lazily and dropped on pickling, so a tracer
     carrying this sink can cross a process boundary; workers re-open the
     file in append mode and their whole-line writes interleave safely.
+
+    With ``durable=True`` every span is additionally ``fsync``'d on
+    emit, so a manifest survives the process being killed right after
+    the span closed — the run-manifest discipline of PR 10. The cost is
+    one fsync per span; leave it off for high-frequency tracing. Either
+    way a kill *mid*-append can leave a torn final line, which
+    :func:`read_spans` tolerates.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self, path: Union[str, Path], durable: bool = False
+    ) -> None:
         self.path = Path(path)
+        self.durable = durable
         self._handle = None
 
     def emit(self, document: Document) -> None:
@@ -192,6 +203,8 @@ class JsonlSink:
             self._handle = open(self.path, "a")
         self._handle.write(json.dumps(document) + "\n")
         self._handle.flush()
+        if self.durable:
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:
@@ -199,11 +212,39 @@ class JsonlSink:
             self._handle = None
 
     def __getstate__(self) -> Dict[str, Any]:
-        return {"path": self.path}
+        return {"path": self.path, "durable": self.durable}
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.path = state["path"]
+        self.durable = state.get("durable", False)
         self._handle = None
+
+
+def read_spans(path: Union[str, Path]) -> List[Document]:
+    """Read a :class:`JsonlSink` file back, tolerating a torn tail.
+
+    A process killed mid-append leaves a final line that is not valid
+    JSON; that line (and only that line) is dropped silently — the
+    same torn-tail policy the K-DB shard logs follow. An undecodable
+    line *followed by* valid spans is real damage and raises
+    ``ValueError`` rather than silently shortening the record.
+    """
+    spans: List[Document] = []
+    pending: Optional[int] = None
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            if pending is not None:
+                raise ValueError(
+                    f"{path}:{pending}: corrupt span record is not"
+                    " the final line (damaged manifest?)"
+                )
+            try:
+                spans.append(json.loads(line))
+            except json.JSONDecodeError:
+                pending = lineno
+    return spans
 
 
 class LoggingSink:

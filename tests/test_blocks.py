@@ -39,6 +39,7 @@ from repro.data import (
     SharedMatrixHandle,
     leaked_segments,
     open_matrix,
+    reap_segments,
 )
 from repro.data.synthetic import DiabeticExamLogGenerator, GeneratorConfig
 from repro.exceptions import DataError, MiningError
@@ -445,3 +446,61 @@ def test_unlucky_fatal_faults_still_leave_no_segments():
             k_values=(2,), n_folds=3, seed=0, executor=injector
         ).optimize(matrix)
     assert leaked_segments() == []
+
+
+# ----------------------------------------------------------------------
+# orphan reaping after a hard kill (repro shm reap)
+# ----------------------------------------------------------------------
+_ORPHAN_CHILD = """
+import signal
+
+import numpy as np
+from multiprocessing import resource_tracker
+from repro.data.blocks import SharedMatrix
+
+ref = SharedMatrix.create(np.ones((8, 8)))
+# Model the whole process group dying (OOM killer): the resource
+# tracker that would have unlinked this segment dies with us, so the
+# segment outlives the process -- exactly the orphan `repro shm reap`
+# exists for.
+resource_tracker.unregister(ref._shm._name, "shared_memory")
+print(ref.name, flush=True)
+signal.pause()
+"""
+
+
+@pytest.mark.crash
+def test_sigkilled_owner_leaks_a_segment_and_reap_clears_it():
+    import signal
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    child = subprocess.Popen(
+        [sys.executable, "-c", _ORPHAN_CHILD],
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        name = child.stdout.readline().strip()
+        assert name  # the segment exists before the kill
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
+        assert name in leaked_segments()
+        assert reap_segments([name]) == [name]
+        assert name not in leaked_segments()
+        # idempotent: a second reap finds nothing to do
+        assert reap_segments([name]) == []
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+        child.stdout.close()
+        reap_segments()
+
+
+def test_reap_segments_never_touches_foreign_names():
+    assert reap_segments(["not-a-library-segment"]) == []

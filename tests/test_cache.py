@@ -108,6 +108,37 @@ def test_cache_payloads_are_isolated_copies():
     assert cache.get("ds", "algo", {}) == {"values": [1, 2]}
 
 
+def test_cache_detects_tampered_payload_via_crc():
+    cache = AnalysisCache()
+    key = cache.put("ds", "algo", {"k": 3}, {"labels": [0, 1, 0]})
+    # bit-rot in the backing store: payload changes, checksum doesn't
+    cache.collection.update_one(
+        {"key": key}, {"$set": {"payload": {"labels": [9, 9, 9]}}}
+    )
+    assert cache.get("ds", "algo", {"k": 3}) is None
+    assert cache.stats()["corrupt"] == 1
+    assert len(cache) == 0  # the damaged entry was evicted
+    # the recomputed payload stores cleanly over the damage
+    cache.put("ds", "algo", {"k": 3}, {"labels": [0, 1, 0]})
+    assert cache.get("ds", "algo", {"k": 3}) == {"labels": [0, 1, 0]}
+
+
+def test_cache_precrc_entries_still_hit():
+    cache = AnalysisCache()
+    # an entry written before payload checksums existed has no "crc"
+    cache.collection.insert_one(
+        {
+            "key": AnalysisCache.key("ds", "algo", {}),
+            "dataset": "ds",
+            "algorithm": "algo",
+            "params": "{}",
+            "payload": "legacy",
+        }
+    )
+    assert cache.get("ds", "algo", {}) == "legacy"
+    assert cache.stats()["corrupt"] == 0
+
+
 def test_cache_memoize_computes_once():
     cache = AnalysisCache()
     calls = []

@@ -147,3 +147,49 @@ def test_kdb_stats_missing_directory(capsys, tmp_path):
     err = capsys.readouterr().err
     assert code == 1
     assert "no sharded K-DB" in err
+
+
+def test_kdb_fsck_detects_and_repairs(capsys, tmp_path):
+    import json
+
+    from repro.kdb.shards import ShardedDocumentStore
+
+    directory = tmp_path / "kdb"
+    store = ShardedDocumentStore(directory, n_shards=2)
+    store["c"].insert_many([{"x": i} for i in range(8)])
+    store.close()
+
+    code, output = run(capsys, "kdb", "fsck", str(directory))
+    assert code == 0
+    assert "clean" in output
+
+    # tear the tail of a non-empty shard log
+    victim = next(
+        path
+        for path in sorted(directory.glob("c.shard-*.log.jsonl"))
+        if path.stat().st_size > 4
+    )
+    victim.write_bytes(victim.read_bytes()[:-4])
+
+    code, output = run(capsys, "kdb", "fsck", str(directory))
+    assert code == 1
+    assert "torn" in output
+
+    code, output = run(
+        capsys, "kdb", "fsck", str(directory), "--repair", "--json"
+    )
+    assert code == 0
+    report = json.loads(output)
+    assert report["ok"] is True
+    assert any(issue["repaired"] for issue in report["issues"])
+
+    code, output = run(capsys, "kdb", "fsck", str(directory))
+    assert code == 0
+
+
+def test_shm_ls_and_reap(capsys):
+    code, output = run(capsys, "shm", "ls")
+    assert code == 0
+    code, output = run(capsys, "shm", "reap")
+    assert code == 0
+    assert "reaped 0 segment(s)" in output

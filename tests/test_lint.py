@@ -31,6 +31,7 @@ from repro.lint.rules_robustness import (
     BroadExceptPolicy,
     NoAdHocRetrySleep,
     NoBareAssert,
+    PersistenceWritesThroughStorage,
 )
 from repro.lint.rules_schema import DocstoreOperatorSet, ManifestSchemaKeys
 from repro.lint.runner import PARSE_ERROR_ID
@@ -63,9 +64,9 @@ def test_repo_is_clean():
 # ----------------------------------------------------------------------
 # Rule registry
 # ----------------------------------------------------------------------
-def test_registry_ships_the_twenty_two_rules():
+def test_registry_ships_the_twenty_three_rules():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == [f"ADA{n:03d}" for n in range(1, 23)]
+    assert ids == [f"ADA{n:03d}" for n in range(1, 24)]
     assert all(r.severity in ("error", "warning") for r in all_rules())
 
 
@@ -134,6 +135,16 @@ _BAD = {
                     time.sleep(2 ** attempt)
             raise TimeoutError("gave up")
         """,
+    PersistenceWritesThroughStorage: """
+        import os
+        from pathlib import Path
+
+        def save(path, tmp, content):
+            with open(tmp, "w") as handle:
+                handle.write(content)
+            os.replace(tmp, path)
+            Path(path).with_suffix(".bak").write_text(content)
+        """,
 }
 
 _GOOD = {
@@ -195,6 +206,17 @@ _GOOD = {
             outcome = RetryPolicy(max_attempts=5).execute(client.get)
             time.sleep(0.1)  # a one-off settle delay, not a loop
             return outcome
+        """,
+    PersistenceWritesThroughStorage: """
+        import json
+
+        def load(path, storage):
+            with open(path) as handle:
+                data = json.load(handle)
+            storage.atomic_write(path, json.dumps(data))
+            handle = storage.open_append(path)
+            handle.write_line("x")
+            return data
         """,
 }
 
@@ -378,6 +400,66 @@ def test_ada008_goal_loop_fields():
         """,
     )
     assert len(findings) == 1
+
+
+def test_ada023_storage_module_is_exempt():
+    source = textwrap.dedent(
+        """
+        import os
+
+        def atomic_write(path, tmp, content):
+            with open(tmp, "w") as handle:
+                handle.write(content)
+            os.replace(tmp, path)
+        """
+    )
+    # inside the funnel module: clean
+    assert (
+        lint_source(
+            source,
+            relpath="src/repro/kdb/storage.py",
+            rules=[PersistenceWritesThroughStorage],
+        )
+        == []
+    )
+    # the same code anywhere else in kdb: flagged
+    findings = lint_source(
+        source,
+        relpath="src/repro/kdb/shards.py",
+        rules=[PersistenceWritesThroughStorage],
+    )
+    assert len(findings) == 2
+
+
+def test_ada023_scoped_to_kdb_by_default():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    rule = get_rule("ADA023")
+    assert config.rule_applies(rule, "src/repro/kdb/shards.py")
+    assert not config.rule_applies(rule, "src/repro/core/cache.py")
+
+
+def test_ada023_dynamic_mode_and_reads():
+    # a mode the AST cannot prove read-only is flagged
+    findings = run_rule(
+        PersistenceWritesThroughStorage,
+        """
+        def touch(path, mode):
+            return open(path, mode)
+        """,
+    )
+    assert len(findings) == 1
+    # plain reads (default mode or explicit "r"/"rb") are fine
+    assert (
+        run_rule(
+            PersistenceWritesThroughStorage,
+            """
+            def read(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """,
+        )
+        == []
+    )
 
 
 # ----------------------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.obs import (
     NullTracer,
     RunManifestBuilder,
     Tracer,
+    read_spans,
     validate_manifest,
 )
 
@@ -111,6 +112,45 @@ def test_jsonl_sink_writes_valid_lines(tmp_path):
     documents = [json.loads(line) for line in lines]
     assert [d["name"] for d in documents] == ["b", "a"]
     assert documents[0]["parent_id"] == documents[1]["span_id"]
+
+
+def test_jsonl_sink_durable_fsyncs_and_pickles(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(path, durable=True)
+    tracer = Tracer(sinks=[sink])
+    with tracer.span("durable"):
+        pass
+    assert json.loads(path.read_text())["name"] == "durable"
+    clone = pickle.loads(pickle.dumps(sink))
+    assert clone.durable is True
+
+
+def test_read_spans_tolerates_torn_final_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(sinks=[JsonlSink(path)])
+    with tracer.span("a"):
+        pass
+    with tracer.span("b"):
+        pass
+    # a crash mid-append tears the final line
+    content = path.read_bytes()
+    path.write_bytes(content[:-7])
+    spans = read_spans(path)
+    assert [span["name"] for span in spans] == ["a"]
+
+
+def test_read_spans_rejects_interior_corruption(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(sinks=[JsonlSink(path)])
+    with tracer.span("a"):
+        pass
+    with tracer.span("b"):
+        pass
+    lines = path.read_bytes().splitlines(True)
+    lines[0] = b"XX" + lines[0][2:]
+    path.write_bytes(b"".join(lines))
+    with pytest.raises(ValueError, match="corrupt"):
+        read_spans(path)
 
 
 def test_logging_sink_emits_records(caplog):

@@ -105,7 +105,7 @@ def test_new_ids_continue_after_replay(sharded):
     assert reopened["c"].insert_one({}) == 4
 
 
-def test_corrupt_log_line_skipped_with_warning(sharded):
+def test_torn_log_tail_is_truncated_silently(sharded):
     sharded["c"].insert_many([{"_id": i} for i in range(8)])
     sharded.close()
     # chop bytes off one shard log, as a crash mid-append would
@@ -113,8 +113,55 @@ def test_corrupt_log_line_skipped_with_warning(sharded):
     victim = next(path for path in logs if path.stat().st_size > 0)
     victim.write_bytes(victim.read_bytes()[:-5])
     reopened = ShardedDocumentStore(sharded.directory)
-    assert 0 < len(reopened["c"]) < 8
-    assert any("corrupt" in w for w in reopened.load_warnings)
+    # exactly the in-flight record is lost — expected, silent, metered
+    assert len(reopened["c"]) == 7
+    assert reopened.load_warnings == []
+    assert reopened.recovery_stats["torn_tail"] == 1
+    assert reopened.degraded_collections == set()
+    # the torn bytes were physically truncated away
+    tail = victim.read_bytes()
+    assert tail == b"" or tail.endswith(b"\n")
+    reopened.close()
+
+
+def test_interior_corruption_is_quarantined_not_dropped(sharded):
+    # Regression for the PR 7 behavior where *any* undecodable line
+    # was skipped into load_warnings: damage in the middle of a log
+    # must be preserved and flagged, never silently shortened away.
+    sharded["c"].insert_many([{"_id": i} for i in range(8)])
+    sharded.close()
+    logs = sorted(sharded.directory.glob("c.shard-*.log.jsonl"))
+    victim = next(
+        path
+        for path in logs
+        if len(path.read_bytes().splitlines()) >= 3
+    )
+    lines = victim.read_bytes().splitlines(True)
+    lines[1] = b"XX" + lines[1][2:]  # flip bytes in an interior record
+    victim.write_bytes(b"".join(lines))
+    reopened = ShardedDocumentStore(sharded.directory)
+    assert reopened.recovery_stats["quarantined"] >= 1
+    assert "c" in reopened.degraded_collections
+    assert any("quarantined" in w for w in reopened.load_warnings)
+    sidecar = next(
+        sharded.directory.glob("c.shard-*.quarantine.jsonl")
+    )
+    entries = [
+        json.loads(line) for line in sidecar.read_text().splitlines()
+    ]
+    assert entries and entries[0]["source"] == victim.name
+    assert reopened.stats()["c"]["degraded"] is True
+    # reopening again must not duplicate sidecar entries
+    reopened.close()
+    again = ShardedDocumentStore(sharded.directory)
+    assert len(sidecar.read_text().splitlines()) == len(entries)
+    # compaction rewrites clean bases and clears the degraded flag
+    again.compact()
+    assert again.degraded_collections == set()
+    again.close()
+    clean = ShardedDocumentStore(sharded.directory)
+    assert clean.recovery_stats["quarantined"] == 0
+    clean.close()
 
 
 # ----------------------------------------------------------------------
@@ -223,7 +270,7 @@ def test_stale_lock_from_dead_process_is_broken(tmp_path):
         check=True,
     )
     dead_pid = int(probe.stdout)
-    (directory / "_shards.lock").write_text(str(dead_pid))
+    (directory / "_shards.lock").write_text(f"{dead_pid}\n")
     store = ShardedDocumentStore(directory)  # stale lock broken
     store["c"].insert_one({"x": 1})
     store.close()
@@ -232,7 +279,7 @@ def test_stale_lock_from_dead_process_is_broken(tmp_path):
 def test_garbage_lockfile_counts_as_stale(tmp_path):
     directory = tmp_path / "db"
     directory.mkdir()
-    (directory / "_shards.lock").write_text("not-a-pid")
+    (directory / "_shards.lock").write_text("not-a-pid\n")
     store = ShardedDocumentStore(directory)
     store.close()
 
@@ -243,7 +290,7 @@ def test_live_foreign_holder_is_reported_by_pid(tmp_path):
     holder = subprocess.Popen([sys.executable, "-c", "input()"],
                               stdin=subprocess.PIPE)
     try:
-        (directory / "_shards.lock").write_text(str(holder.pid))
+        (directory / "_shards.lock").write_text(f"{holder.pid}\n")
         with pytest.raises(StoreError, match=str(holder.pid)):
             ShardedDocumentStore(directory)
     finally:

@@ -1,0 +1,184 @@
+"""Tests for the pluggable storage layer: LocalStorage semantics and
+the determinism, event accounting and partial-effect model of
+FaultyStorage (torn appends, torn atomic writes, ENOSPC, crash points,
+lose-unsynced rollback)."""
+
+import errno
+
+import pytest
+
+from repro.kdb.storage import (
+    FaultyStorage,
+    LocalStorage,
+    SimulatedCrash,
+)
+
+pytestmark = pytest.mark.crash
+
+
+# ----------------------------------------------------------------------
+# LocalStorage
+# ----------------------------------------------------------------------
+def test_append_handle_round_trip(tmp_path):
+    storage = LocalStorage()
+    path = tmp_path / "log.jsonl"
+    handle = storage.open_append(path)
+    handle.write_line("one")
+    handle.write_line("two")
+    handle.close(sync=True)
+    assert path.read_text() == "one\ntwo\n"
+    # append mode: a second handle continues, never truncates
+    handle = storage.open_append(path)
+    handle.write_line("three")
+    handle.close()
+    assert path.read_text() == "one\ntwo\nthree\n"
+
+
+def test_atomic_write_replaces_whole_file(tmp_path):
+    storage = LocalStorage()
+    path = tmp_path / "file.json"
+    storage.atomic_write(path, "old")
+    storage.atomic_write(path, "new")
+    assert path.read_text() == "new"
+    assert not path.with_name("file.json.tmp").exists()
+
+
+def test_create_exclusive_is_exclusive(tmp_path):
+    storage = LocalStorage()
+    path = tmp_path / "lock"
+    storage.create_exclusive(path, "123")
+    assert path.read_text() == "123"
+    with pytest.raises(FileExistsError):
+        storage.create_exclusive(path, "456")
+
+
+def test_remove_tolerates_missing(tmp_path):
+    LocalStorage().remove(tmp_path / "nope")
+
+
+def test_truncate(tmp_path):
+    storage = LocalStorage()
+    path = tmp_path / "f"
+    path.write_text("abcdef")
+    storage.truncate(path, 3)
+    assert path.read_text() == "abc"
+
+
+# ----------------------------------------------------------------------
+# FaultyStorage: event accounting
+# ----------------------------------------------------------------------
+def _workload(storage, root):
+    handle = storage.open_append(root / "log")
+    handle.write_line("r1")  # event 1: append
+    handle.write_line("r2")  # event 2: append
+    handle.sync()  # event 3: sync
+    handle.close()
+    storage.atomic_write(root / "base", "data\n")  # event 4
+    storage.create_exclusive(root / "lock", "pid")  # event 5
+    storage.remove(root / "lock")  # event 6
+    storage.truncate(root / "log", 3)  # event 7
+
+
+def test_clean_pass_counts_events(tmp_path):
+    storage = FaultyStorage(seed=7)
+    _workload(storage, tmp_path)
+    assert storage.events == 7
+    assert [op for _, op, _ in storage.log] == [
+        "append",
+        "append",
+        "sync",
+        "atomic_write",
+        "create_exclusive",
+        "remove",
+        "truncate",
+    ]
+    assert not storage.crashed
+
+
+def test_crash_point_kills_and_stays_dead(tmp_path):
+    storage = FaultyStorage(seed=7, crash_at=2)
+    with pytest.raises(SimulatedCrash):
+        _workload(storage, tmp_path)
+    assert storage.crashed
+    with pytest.raises(SimulatedCrash):
+        storage.atomic_write(tmp_path / "x", "y")
+    with pytest.raises(SimulatedCrash):
+        storage.open_append(tmp_path / "x")
+
+
+def test_simulated_crash_is_not_an_exception():
+    # a crash models SIGKILL: no `except Exception` may absorb it
+    assert not issubclass(SimulatedCrash, Exception)
+    assert issubclass(SimulatedCrash, BaseException)
+
+
+def test_torn_append_leaves_a_strict_prefix(tmp_path):
+    storage = FaultyStorage(seed=3, crash_at=2)
+    with pytest.raises(SimulatedCrash):
+        _workload(storage, tmp_path)
+    content = (tmp_path / "log").read_bytes()
+    assert content.startswith(b"r1\n")
+    # the torn second record is a strict prefix of "r2\n"
+    tail = content[len(b"r1\n"):]
+    assert tail != b"r2\n"
+    assert b"r2\n".startswith(tail)
+
+
+def test_torn_atomic_write_never_touches_target(tmp_path):
+    (tmp_path / "base").write_text("old")
+    storage = FaultyStorage(seed=1, crash_at=4)
+    with pytest.raises(SimulatedCrash):
+        _workload(storage, tmp_path)
+    assert (tmp_path / "base").read_text() == "old"
+    assert (tmp_path / "base.tmp").exists()
+
+
+def test_same_seed_same_crash_same_bytes(tmp_path):
+    states = []
+    for attempt in ("a", "b"):
+        root = tmp_path / attempt
+        root.mkdir()
+        storage = FaultyStorage(seed=11, crash_at=2)
+        with pytest.raises(SimulatedCrash):
+            _workload(storage, root)
+        states.append((root / "log").read_bytes())
+    assert states[0] == states[1]
+
+
+def test_enospc_fails_once_without_crashing(tmp_path):
+    storage = FaultyStorage(seed=0, enospc_at=2)
+    handle = storage.open_append(tmp_path / "log")
+    handle.write_line("ok")
+    with pytest.raises(OSError) as info:
+        handle.write_line("fails")
+    assert info.value.errno == errno.ENOSPC
+    assert not storage.crashed
+    handle.write_line("recovers")  # space freed: later writes succeed
+    handle.close()
+    assert (tmp_path / "log").read_text() == "ok\nrecovers\n"
+
+
+def test_lose_unsynced_rolls_back_to_last_fsync(tmp_path):
+    storage = FaultyStorage(seed=5, crash_at=5, lose_unsynced=True)
+    handle = storage.open_append(tmp_path / "log")
+    handle.write_line("durable")  # event 1
+    handle.sync()  # event 2: fsync landed
+    handle.write_line("flushed-only")  # event 3
+    handle.write_line("flushed-only-2")  # event 4
+    with pytest.raises(SimulatedCrash):
+        handle.write_line("in-flight")  # event 5: crash
+    # everything after the last sync vanished with the page cache
+    assert (tmp_path / "log").read_text() == "durable\n"
+
+
+def test_completed_faulty_run_is_byte_identical_to_clean(tmp_path):
+    clean_root = tmp_path / "clean"
+    faulty_root = tmp_path / "faulty"
+    clean_root.mkdir()
+    faulty_root.mkdir()
+    _workload(LocalStorage(), clean_root)
+    _workload(FaultyStorage(seed=9), faulty_root)  # no crash scheduled
+    for name in ("log", "base"):
+        assert (clean_root / name).read_bytes() == (
+            faulty_root / name
+        ).read_bytes()
